@@ -1,0 +1,73 @@
+//! Backend error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mlscore_forest::ForestError;
+
+/// Errors returned by scoring backends.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BackendError {
+    /// A model/structure error bubbled up from the forest crate.
+    Forest(ForestError),
+    /// The backend cannot run this model (e.g. GPU-RAPIDS is binary-only;
+    /// the FPGA engine caps tree depth at 10).
+    Unsupported {
+        /// Backend name.
+        backend: String,
+        /// Human-readable reason.
+        reason: String,
+    },
+}
+
+impl BackendError {
+    /// Convenience constructor for [`BackendError::Unsupported`].
+    pub fn unsupported(backend: impl Into<String>, reason: impl Into<String>) -> Self {
+        BackendError::Unsupported {
+            backend: backend.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for BackendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BackendError::Forest(e) => write!(f, "model error: {e}"),
+            BackendError::Unsupported { backend, reason } => {
+                write!(f, "{backend} cannot score this model: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for BackendError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            BackendError::Forest(e) => Some(e),
+            BackendError::Unsupported { .. } => None,
+        }
+    }
+}
+
+impl From<ForestError> for BackendError {
+    fn from(e: ForestError) -> Self {
+        BackendError::Forest(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = BackendError::unsupported("gpu-rapids", "multi-class model");
+        assert!(format!("{e}").contains("gpu-rapids"));
+        assert!(e.source().is_none());
+        let e: BackendError = ForestError::EmptyForest.into();
+        assert!(e.source().is_some());
+        assert!(format!("{e}").contains("no trees"));
+    }
+}

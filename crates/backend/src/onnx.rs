@@ -1,0 +1,296 @@
+//! The ONNX-runtime-like CPU backend ("CPU_ONNX" / "CPU_ONNX_52th").
+//!
+//! Functionally, this engine first compiles the forest into the Fig. 4b
+//! flat layout and scores by walking the flat records — the same image the
+//! FPGA consumes. Its timing model captures the paper's observation that
+//! ONNX "is not currently optimized for batch scoring": the per-call
+//! overhead is small (it wins below ~5K records), but the per-record cost is
+//! higher than scikit-learn's batch path, so it loses at large batches.
+
+use serde::{Deserialize, Serialize};
+
+use mlscore_forest::{FlatForest, ModelStats, Predictions, Task};
+use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+
+use crate::cost::{effective_parallelism, CpuSpec};
+use crate::error::BackendError;
+use crate::request::ScoringRequest;
+use crate::traits::ScoringBackend;
+
+/// Timing-model constants for the ONNX-like engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct OnnxCostParams {
+    /// Fixed cost of one scoring call (runtime session dispatch).
+    pub call_overhead: SimDuration,
+    /// Fixed per-record cost (per-record graph execution, no batch
+    /// amortization).
+    pub per_record: SimDuration,
+    /// Multiplier on the cache-model visit cost relative to sklearn's batch
+    /// path (flat records are 16 B vs. pointer nodes, roughly a wash).
+    pub visit_factor: f64,
+    /// Per-extra-thread cost of spinning up and joining the intra-op thread
+    /// pool; ONNX's batch path parallelizes poorly, so wide thread counts
+    /// pay a substantial fixed dispatch cost per call.
+    pub thread_spinup: SimDuration,
+}
+
+impl Default for OnnxCostParams {
+    fn default() -> Self {
+        Self {
+            call_overhead: SimDuration::from_micros(150.0),
+            per_record: SimDuration::from_nanos(180.0),
+            visit_factor: 1.0,
+            thread_spinup: SimDuration::from_micros(17.0),
+        }
+    }
+}
+
+/// The ONNX-like CPU backend scoring over the flat node layout.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_backend::{OnnxCpu, ScoringBackend, ScoringRequest};
+/// use mlscore_data::Dataset;
+/// use mlscore_forest::{ForestConfig, RandomForest};
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(4, 28, 2).with_depth(6),
+///     1,
+/// );
+/// let data = Dataset::higgs(32, 9).normalized();
+/// let req = ScoringRequest::new(&forest, data.frame())?;
+/// let preds = OnnxCpu::single_thread().score(&req)?;
+/// assert_eq!(preds.len(), 32);
+/// # Ok::<(), mlscore_backend::BackendError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OnnxCpu {
+    spec: CpuSpec,
+    threads: usize,
+    params: OnnxCostParams,
+    name: String,
+}
+
+impl OnnxCpu {
+    /// The paper's "CPU_ONNX": single-threaded.
+    pub fn single_thread() -> Self {
+        Self::with_threads(1)
+    }
+
+    /// The paper's "CPU_ONNX_52th": 52 threads.
+    pub fn paper_52th() -> Self {
+        Self::with_threads(52)
+    }
+
+    /// A backend on the paper's Xeon with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(CpuSpec::xeon_8171m(), threads, OnnxCostParams::default())
+    }
+
+    /// Fully custom construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(spec: CpuSpec, threads: usize, params: OnnxCostParams) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let name = if threads == 1 {
+            "CPU_ONNX".to_string()
+        } else {
+            format!("CPU_ONNX_{threads}th")
+        };
+        Self {
+            spec,
+            threads,
+            params,
+            name,
+        }
+    }
+
+    /// The thread count used for scoring.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ScoringBackend for OnnxCpu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        let forest = request.forest();
+        let frame = request.frame();
+        let flat = FlatForest::from_forest(forest, forest.max_depth())?;
+        let n_rows = frame.n_rows();
+        let threads = self
+            .threads
+            .min(n_rows.max(1))
+            .min(forest.n_trees().max(1));
+        match forest.task() {
+            Task::Classification { .. } => {
+                let mut out = vec![0u32; n_rows];
+                score_flat(threads, &mut out, |i| flat.score_one(frame.row(i)) as u32);
+                Ok(Predictions::Classes(out))
+            }
+            Task::Regression => {
+                let mut out = vec![0f32; n_rows];
+                score_flat(threads, &mut out, |i| flat.score_one(frame.row(i)));
+                Ok(Predictions::Values(out))
+            }
+        }
+    }
+
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        let per_record = self.params.per_record
+            + self.spec.row_load_cost(stats)
+            + self.spec.visit_cost(stats)
+                * (stats.visits_per_record() * self.params.visit_factor);
+        // ONNX parallelizes *within* one inference (across the ensemble's
+        // trees), not across batch rows — a single-tree model gains nothing
+        // from 52 threads, which is why the paper's best CPU for 1-tree
+        // models is scikit-learn.
+        let usable_threads = self.threads.min(stats.n_trees.max(1));
+        let parallel = effective_parallelism(usable_threads, n_records);
+        let compute = per_record * (n_records as f64 / parallel);
+        let mut b = TimingBreakdown::new();
+        b.add(
+            Stage::SoftwareOverhead,
+            self.params.call_overhead
+                + self.params.thread_spinup * (self.threads.saturating_sub(1)) as f64,
+        );
+        b.add(Stage::Scoring, compute);
+        b
+    }
+}
+
+fn score_flat<T: Send>(threads: usize, out: &mut [T], f: impl Fn(usize) -> T + Sync) {
+    if out.is_empty() {
+        return;
+    }
+    if threads <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = out.len().div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = c * chunk;
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        }
+    })
+    .expect("scoring worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_data::Dataset;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn higgs_setup() -> (RandomForest, Dataset) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(10, 28, 2).with_depth(6),
+            17,
+        );
+        (forest, Dataset::higgs(123, 6).normalized())
+    }
+
+    #[test]
+    fn flat_scoring_matches_reference() {
+        let (forest, data) = higgs_setup();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        for threads in [1, 4] {
+            let preds = OnnxCpu::with_threads(threads).score(&req).unwrap();
+            assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+        }
+    }
+
+    #[test]
+    fn regression_matches_reference() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::regression(4, 5).with_depth(4),
+            3,
+        );
+        let frame = mlscore_data::TabularFrame::from_rows(
+            (0..50).map(|i| (i as f32 * 0.17) % 1.0).collect(),
+            5,
+        )
+        .unwrap();
+        let req = ScoringRequest::new(&forest, &frame).unwrap();
+        let preds = OnnxCpu::single_thread().score(&req).unwrap();
+        assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+    }
+
+    #[test]
+    fn onnx_beats_sklearn_at_small_batches_loses_at_large() {
+        // The paper's ~5K-record crossover between CPU_ONNX (1 thread) and
+        // CPU_SKLearn (52 threads) on a single-tree model.
+        use crate::sklearn::SklearnCpu;
+        use crate::traits::ScoringBackend as _;
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 4, 3).with_depth(10),
+            5,
+        );
+        let stats = ModelStats::of(&forest);
+        let onnx = OnnxCpu::single_thread();
+        let sklearn = SklearnCpu::paper_default();
+        let small = 100u64;
+        let large = 1_000_000u64;
+        assert!(onnx.estimate(&stats, small).total() < sklearn.estimate(&stats, small).total());
+        assert!(onnx.estimate(&stats, large).total() > sklearn.estimate(&stats, large).total());
+    }
+
+    #[test]
+    fn crossover_is_in_the_paper_band() {
+        // Find where sklearn overtakes ONNX; the paper says ~5K records.
+        use crate::sklearn::SklearnCpu;
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 4, 3).with_depth(10),
+            5,
+        );
+        let stats = ModelStats::of(&forest);
+        let onnx = OnnxCpu::single_thread();
+        let sklearn = SklearnCpu::paper_default();
+        let mut crossover = None;
+        for exp in 0..24 {
+            let n = 1u64 << exp;
+            if sklearn.estimate(&stats, n).total() < onnx.estimate(&stats, n).total() {
+                crossover = Some(n);
+                break;
+            }
+        }
+        let n = crossover.expect("sklearn must eventually win");
+        assert!(
+            (1_000..20_000).contains(&n),
+            "ONNX/sklearn crossover at {n}, expected ~5K"
+        );
+    }
+
+    #[test]
+    fn estimate_call_overhead_smaller_than_sklearn() {
+        use crate::sklearn::SklearnCostParams;
+        let onnx = OnnxCostParams::default();
+        let sk = SklearnCostParams::default();
+        assert!(onnx.call_overhead < sk.call_overhead);
+    }
+
+    #[test]
+    fn names_match_paper_legends() {
+        assert_eq!(OnnxCpu::single_thread().name(), "CPU_ONNX");
+        assert_eq!(OnnxCpu::paper_52th().name(), "CPU_ONNX_52th");
+        assert_eq!(OnnxCpu::paper_52th().threads(), 52);
+    }
+}

@@ -1,0 +1,100 @@
+//! The scoring request handed to a backend.
+
+use mlscore_data::TabularFrame;
+use mlscore_forest::{ForestError, RandomForest};
+
+use crate::error::BackendError;
+
+/// A batch scoring request: a model plus the records to score.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_backend::ScoringRequest;
+/// use mlscore_data::Dataset;
+/// use mlscore_forest::{ForestConfig, RandomForest};
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(4, 4, 3).with_depth(5),
+///     1,
+/// );
+/// let data = Dataset::iris(100, 2).normalized();
+/// let req = ScoringRequest::new(&forest, data.frame())?;
+/// assert_eq!(req.n_records(), 100);
+/// # Ok::<(), mlscore_backend::BackendError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct ScoringRequest<'a> {
+    forest: &'a RandomForest,
+    frame: &'a TabularFrame,
+}
+
+impl<'a> ScoringRequest<'a> {
+    /// Builds a request, validating that the frame width matches the model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::FeatureWidthMismatch`] (wrapped) when the
+    /// frame's feature count differs from the model's.
+    pub fn new(
+        forest: &'a RandomForest,
+        frame: &'a TabularFrame,
+    ) -> Result<Self, BackendError> {
+        if forest.n_features() != frame.n_features() {
+            return Err(ForestError::FeatureWidthMismatch {
+                expected: forest.n_features(),
+                got: frame.n_features(),
+            }
+            .into());
+        }
+        Ok(Self { forest, frame })
+    }
+
+    /// The model to score with.
+    pub fn forest(&self) -> &'a RandomForest {
+        self.forest
+    }
+
+    /// The records to score.
+    pub fn frame(&self) -> &'a TabularFrame {
+        self.frame
+    }
+
+    /// Number of records in the batch.
+    pub fn n_records(&self) -> usize {
+        self.frame.n_rows()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_forest::ForestConfig;
+
+    #[test]
+    fn width_mismatch_rejected() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 5, 2).with_depth(2),
+            1,
+        );
+        let frame = TabularFrame::from_rows(vec![0.0; 8], 4).unwrap();
+        let err = ScoringRequest::new(&forest, &frame).unwrap_err();
+        assert!(matches!(
+            err,
+            BackendError::Forest(ForestError::FeatureWidthMismatch { expected: 5, got: 4 })
+        ));
+    }
+
+    #[test]
+    fn accessors() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 2, 2).with_depth(2),
+            1,
+        );
+        let frame = TabularFrame::from_rows(vec![0.0; 8], 2).unwrap();
+        let req = ScoringRequest::new(&forest, &frame).unwrap();
+        assert_eq!(req.n_records(), 4);
+        assert_eq!(req.forest().n_features(), 2);
+        assert_eq!(req.frame().n_rows(), 4);
+    }
+}

@@ -1,0 +1,283 @@
+//! The scikit-learn-like CPU backend ("CPU_SKLearn").
+//!
+//! Functionally, a multi-threaded direct tree traversal over row chunks
+//! (crossbeam scoped threads). The timing model mirrors what the paper
+//! measured for scikit-learn batch scoring: a ~1 ms per-call overhead (the
+//! Python-side dispatch that makes sklearn lose to ONNX below a few thousand
+//! records), a fixed per-record cost (vote aggregation, output assembly),
+//! and a per-node-visit cost from the cache model, divided by the effective
+//! thread parallelism.
+
+use serde::{Deserialize, Serialize};
+
+use mlscore_forest::{ModelStats, Predictions, Task};
+use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+
+use crate::cost::{effective_parallelism, CpuSpec};
+use crate::error::BackendError;
+use crate::request::ScoringRequest;
+use crate::traits::ScoringBackend;
+
+/// Timing-model constants for the sklearn-like engine.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SklearnCostParams {
+    /// Fixed cost of one scoring call (Python dispatch, array setup).
+    pub call_overhead: SimDuration,
+    /// Fixed per-record cost (vote accumulation, result assembly).
+    pub per_record: SimDuration,
+    /// Additional per-record cost per feature column — the Python/NumPy row
+    /// handling tax that makes wide HIGGS rows far more expensive per
+    /// record than narrow IRIS rows (visible in the paper's 1-tree curves).
+    pub per_record_per_feature: SimDuration,
+}
+
+impl Default for SklearnCostParams {
+    fn default() -> Self {
+        Self {
+            call_overhead: SimDuration::from_millis(1.0),
+            per_record: SimDuration::from_nanos(350.0),
+            per_record_per_feature: SimDuration::from_nanos(100.0),
+        }
+    }
+}
+
+/// The "CPU_SKLearn" backend: batch-optimized, multi-threaded traversal.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_backend::{ScoringBackend, ScoringRequest, SklearnCpu};
+/// use mlscore_data::Dataset;
+/// use mlscore_forest::{ForestConfig, RandomForest};
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(8, 4, 3).with_depth(6),
+///     3,
+/// );
+/// let data = Dataset::iris(64, 5).normalized();
+/// let backend = SklearnCpu::with_threads(4);
+/// let req = ScoringRequest::new(&forest, data.frame())?;
+/// let preds = backend.score(&req)?;
+/// assert_eq!(preds.len(), 64);
+/// # Ok::<(), mlscore_backend::BackendError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct SklearnCpu {
+    spec: CpuSpec,
+    threads: usize,
+    params: SklearnCostParams,
+    name: String,
+}
+
+impl SklearnCpu {
+    /// The paper's configuration: the Xeon 8171M with 52 threads.
+    pub fn paper_default() -> Self {
+        Self::with_threads(52)
+    }
+
+    /// A backend on the paper's Xeon with an explicit thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn with_threads(threads: usize) -> Self {
+        Self::new(CpuSpec::xeon_8171m(), threads, SklearnCostParams::default())
+    }
+
+    /// Fully custom construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threads` is zero.
+    pub fn new(spec: CpuSpec, threads: usize, params: SklearnCostParams) -> Self {
+        assert!(threads > 0, "need at least one thread");
+        let name = if threads == 1 {
+            "CPU_SKLearn_1th".to_string()
+        } else {
+            format!("CPU_SKLearn_{threads}th")
+        };
+        Self {
+            spec,
+            threads,
+            params,
+            name,
+        }
+    }
+
+    /// The thread count used for scoring.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+}
+
+impl ScoringBackend for SklearnCpu {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        let forest = request.forest();
+        let frame = request.frame();
+        let n_rows = frame.n_rows();
+        let threads = self.threads.min(n_rows.max(1));
+        match forest.task() {
+            Task::Classification { .. } => {
+                let mut out = vec![0u32; n_rows];
+                score_chunks(threads, n_rows, &mut out, |i| {
+                    forest
+                        .predict_one(frame.row(i))
+                        .as_class()
+                        .expect("classification forest yields classes")
+                });
+                Ok(Predictions::Classes(out))
+            }
+            Task::Regression => {
+                let mut out = vec![0f32; n_rows];
+                score_chunks(threads, n_rows, &mut out, |i| {
+                    forest
+                        .predict_one(frame.row(i))
+                        .as_value()
+                        .expect("regression forest yields values")
+                });
+                Ok(Predictions::Values(out))
+            }
+        }
+    }
+
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        let per_record = self.params.per_record
+            + self.params.per_record_per_feature * stats.n_features as f64
+            + self.spec.row_load_cost(stats)
+            + self.spec.visit_cost(stats) * stats.visits_per_record();
+        let parallel = effective_parallelism(self.threads, n_records);
+        let compute = per_record * (n_records as f64 / parallel);
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::SoftwareOverhead, self.params.call_overhead);
+        b.add(Stage::Scoring, compute);
+        b
+    }
+}
+
+/// Runs `f(i)` for every row index, splitting rows across `threads` chunks
+/// with crossbeam scoped threads, writing into `out`.
+fn score_chunks<T: Send>(
+    threads: usize,
+    n_rows: usize,
+    out: &mut [T],
+    f: impl Fn(usize) -> T + Sync,
+) {
+    if n_rows == 0 {
+        return;
+    }
+    if threads <= 1 {
+        for (i, slot) in out.iter_mut().enumerate() {
+            *slot = f(i);
+        }
+        return;
+    }
+    let chunk = n_rows.div_ceil(threads);
+    crossbeam::thread::scope(|scope| {
+        for (c, slice) in out.chunks_mut(chunk).enumerate() {
+            let f = &f;
+            scope.spawn(move |_| {
+                let base = c * chunk;
+                for (j, slot) in slice.iter_mut().enumerate() {
+                    *slot = f(base + j);
+                }
+            });
+        }
+    })
+    .expect("scoring worker panicked");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_data::Dataset;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn iris_setup() -> (RandomForest, Dataset) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(12, 4, 3).with_depth(7),
+            9,
+        );
+        (forest, Dataset::iris(257, 4).normalized())
+    }
+
+    #[test]
+    fn multithreaded_matches_reference() {
+        let (forest, data) = iris_setup();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        let preds = SklearnCpu::with_threads(8).score(&req).unwrap();
+        let reference = forest.predict_batch(data.frame().as_slice());
+        assert_eq!(preds, reference);
+    }
+
+    #[test]
+    fn single_thread_matches_reference() {
+        let (forest, data) = iris_setup();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        let preds = SklearnCpu::with_threads(1).score(&req).unwrap();
+        assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+    }
+
+    #[test]
+    fn regression_scoring_works() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::regression(6, 3).with_depth(5),
+            2,
+        );
+        let frame = mlscore_data::TabularFrame::from_rows(
+            (0..60).map(|i| (i as f32 * 0.31) % 1.0).collect(),
+            3,
+        )
+        .unwrap();
+        let req = ScoringRequest::new(&forest, &frame).unwrap();
+        let preds = SklearnCpu::with_threads(3).score(&req).unwrap();
+        assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+    }
+
+    #[test]
+    fn estimate_has_call_overhead_floor() {
+        let (forest, _) = iris_setup();
+        let stats = ModelStats::of(&forest);
+        let b = SklearnCpu::paper_default().estimate(&stats, 1);
+        assert!(b.total() >= SimDuration::from_millis(1.0));
+        assert!(b.get(Stage::SoftwareOverhead) >= SimDuration::from_millis(1.0));
+    }
+
+    #[test]
+    fn estimate_scales_roughly_linearly_at_large_n() {
+        let (forest, _) = iris_setup();
+        let stats = ModelStats::of(&forest);
+        let backend = SklearnCpu::paper_default();
+        let t1 = backend.estimate(&stats, 1_000_000).get(Stage::Scoring);
+        let t2 = backend.estimate(&stats, 2_000_000).get(Stage::Scoring);
+        assert!((t2.ratio(t1) - 2.0).abs() < 0.01);
+    }
+
+    #[test]
+    fn more_threads_score_faster_in_model() {
+        let (forest, _) = iris_setup();
+        let stats = ModelStats::of(&forest);
+        let t1 = SklearnCpu::with_threads(1).estimate(&stats, 1_000_000).total();
+        let t52 = SklearnCpu::with_threads(52).estimate(&stats, 1_000_000).total();
+        assert!(t1.ratio(t52) > 20.0);
+    }
+
+    #[test]
+    fn name_reflects_threads() {
+        assert_eq!(SklearnCpu::paper_default().name(), "CPU_SKLearn_52th");
+        assert_eq!(SklearnCpu::with_threads(1).name(), "CPU_SKLearn_1th");
+        assert_eq!(SklearnCpu::with_threads(4).threads(), 4);
+    }
+
+    #[test]
+    fn empty_batch_is_fine() {
+        let (forest, _) = iris_setup();
+        let frame = mlscore_data::TabularFrame::from_rows(vec![], 4).unwrap();
+        let req = ScoringRequest::new(&forest, &frame).unwrap();
+        let preds = SklearnCpu::with_threads(4).score(&req).unwrap();
+        assert!(preds.is_empty());
+    }
+}

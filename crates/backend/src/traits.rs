@@ -1,0 +1,78 @@
+//! The [`ScoringBackend`] trait.
+
+use mlscore_forest::{ModelStats, Predictions};
+use mlscore_sim::TimingBreakdown;
+
+use crate::error::BackendError;
+use crate::request::ScoringRequest;
+
+/// A hardware backend that can score random forest batches.
+///
+/// Implementations are *functionally real* — [`ScoringBackend::score`]
+/// computes actual predictions — while [`ScoringBackend::estimate`] reports
+/// the backend's deterministic, calibrated timing model. Keeping the two
+/// separate lets property tests assert prediction agreement across wildly
+/// different execution strategies, while figure generation runs entirely on
+/// modelled time.
+///
+/// The trait is object-safe; schedulers hold `Box<dyn ScoringBackend>`.
+pub trait ScoringBackend {
+    /// Short name matching the paper's figure legends (e.g.
+    /// `"CPU_SKLearn"`, `"GPU-HB"`, `"FPGA"`).
+    fn name(&self) -> &str;
+
+    /// Checks whether this backend can run the given model.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Unsupported`] with the reason (e.g.
+    /// GPU-RAPIDS rejects non-binary classification; the FPGA engine rejects
+    /// trees deeper than its configured capacity).
+    fn supports(&self, stats: &ModelStats) -> Result<(), BackendError> {
+        let _ = stats;
+        Ok(())
+    }
+
+    /// Functionally scores the batch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Unsupported`] for models this backend cannot
+    /// run, or a wrapped model error.
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError>;
+
+    /// Estimates the *overall model scoring time* breakdown (the Fig. 7
+    /// quantity: everything from invoking the scoring call to having results
+    /// in host memory) for scoring `n_records` with a model of the given
+    /// shape.
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown;
+}
+
+/// Blanket impl so `Box<dyn ScoringBackend>` works wherever a backend does.
+impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+
+    fn supports(&self, stats: &ModelStats) -> Result<(), BackendError> {
+        (**self).supports(stats)
+    }
+
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        (**self).score(request)
+    }
+
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        (**self).estimate(stats, n_records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_is_object_safe() {
+        fn _takes_dyn(_b: &dyn ScoringBackend) {}
+    }
+}

@@ -1,0 +1,70 @@
+//! Ablation A4: scheduler policy comparison on the full paper grid —
+//! regret relative to the oracle, and the cost of evaluating each policy.
+
+use criterion::{criterion_group, Criterion};
+use mlscore_core::calibration::{paper_model, RECORD_SWEEP, TREE_SWEEP};
+use mlscore_data::DatasetSpec;
+use mlscore_forest::ModelStats;
+use mlscore_sched::{
+    evaluate_policy, paper_backends, AffineFitPolicy, HeuristicPolicy, OraclePolicy, Policy,
+};
+
+fn grid() -> Vec<(ModelStats, u64)> {
+    let mut grid = Vec::new();
+    for dataset in DatasetSpec::all() {
+        for &trees in &TREE_SWEEP {
+            let stats = ModelStats::of(&paper_model(dataset, trees, 10));
+            for &n in &RECORD_SWEEP {
+                grid.push((stats, n));
+            }
+        }
+    }
+    grid
+}
+
+fn print_ablation() {
+    println!("\n--- Ablation A4: scheduler policy regret ---");
+    let backends = paper_backends();
+    let grid = grid();
+    for r in [
+        evaluate_policy(&OraclePolicy, &grid, &backends),
+        evaluate_policy(&HeuristicPolicy::default(), &grid, &backends),
+        evaluate_policy(&AffineFitPolicy::default(), &grid, &backends),
+    ] {
+        println!(
+            "  {:<16} agreement {:>5.1}%  worst {:>6.2}x  mean {:>5.2}x",
+            r.policy,
+            r.agreement() * 100.0,
+            r.worst_factor,
+            r.mean_factor
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let backends = paper_backends();
+    let stats = ModelStats::of(&paper_model(DatasetSpec::Higgs, 128, 10));
+    let mut g = c.benchmark_group("ablation_sched");
+    g.sample_size(20);
+    let policies: [(&str, &dyn Policy); 3] = [
+        ("oracle", &OraclePolicy),
+        ("heuristic", &HeuristicPolicy { cpu_max_records: 5_000, simple_max_trees: 1 }),
+        ("affine", &AffineFitPolicy { probe_small: 1, probe_large: 100_000 }),
+    ];
+    for (name, policy) in policies {
+        g.bench_function(name, |b| {
+            b.iter(|| policy.choose(std::hint::black_box(&stats), 1_000_000, &backends))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_ablation();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,61 @@
+//! Ablation A5: split execution for trees deeper than the engine's 10
+//! levels (§III-B's proposed extension) — how much work lands back on the
+//! CPU as depth grows, and the functional cost of the split scorer.
+
+use criterion::{criterion_group, BenchmarkId, Criterion};
+use mlscore_data::Dataset;
+use mlscore_forest::{ForestConfig, RandomForest};
+use mlscore_fpga::{split_score, InferenceEngine};
+
+fn deep_forest(depth: usize) -> RandomForest {
+    RandomForest::synthetic_capped(
+        &ForestConfig::classification(16, 4, 3).with_depth(depth),
+        600,
+        7,
+    )
+}
+
+fn print_ablation() {
+    println!("\n--- Ablation A5: split execution (FPGA first 10 levels + CPU rest) ---");
+    let engine = InferenceEngine::paper_default();
+    let data = Dataset::iris(1_000, 5).normalized();
+    println!(
+        "{:>6} {:>18} {:>14}",
+        "depth", "finished on FPGA", "CPU visits"
+    );
+    for depth in [8usize, 10, 12, 14, 16] {
+        let forest = deep_forest(depth);
+        let (preds, report) = split_score(&engine, &forest, data.frame());
+        assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+        println!(
+            "{:>6} {:>17.1}% {:>14}",
+            depth,
+            report.fpga_fraction() * 100.0,
+            report.cpu_visits
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let engine = InferenceEngine::paper_default();
+    let data = Dataset::iris(500, 5).normalized();
+    let mut g = c.benchmark_group("ablation_split_depth");
+    g.sample_size(20);
+    for depth in [10usize, 14] {
+        let forest = deep_forest(depth);
+        g.bench_with_input(BenchmarkId::from_parameter(depth), &forest, |b, f| {
+            b.iter(|| split_score(&engine, f, data.frame()))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_ablation();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

@@ -1,0 +1,40 @@
+//! Fig. 10: scoring throughput (million scorings per second) for all eight
+//! panels, derived from the same sweeps as Fig. 9.
+
+use criterion::{criterion_group, Criterion};
+use mlscore_core::{figures, report};
+use mlscore_data::DatasetSpec;
+
+fn print_figure() {
+    println!("\n--- Fig. 10 (all panels) ---");
+    for panel in figures::fig9_all() {
+        println!("{}", report::render_throughput(&panel));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig10");
+    g.sample_size(10);
+    let panel = figures::fig9(DatasetSpec::Higgs, 128, 10);
+    g.bench_function("derive_throughput", |b| {
+        b.iter(|| {
+            panel
+                .records
+                .iter()
+                .map(|&n| panel.throughput("FPGA", n).unwrap())
+                .sum::<f64>()
+        })
+    });
+    g.bench_function("render", |b| b.iter(|| report::render_throughput(&panel)));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

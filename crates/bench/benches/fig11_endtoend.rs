@@ -1,0 +1,45 @@
+//! Fig. 11: end-to-end T-SQL query breakdowns (CPU vs GPU vs FPGA scoring).
+
+use criterion::{criterion_group, Criterion};
+use mlscore_core::{figures, report};
+use mlscore_data::DatasetSpec;
+
+fn print_figure() {
+    println!("\n--- Fig. 11 ---");
+    for (dataset, trees, records) in [
+        (DatasetSpec::Iris, 1usize, 1u64),
+        (DatasetSpec::Iris, 128, 1_000_000),
+        (DatasetSpec::Higgs, 128, 1_000_000),
+    ] {
+        println!(
+            "{} — {trees} trees, 10 levels, {records} records",
+            dataset.name()
+        );
+        println!(
+            "{}",
+            report::render_fig11(&figures::fig11(dataset, trees, 10, records))
+        );
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig11");
+    g.sample_size(10);
+    g.bench_function("higgs_heavy", |b| {
+        b.iter(|| figures::fig11(DatasetSpec::Higgs, 128, 10, 1_000_000))
+    });
+    g.bench_function("iris_light", |b| {
+        b.iter(|| figures::fig11(DatasetSpec::Iris, 1, 10, 1))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

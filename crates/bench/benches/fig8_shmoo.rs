@@ -1,0 +1,37 @@
+//! Fig. 8 (and Fig. 1): the best-backend shmoo grids for both datasets.
+
+use criterion::{criterion_group, Criterion};
+use mlscore_core::{report, shmoo::ShmooTable};
+use mlscore_data::DatasetSpec;
+
+fn print_figure() {
+    println!("\n--- Fig. 8 ---");
+    for dataset in DatasetSpec::all() {
+        println!("{}", report::render_shmoo(&ShmooTable::paper_grid(dataset)));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig8");
+    g.sample_size(10);
+    g.bench_function("iris_grid", |b| {
+        b.iter(|| ShmooTable::paper_grid(DatasetSpec::Iris))
+    });
+    g.bench_function("higgs_grid", |b| {
+        b.iter(|| ShmooTable::paper_grid(DatasetSpec::Higgs))
+    });
+    g.bench_function("reduced_grid", |b| {
+        b.iter(|| ShmooTable::build(DatasetSpec::Higgs, 10, &[1, 128], &[1, 1_000_000]))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

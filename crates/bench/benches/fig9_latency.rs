@@ -1,0 +1,32 @@
+//! Fig. 9: scoring latency curves for all eight panels.
+
+use criterion::{criterion_group, Criterion};
+use mlscore_core::{figures, report};
+use mlscore_data::DatasetSpec;
+
+fn print_figure() {
+    println!("\n--- Fig. 9 (all panels) ---");
+    for panel in figures::fig9_all() {
+        println!("{}", report::render_latency(&panel));
+    }
+}
+
+fn bench(c: &mut Criterion) {
+    let mut g = c.benchmark_group("fig9");
+    g.sample_size(10);
+    g.bench_function("one_panel", |b| {
+        b.iter(|| figures::fig9(DatasetSpec::Higgs, 128, 10))
+    });
+    g.bench_function("all_panels", |b| b.iter(figures::fig9_all));
+    g.finish();
+}
+
+criterion_group!(benches, bench);
+
+fn main() {
+    print_figure();
+    benches();
+    criterion::Criterion::default()
+        .configure_from_args()
+        .final_summary();
+}

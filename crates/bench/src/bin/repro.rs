@@ -1,0 +1,155 @@
+//! Regenerates every table and figure from the paper's evaluation section.
+//!
+//! Usage: `repro [all|fig1|fig7a|fig7b|fig8|fig9|fig10|fig11|headlines|scheduler]`
+
+use mlscore_core::{figures, headline::HeadlineReport, report, shmoo::ShmooTable};
+use mlscore_data::DatasetSpec;
+use mlscore_forest::ModelStats;
+use mlscore_sched::{
+    evaluate_policy, paper_backends, AffineFitPolicy, HeuristicPolicy, OraclePolicy,
+};
+
+fn fig1() {
+    println!("== Fig. 1: best-performing hardware by model complexity x data size ==");
+    for dataset in DatasetSpec::all() {
+        let table = ShmooTable::paper_grid(dataset);
+        println!();
+        for (i, &n) in table.record_counts.iter().enumerate() {
+            let row: Vec<String> = table.cells[i]
+                .iter()
+                .map(|c| format!("{:>4}", c.family()))
+                .collect();
+            println!("{} {:>9}: {}", dataset.name(), n, row.join(" "));
+        }
+    }
+    println!();
+}
+
+fn fig7(records: u64, label: &str) {
+    println!("== Fig. {label}: FPGA scoring-time breakdown ({records} record(s)) ==");
+    let panel = if records == 1 {
+        figures::fig7a()
+    } else {
+        figures::fig7b()
+    };
+    println!("{}", report::render_fig7(&panel));
+}
+
+fn fig8() {
+    println!("== Fig. 8: best backend + speedup over CPU (depth 10) ==");
+    for dataset in DatasetSpec::all() {
+        println!("{}", report::render_shmoo(&ShmooTable::paper_grid(dataset)));
+    }
+}
+
+fn fig9() {
+    println!("== Fig. 9: scoring latency ==");
+    for panel in figures::fig9_all() {
+        println!("{}", report::render_latency(&panel));
+    }
+}
+
+fn fig10() {
+    println!("== Fig. 10: scoring throughput ==");
+    for panel in figures::fig9_all() {
+        println!("{}", report::render_throughput(&panel));
+    }
+}
+
+fn fig11() {
+    println!("== Fig. 11: end-to-end T-SQL query breakdown ==");
+    for (dataset, trees, records) in [
+        (DatasetSpec::Iris, 1, 1u64),
+        (DatasetSpec::Iris, 128, 1_000_000),
+        (DatasetSpec::Higgs, 128, 1_000_000),
+    ] {
+        println!(
+            "{} — {} trees, 10 levels, {} records",
+            dataset.name(),
+            trees,
+            records
+        );
+        println!(
+            "{}",
+            report::render_fig11(&figures::fig11(dataset, trees, 10, records))
+        );
+    }
+}
+
+fn headlines() {
+    println!("== §IV headline ratios ==");
+    println!("{}", HeadlineReport::compute());
+    println!();
+}
+
+fn scheduler() {
+    println!("== Scheduler policy regret (extension A4) ==");
+    let backends = paper_backends();
+    let mut grid = Vec::new();
+    for dataset in DatasetSpec::all() {
+        for &trees in &mlscore_core::calibration::TREE_SWEEP {
+            let stats = ModelStats::of(&mlscore_core::calibration::paper_model(
+                dataset, trees, 10,
+            ));
+            for &n in &mlscore_core::calibration::RECORD_SWEEP {
+                grid.push((stats, n));
+            }
+        }
+    }
+    for report in [
+        evaluate_policy(&OraclePolicy, &grid, &backends),
+        evaluate_policy(&HeuristicPolicy::default(), &grid, &backends),
+        evaluate_policy(&AffineFitPolicy::default(), &grid, &backends),
+    ] {
+        println!(
+            "  {:<16} points {:>3}  mispicks {:>3}  agreement {:>5.1}%  worst {:>6.2}x  mean {:>5.2}x",
+            report.policy,
+            report.points,
+            report.mispicks,
+            report.agreement() * 100.0,
+            report.worst_factor,
+            report.mean_factor
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
+    match what.as_str() {
+        "fig1" => fig1(),
+        "fig7a" => fig7(1, "7a"),
+        "fig7b" => fig7(1_000_000, "7b"),
+        "fig8" => fig8(),
+        "fig9" => fig9(),
+        "fig10" => fig10(),
+        "fig11" => fig11(),
+        "headlines" => headlines(),
+        "scheduler" => scheduler(),
+        "csv" => {
+            let dir = std::env::args()
+                .nth(2)
+                .unwrap_or_else(|| "figures_out".to_string());
+            let written = mlscore_core::export::save_all(std::path::Path::new(&dir))
+                .expect("writing figure CSVs");
+            println!("wrote {} CSV files to {dir}/", written.len());
+        }
+        "all" => {
+            fig1();
+            fig7(1, "7a");
+            fig7(1_000_000, "7b");
+            fig8();
+            fig9();
+            fig10();
+            fig11();
+            headlines();
+            scheduler();
+        }
+        other => {
+            eprintln!(
+                "unknown figure '{other}'; try all, fig1, fig7a, fig7b, fig8, fig9, fig10, fig11, headlines, scheduler, csv [dir]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,8 @@
+//! Benchmark crate: Criterion benches (one per paper figure plus
+//! ablations) and the `repro` binary that regenerates every table/figure.
+//!
+//! Run `cargo run -p mlscore-bench --bin repro -- all` to print the full
+//! set, or name a figure: `fig1`, `fig7a`, `fig7b`, `fig8`, `fig9`,
+//! `fig10`, `fig11`, `headlines`, `scheduler`.
+
+#![forbid(unsafe_code)]

@@ -1,0 +1,123 @@
+//! Central calibration: the model/dataset/backends setup every figure uses.
+//!
+//! All device-level constants live with their devices (`CpuSpec`,
+//! `GpuDevice`, `FpgaDevice`, `PcieLink`, `PipelineParams`) — this module
+//! fixes the *experimental protocol*: which models stand in for the paper's
+//! trained models, and which record/tree sweeps the figures run.
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
+use mlscore_data::DatasetSpec;
+use mlscore_forest::{ForestConfig, RandomForest};
+
+/// The record-count sweep used by Figs. 8–10 (1 to 1M, decades).
+pub const RECORD_SWEEP: [u64; 7] = [1, 10, 100, 1_000, 10_000, 100_000, 1_000_000];
+
+/// The tree-count sweep used by Fig. 8.
+pub const TREE_SWEEP: [usize; 5] = [1, 16, 32, 64, 128];
+
+/// The tree depths the paper evaluates (Figs. 9–10).
+pub const DEPTH_SWEEP: [usize; 2] = [6, 10];
+
+/// IRIS was replicated from 150 original samples (§IV-A), so a trained IRIS
+/// tree can never grow more leaves than distinct samples — and with
+/// bootstrap resampling each tree sees only ~63.2% of them (~95 distinct
+/// samples). This leaf cap is what makes IRIS models "simpler" than HIGGS
+/// models at identical tree count and depth — the mechanism behind the
+/// paper's dataset-sensitivity findings.
+pub const IRIS_DISTINCT_SAMPLES: usize = 95;
+
+/// Builds the stand-in for the paper's trained model on `dataset` with the
+/// given ensemble shape: leaf-capped trees for IRIS (150 distinct samples),
+/// full trees for HIGGS (its 11M-row pool saturates depth-10 trees).
+///
+/// Deterministic in `(dataset, n_trees, depth)`.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_core::calibration::paper_model;
+/// use mlscore_data::DatasetSpec;
+///
+/// let iris = paper_model(DatasetSpec::Iris, 128, 10);
+/// let higgs = paper_model(DatasetSpec::Higgs, 128, 10);
+/// assert!(iris.n_nodes() < higgs.n_nodes());
+/// ```
+pub fn paper_model(dataset: DatasetSpec, n_trees: usize, depth: usize) -> RandomForest {
+    // Sweeps evaluate the same handful of shapes hundreds of times; cache
+    // the (deterministic) builds.
+    type ModelCache = Mutex<HashMap<(DatasetSpec, usize, usize), RandomForest>>;
+    static CACHE: OnceLock<ModelCache> = OnceLock::new();
+    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    if let Some(model) = cache
+        .lock()
+        .expect("calibration cache poisoned")
+        .get(&(dataset, n_trees, depth))
+    {
+        return model.clone();
+    }
+    let config = ForestConfig::classification(
+        n_trees,
+        dataset.n_features(),
+        dataset.n_classes(),
+    )
+    .with_depth(depth);
+    let seed = 0xC0FFEE ^ (n_trees as u64) << 16 ^ (depth as u64);
+    let model = match dataset {
+        DatasetSpec::Iris => {
+            RandomForest::synthetic_capped(&config, IRIS_DISTINCT_SAMPLES, seed)
+        }
+        DatasetSpec::Higgs => RandomForest::synthetic_full(&config, seed),
+    };
+    cache
+        .lock()
+        .expect("calibration cache poisoned")
+        .insert((dataset, n_trees, depth), model.clone());
+    model
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweeps_match_paper_axes() {
+        assert_eq!(RECORD_SWEEP[0], 1);
+        assert_eq!(*RECORD_SWEEP.last().unwrap(), 1_000_000);
+        assert_eq!(*TREE_SWEEP.last().unwrap(), 128);
+        assert_eq!(DEPTH_SWEEP, [6, 10]);
+    }
+
+    #[test]
+    fn iris_models_are_leaf_capped() {
+        let m = paper_model(DatasetSpec::Iris, 8, 10);
+        for t in m.trees() {
+            assert!(t.n_leaves() <= IRIS_DISTINCT_SAMPLES);
+        }
+        assert_eq!(m.n_features(), 4);
+    }
+
+    #[test]
+    fn higgs_models_are_full() {
+        let m = paper_model(DatasetSpec::Higgs, 4, 10);
+        for t in m.trees() {
+            assert_eq!(t.n_leaves(), 1 << 10);
+        }
+        assert_eq!(m.n_features(), 28);
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        assert_eq!(
+            paper_model(DatasetSpec::Iris, 16, 6),
+            paper_model(DatasetSpec::Iris, 16, 6)
+        );
+    }
+
+    #[test]
+    fn shallow_models_respect_depth() {
+        let m = paper_model(DatasetSpec::Higgs, 2, 6);
+        assert_eq!(m.max_depth(), 6);
+    }
+}

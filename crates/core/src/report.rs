@@ -1,0 +1,193 @@
+//! Plain-text renderers for the figure tables — what the `repro` binary
+//! prints.
+
+use std::fmt::Write as _;
+
+use mlscore_sim::Stage;
+
+use crate::figures::{CurveSet, Fig11Row, Fig7Result};
+use crate::shmoo::ShmooTable;
+
+/// Renders a Fig. 7 panel (a set of FPGA breakdown bars) as a table:
+/// stages as rows, configurations as columns.
+pub fn render_fig7(results: &[Fig7Result]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<22}", "component");
+    for r in results {
+        let _ = write!(
+            out,
+            " | {:>20}",
+            format!("{} {}t", r.dataset.name(), r.n_trees)
+        );
+    }
+    let _ = writeln!(out);
+    for stage in Stage::fpga_breakdown_order() {
+        let _ = write!(out, "{:<22}", stage.to_string());
+        for r in results {
+            let _ = write!(out, " | {:>20}", r.breakdown.get(stage).to_string());
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<22}", "TOTAL");
+    for r in results {
+        let _ = write!(out, " | {:>20}", r.breakdown.total().to_string());
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders a shmoo grid (Fig. 1 / Fig. 8): winner family and speedup per
+/// cell, plus the bottom "1M, GPU" row.
+pub fn render_shmoo(table: &ShmooTable) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} shmoo (depth {}): best backend (speedup vs best CPU)",
+        table.dataset.name(),
+        table.depth
+    );
+    let _ = write!(out, "{:>10}", "records");
+    for t in &table.tree_counts {
+        let _ = write!(out, " | {:>16}", format!("{t} trees"));
+    }
+    let _ = writeln!(out);
+    for (i, &n) in table.record_counts.iter().enumerate() {
+        let _ = write!(out, "{:>10}", n);
+        for cell in &table.cells[i] {
+            let _ = write!(
+                out,
+                " | {:>16}",
+                format!("{} ({:.1}x)", cell.family(), cell.speedup)
+            );
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:>10}", "1M, GPU");
+    for g in &table.gpu_row {
+        let _ = match g {
+            Some(s) => write!(out, " | {:>16}", format!("{s:.1}x")),
+            None => write!(out, " | {:>16}", "n/a"),
+        };
+    }
+    let _ = writeln!(out);
+    out
+}
+
+/// Renders a Fig. 9 latency panel: records as rows, backends as columns.
+pub fn render_latency(curves: &CurveSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} latency, {} trees, {} levels",
+        curves.dataset.name(),
+        curves.n_trees,
+        curves.depth
+    );
+    let _ = write!(out, "{:>10}", "records");
+    for s in &curves.series {
+        let _ = write!(out, " | {:>16}", s.name);
+    }
+    let _ = writeln!(out);
+    for (i, &n) in curves.records.iter().enumerate() {
+        let _ = write!(out, "{:>10}", n);
+        for s in &curves.series {
+            let _ = write!(out, " | {:>16}", s.totals[i].to_string());
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a Fig. 10 throughput panel (million scorings per second).
+pub fn render_throughput(curves: &CurveSet) -> String {
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{} throughput (M scorings/s), {} trees, {} levels",
+        curves.dataset.name(),
+        curves.n_trees,
+        curves.depth
+    );
+    let _ = write!(out, "{:>10}", "records");
+    for s in &curves.series {
+        let _ = write!(out, " | {:>16}", s.name);
+    }
+    let _ = writeln!(out);
+    for (i, &n) in curves.records.iter().enumerate() {
+        let _ = write!(out, "{:>10}", n);
+        for s in &curves.series {
+            let mps = s.totals[i].throughput(n) / 1e6;
+            let _ = write!(out, " | {:>16}", format!("{mps:.4}"));
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Renders a Fig. 11 end-to-end breakdown table.
+pub fn render_fig11(rows: &[Fig11Row]) -> String {
+    let mut out = String::new();
+    let _ = write!(out, "{:<24}", "stage");
+    for r in rows {
+        let _ = write!(out, " | {:>22}", r.backend);
+    }
+    let _ = writeln!(out);
+    let mut stages: Vec<Stage> = Stage::query_breakdown_order().to_vec();
+    stages.push(Stage::PostProcessing);
+    for stage in stages {
+        let _ = write!(out, "{:<24}", stage.to_string());
+        for r in rows {
+            let _ = write!(out, " | {:>22}", r.breakdown.get(stage).to_string());
+        }
+        let _ = writeln!(out);
+    }
+    let _ = write!(out, "{:<24}", "TOTAL");
+    for r in rows {
+        let _ = write!(out, " | {:>22}", r.breakdown.total().to_string());
+    }
+    let _ = writeln!(out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::figures;
+    use mlscore_data::DatasetSpec;
+
+    #[test]
+    fn fig7_table_mentions_all_components() {
+        let s = render_fig7(&[figures::fig7(DatasetSpec::Iris, 1, 10, 1)]);
+        for stage in Stage::fpga_breakdown_order() {
+            assert!(s.contains(&stage.to_string()), "missing {stage}");
+        }
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn shmoo_table_renders_every_cell() {
+        let t = ShmooTable::build(DatasetSpec::Iris, 10, &[1, 128], &[1, 1_000_000]);
+        let s = render_shmoo(&t);
+        assert!(s.contains("128 trees"));
+        assert!(s.contains("1M, GPU"));
+        assert!(s.matches('x').count() >= 4);
+    }
+
+    #[test]
+    fn latency_and_throughput_tables_render() {
+        let c = figures::fig9_over(DatasetSpec::Higgs, 1, 6, &[1, 1_000]);
+        let lat = render_latency(&c);
+        assert!(lat.contains("HIGGS latency"));
+        assert!(lat.contains("FPGA"));
+        let thr = render_throughput(&c);
+        assert!(thr.contains("M scorings/s"));
+    }
+
+    #[test]
+    fn fig11_table_renders_rows() {
+        let rows = figures::fig11(DatasetSpec::Iris, 1, 6, 100);
+        let s = render_fig11(&rows);
+        assert!(s.contains("python invocation"));
+        assert!(s.contains("TOTAL"));
+    }
+}

@@ -1,0 +1,288 @@
+//! Minimal CSV reading/writing for frames and labeled datasets.
+//!
+//! A deliberately small, dependency-free dialect: comma-separated numeric
+//! fields, optional single header line, `\n` or `\r\n` line endings, no
+//! quoting (the data is purely numeric). Enough to round-trip any
+//! [`TabularFrame`] and to import externally prepared scoring batches.
+
+use std::io::{BufRead, Write};
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::frame::TabularFrame;
+
+/// Errors from CSV parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CsvError {
+    /// A line had a different number of fields than the first line.
+    RaggedRow {
+        /// 1-based line number.
+        line: usize,
+        /// Fields found.
+        got: usize,
+        /// Fields expected.
+        expected: usize,
+    },
+    /// A field failed to parse as a number.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// 0-based column.
+        column: usize,
+        /// The offending text.
+        text: String,
+    },
+    /// The input had no data rows.
+    Empty,
+    /// An I/O error (stored as its message for `Eq`).
+    Io(String),
+    /// The parsed shape was rejected by the frame constructor.
+    Shape(DataError),
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::RaggedRow { line, got, expected } => {
+                write!(f, "line {line}: {got} fields, expected {expected}")
+            }
+            CsvError::BadField { line, column, text } => {
+                write!(f, "line {line}, column {column}: cannot parse {text:?}")
+            }
+            CsvError::Empty => write!(f, "no data rows"),
+            CsvError::Io(msg) => write!(f, "i/o error: {msg}"),
+            CsvError::Shape(e) => write!(f, "bad shape: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+impl From<std::io::Error> for CsvError {
+    fn from(e: std::io::Error) -> Self {
+        CsvError::Io(e.to_string())
+    }
+}
+
+impl From<DataError> for CsvError {
+    fn from(e: DataError) -> Self {
+        CsvError::Shape(e)
+    }
+}
+
+/// Reads a frame from CSV. When `has_header` is set the first line is
+/// skipped.
+///
+/// # Errors
+///
+/// Returns [`CsvError`] for ragged rows, unparseable fields, or empty
+/// input.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_data::csv::read_frame;
+///
+/// let frame = read_frame("a,b\n1.0,2.0\n3.0,4.0\n".as_bytes(), true)?;
+/// assert_eq!(frame.n_rows(), 2);
+/// assert_eq!(frame.row(1), &[3.0, 4.0]);
+/// # Ok::<(), mlscore_data::csv::CsvError>(())
+/// ```
+pub fn read_frame<R: BufRead>(reader: R, has_header: bool) -> Result<TabularFrame, CsvError> {
+    let mut data = Vec::new();
+    let mut n_features = None;
+    let mut line_no = 0usize;
+    for line in reader.lines() {
+        let line = line?;
+        line_no += 1;
+        if line_no == 1 && has_header {
+            continue;
+        }
+        let trimmed = line.trim_end_matches('\r');
+        if trimmed.is_empty() {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(',').collect();
+        let expected = *n_features.get_or_insert(fields.len());
+        if fields.len() != expected {
+            return Err(CsvError::RaggedRow {
+                line: line_no,
+                got: fields.len(),
+                expected,
+            });
+        }
+        for (column, field) in fields.iter().enumerate() {
+            let value: f32 = field.trim().parse().map_err(|_| CsvError::BadField {
+                line: line_no,
+                column,
+                text: (*field).to_string(),
+            })?;
+            data.push(value);
+        }
+    }
+    let n_features = n_features.ok_or(CsvError::Empty)?;
+    if data.is_empty() {
+        return Err(CsvError::Empty);
+    }
+    Ok(TabularFrame::from_rows(data, n_features)?)
+}
+
+/// Reads a labeled dataset: the **last** column is the integer class label.
+///
+/// # Errors
+///
+/// Same as [`read_frame`], plus [`CsvError::BadField`] for non-integer or
+/// negative labels.
+pub fn read_dataset<R: BufRead>(
+    reader: R,
+    has_header: bool,
+    name: &str,
+) -> Result<Dataset, CsvError> {
+    let wide = read_frame(reader, has_header)?;
+    let f = wide.n_features();
+    if f < 2 {
+        return Err(CsvError::Shape(DataError::ZeroFeatures));
+    }
+    let mut data = Vec::with_capacity(wide.n_rows() * (f - 1));
+    let mut labels = Vec::with_capacity(wide.n_rows());
+    let mut n_classes = 0u32;
+    for (i, row) in wide.rows().enumerate() {
+        let (features, label) = row.split_at(f - 1);
+        data.extend_from_slice(features);
+        let raw = label[0];
+        if raw < 0.0 || raw.fract() != 0.0 {
+            return Err(CsvError::BadField {
+                line: i + 1 + usize::from(has_header),
+                column: f - 1,
+                text: raw.to_string(),
+            });
+        }
+        let class = raw as u32;
+        n_classes = n_classes.max(class + 1);
+        labels.push(class);
+    }
+    let frame = TabularFrame::from_rows(data, f - 1)?;
+    Ok(Dataset::new(name, frame, labels, n_classes)?)
+}
+
+/// Writes a frame as CSV with generated `f0..fN` headers.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_frame<W: Write>(frame: &TabularFrame, mut writer: W) -> Result<(), CsvError> {
+    let headers: Vec<String> = (0..frame.n_features()).map(|i| format!("f{i}")).collect();
+    writeln!(writer, "{}", headers.join(","))?;
+    for row in frame.rows() {
+        let fields: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+/// Writes a labeled dataset as CSV, label in the last column.
+///
+/// # Errors
+///
+/// Propagates I/O errors from `writer`.
+pub fn write_dataset<W: Write>(dataset: &Dataset, mut writer: W) -> Result<(), CsvError> {
+    let headers: Vec<String> = (0..dataset.frame().n_features())
+        .map(|i| format!("f{i}"))
+        .collect();
+    writeln!(writer, "{},label", headers.join(","))?;
+    for (row, label) in dataset.frame().rows().zip(dataset.labels()) {
+        let fields: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        writeln!(writer, "{},{label}", fields.join(","))?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_roundtrip() {
+        let frame = TabularFrame::from_rows(vec![1.5, -2.0, 0.25, 4.0], 2).unwrap();
+        let mut buf = Vec::new();
+        write_frame(&frame, &mut buf).unwrap();
+        let back = read_frame(buf.as_slice(), true).unwrap();
+        assert_eq!(back, frame);
+    }
+
+    #[test]
+    fn dataset_roundtrip() {
+        let d = Dataset::iris(30, 4);
+        let mut buf = Vec::new();
+        write_dataset(&d, &mut buf).unwrap();
+        let back = read_dataset(buf.as_slice(), true, "IRIS").unwrap();
+        assert_eq!(back.frame(), d.frame());
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.n_classes(), d.n_classes());
+    }
+
+    #[test]
+    fn headerless_and_crlf_and_blank_lines() {
+        let frame = read_frame("1,2\r\n\r\n3,4\n".as_bytes(), false).unwrap();
+        assert_eq!(frame.n_rows(), 2);
+        assert_eq!(frame.row(1), &[3.0, 4.0]);
+    }
+
+    #[test]
+    fn ragged_rows_rejected_with_location() {
+        let err = read_frame("1,2\n3\n".as_bytes(), false).unwrap_err();
+        assert_eq!(
+            err,
+            CsvError::RaggedRow {
+                line: 2,
+                got: 1,
+                expected: 2
+            }
+        );
+    }
+
+    #[test]
+    fn bad_fields_rejected_with_location() {
+        let err = read_frame("1,x\n".as_bytes(), false).unwrap_err();
+        assert!(matches!(
+            err,
+            CsvError::BadField { line: 1, column: 1, .. }
+        ));
+    }
+
+    #[test]
+    fn empty_inputs_rejected() {
+        assert_eq!(read_frame("".as_bytes(), false).unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            read_frame("h1,h2\n".as_bytes(), true).unwrap_err(),
+            CsvError::Empty
+        );
+    }
+
+    #[test]
+    fn dataset_rejects_fractional_or_negative_labels() {
+        assert!(matches!(
+            read_dataset("1,0.5\n".as_bytes(), false, "x").unwrap_err(),
+            CsvError::BadField { .. }
+        ));
+        assert!(matches!(
+            read_dataset("1,-1\n".as_bytes(), false, "x").unwrap_err(),
+            CsvError::BadField { .. }
+        ));
+    }
+
+    #[test]
+    fn dataset_needs_at_least_one_feature_and_a_label() {
+        assert!(matches!(
+            read_dataset("1\n2\n".as_bytes(), false, "x").unwrap_err(),
+            CsvError::Shape(_)
+        ));
+    }
+
+    #[test]
+    fn class_count_is_max_label_plus_one() {
+        let d = read_dataset("0.1,0\n0.2,3\n".as_bytes(), false, "x").unwrap();
+        assert_eq!(d.n_classes(), 4);
+    }
+}

@@ -1,0 +1,75 @@
+//! Error types for tabular data handling.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or splitting tabular data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DataError {
+    /// The flat buffer length is not a multiple of the feature count.
+    ShapeMismatch {
+        /// Buffer length.
+        len: usize,
+        /// Declared feature count.
+        n_features: usize,
+    },
+    /// A frame cannot have zero feature columns.
+    ZeroFeatures,
+    /// Labels and rows differ in count.
+    LabelMismatch {
+        /// Number of rows.
+        rows: usize,
+        /// Number of labels.
+        labels: usize,
+    },
+    /// A split fraction must lie strictly between 0 and 1.
+    BadSplitFraction(
+        /// The offending fraction (stored as bits for `Eq`).
+        u64,
+    ),
+}
+
+impl DataError {
+    /// Builds the split-fraction error from an `f64`.
+    pub fn bad_split_fraction(frac: f64) -> Self {
+        DataError::BadSplitFraction(frac.to_bits())
+    }
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::ShapeMismatch { len, n_features } => write!(
+                f,
+                "buffer of {len} values is not a multiple of {n_features} features"
+            ),
+            DataError::ZeroFeatures => write!(f, "frame must have at least one feature"),
+            DataError::LabelMismatch { rows, labels } => {
+                write!(f, "{rows} rows but {labels} labels")
+            }
+            DataError::BadSplitFraction(bits) => {
+                write!(
+                    f,
+                    "split fraction {} must be in (0, 1)",
+                    f64::from_bits(*bits)
+                )
+            }
+        }
+    }
+}
+
+impl Error for DataError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_parameters() {
+        let e = DataError::LabelMismatch { rows: 10, labels: 9 };
+        assert!(format!("{e}").contains("10"));
+        let e = DataError::bad_split_fraction(1.5);
+        assert!(format!("{e}").contains("1.5"));
+    }
+}

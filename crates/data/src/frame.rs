@@ -1,0 +1,211 @@
+//! Row-major tabular feature storage.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::DataError;
+
+/// A dense, row-major matrix of `f32` features — the scoring input every
+/// backend consumes (the stand-in for the Pandas DataFrame handed to the
+/// Python script).
+///
+/// # Example
+///
+/// ```
+/// use mlscore_data::TabularFrame;
+///
+/// let frame = TabularFrame::from_rows(vec![1.0, 2.0, 3.0, 4.0], 2)?;
+/// assert_eq!(frame.n_rows(), 2);
+/// assert_eq!(frame.row(1), &[3.0, 4.0]);
+/// assert_eq!(frame.bytes(), 16);
+/// # Ok::<(), mlscore_data::DataError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TabularFrame {
+    data: Vec<f32>,
+    n_features: usize,
+}
+
+impl TabularFrame {
+    /// Wraps row-major data with `n_features` columns.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DataError::ShapeMismatch`] if `data.len()` is not a
+    /// multiple of `n_features`, or [`DataError::ZeroFeatures`] when
+    /// `n_features == 0`.
+    pub fn from_rows(data: Vec<f32>, n_features: usize) -> Result<Self, DataError> {
+        if n_features == 0 {
+            return Err(DataError::ZeroFeatures);
+        }
+        if !data.len().is_multiple_of(n_features) {
+            return Err(DataError::ShapeMismatch {
+                len: data.len(),
+                n_features,
+            });
+        }
+        Ok(Self { data, n_features })
+    }
+
+    /// Number of feature columns.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
+    /// Number of rows.
+    pub fn n_rows(&self) -> usize {
+        self.data.len() / self.n_features
+    }
+
+    /// Returns `true` if the frame has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// One row as a feature slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= n_rows()`.
+    pub fn row(&self, i: usize) -> &[f32] {
+        &self.data[i * self.n_features..(i + 1) * self.n_features]
+    }
+
+    /// Iterates over rows.
+    pub fn rows(&self) -> impl ExactSizeIterator<Item = &[f32]> + '_ {
+        self.data.chunks_exact(self.n_features)
+    }
+
+    /// The raw row-major buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// In-memory payload size in bytes — the quantity every transfer model
+    /// (PCIe DMA, SQL↔Python marshaling) charges for.
+    pub fn bytes(&self) -> u64 {
+        (self.data.len() * 4) as u64
+    }
+
+    /// A new frame holding the first `n` rows (clamped to the row count).
+    pub fn head(&self, n: usize) -> TabularFrame {
+        let rows = n.min(self.n_rows());
+        TabularFrame {
+            data: self.data[..rows * self.n_features].to_vec(),
+            n_features: self.n_features,
+        }
+    }
+
+    /// A new frame with exactly `n` rows, cycling existing rows as needed —
+    /// how the paper turned 150 IRIS samples into 1M records.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the frame is empty and `n > 0`.
+    pub fn replicate_to(&self, n: usize) -> TabularFrame {
+        assert!(
+            n == 0 || !self.is_empty(),
+            "cannot replicate an empty frame"
+        );
+        let mut data = Vec::with_capacity(n * self.n_features);
+        let n_rows = self.n_rows();
+        for i in 0..n {
+            data.extend_from_slice(self.row(i % n_rows));
+        }
+        TabularFrame {
+            data,
+            n_features: self.n_features,
+        }
+    }
+
+    /// Min-max normalizes every column into `[0, 1]` (constant columns map
+    /// to 0.5). Returns the normalized frame.
+    pub fn normalized(&self) -> TabularFrame {
+        if self.is_empty() {
+            return self.clone();
+        }
+        let f = self.n_features;
+        let mut min = vec![f32::INFINITY; f];
+        let mut max = vec![f32::NEG_INFINITY; f];
+        for row in self.rows() {
+            for (j, &v) in row.iter().enumerate() {
+                min[j] = min[j].min(v);
+                max[j] = max[j].max(v);
+            }
+        }
+        let data = self
+            .data
+            .iter()
+            .enumerate()
+            .map(|(k, &v)| {
+                let j = k % f;
+                if max[j] > min[j] {
+                    (v - min[j]) / (max[j] - min[j])
+                } else {
+                    0.5
+                }
+            })
+            .collect();
+        TabularFrame {
+            data,
+            n_features: f,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_validation() {
+        assert!(matches!(
+            TabularFrame::from_rows(vec![1.0; 5], 2),
+            Err(DataError::ShapeMismatch { len: 5, n_features: 2 })
+        ));
+        assert!(matches!(
+            TabularFrame::from_rows(vec![], 0),
+            Err(DataError::ZeroFeatures)
+        ));
+        assert!(TabularFrame::from_rows(vec![], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rows_and_bytes() {
+        let f = TabularFrame::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 3).unwrap();
+        assert_eq!(f.n_rows(), 2);
+        assert_eq!(f.row(0), &[1.0, 2.0, 3.0]);
+        assert_eq!(f.rows().count(), 2);
+        assert_eq!(f.bytes(), 24);
+        assert_eq!(f.as_slice().len(), 6);
+    }
+
+    #[test]
+    fn head_clamps() {
+        let f = TabularFrame::from_rows(vec![0.0; 8], 2).unwrap();
+        assert_eq!(f.head(2).n_rows(), 2);
+        assert_eq!(f.head(99).n_rows(), 4);
+    }
+
+    #[test]
+    fn replicate_cycles_rows() {
+        let f = TabularFrame::from_rows(vec![1.0, 2.0], 1).unwrap();
+        let r = f.replicate_to(5);
+        assert_eq!(r.as_slice(), &[1.0, 2.0, 1.0, 2.0, 1.0]);
+        assert_eq!(f.replicate_to(0).n_rows(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty frame")]
+    fn replicate_empty_panics() {
+        TabularFrame::from_rows(vec![], 2).unwrap().replicate_to(3);
+    }
+
+    #[test]
+    fn normalization_maps_to_unit_interval() {
+        let f = TabularFrame::from_rows(vec![0.0, 5.0, 10.0, 5.0, 20.0, 5.0], 2).unwrap();
+        let n = f.normalized();
+        assert_eq!(n.row(0), &[0.0, 0.5]); // constant column -> 0.5
+        assert_eq!(n.row(1), &[0.5, 0.5]);
+        assert_eq!(n.row(2), &[1.0, 0.5]);
+    }
+}

@@ -1,0 +1,60 @@
+//! Box–Muller standard-normal sampling (keeps the dependency set to `rand`
+//! alone; `rand_distr` is not part of the sanctioned crate list).
+
+use rand::Rng;
+
+/// A standard-normal sampler using the Box–Muller transform, caching the
+/// second variate of each pair.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct Gauss {
+    spare: Option<f32>,
+}
+
+impl Gauss {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    /// Draws one standard-normal sample.
+    pub(crate) fn sample<R: Rng>(&mut self, rng: &mut R) -> f32 {
+        if let Some(s) = self.spare.take() {
+            return s;
+        }
+        // u1 in (0, 1] so ln(u1) is finite.
+        let u1: f32 = 1.0 - rng.gen::<f32>();
+        let u2: f32 = rng.gen();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.spare = Some(r * theta.sin());
+        r * theta.cos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mean_and_variance_are_standard() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut g = Gauss::new();
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean: f64 = samples.iter().map(|&v| v as f64).sum::<f64>() / n as f64;
+        let var: f64 =
+            samples.iter().map(|&v| (v as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn samples_are_finite() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut g = Gauss::new();
+        for _ in 0..1000 {
+            assert!(g.sample(&mut rng).is_finite());
+        }
+    }
+}

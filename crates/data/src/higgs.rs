@@ -1,0 +1,125 @@
+//! Synthetic HIGGS-like data.
+//!
+//! The real HIGGS dataset (Baldi et al., 2014) has 11M rows of 28 features:
+//! 21 low-level kinematic measurements (lepton/jet momenta, angles, b-tags)
+//! and 7 derived high-level invariant masses, labeled signal vs. background.
+//! We generate the same shape: 21 base features with heavy-ish tails (momenta
+//! are exponential-like, angles uniform) plus 7 features derived nonlinearly
+//! from the base ones, and a binary label from a noisy nonlinear rule over
+//! the derived features — giving models real structure to learn.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dataset::Dataset;
+use crate::frame::TabularFrame;
+use crate::gauss::Gauss;
+
+/// Number of low-level kinematic features.
+pub const N_LOW_LEVEL: usize = 21;
+
+/// Number of derived high-level features.
+pub const N_HIGH_LEVEL: usize = 7;
+
+/// Total feature count (matches the real HIGGS).
+pub const N_FEATURES: usize = N_LOW_LEVEL + N_HIGH_LEVEL;
+
+/// Generates `n_records` HIGGS-like rows with a binary label.
+pub fn generate(n_records: usize, seed: u64) -> Dataset {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4849_4747); // "HIGG"
+    let mut gauss = Gauss::new();
+    let mut data = Vec::with_capacity(n_records * N_FEATURES);
+    let mut labels = Vec::with_capacity(n_records);
+    for _ in 0..n_records {
+        let mut row = [0f32; N_FEATURES];
+        // Low-level: momenta (exponential-like), pseudorapidities (gaussian),
+        // azimuthal angles (uniform), b-tag flags (bimodal).
+        for (j, slot) in row.iter_mut().enumerate().take(N_LOW_LEVEL) {
+            *slot = match j % 4 {
+                0 => -rng.gen::<f32>().max(1e-6).ln(), // momentum magnitude
+                1 => gauss.sample(&mut rng) * 1.2,     // eta
+                2 => rng.gen_range(-std::f32::consts::PI..std::f32::consts::PI), // phi
+                _ => {
+                    if rng.gen_bool(0.3) {
+                        2.17
+                    } else {
+                        rng.gen_range(0.0..1.1)
+                    }
+                } // b-tag-like
+            };
+        }
+        // High-level: nonlinear combinations mimicking invariant masses.
+        for k in 0..N_HIGH_LEVEL {
+            let a = row[(3 * k) % N_LOW_LEVEL];
+            let b = row[(3 * k + 5) % N_LOW_LEVEL];
+            let c = row[(3 * k + 11) % N_LOW_LEVEL];
+            row[N_LOW_LEVEL + k] =
+                (a * a + b * b).sqrt() + 0.25 * (c * a).tanh() + 0.05 * gauss.sample(&mut rng);
+        }
+        // Label: noisy rule over two derived masses — signal when the
+        // combined "mass" exceeds a threshold.
+        let score = row[N_LOW_LEVEL] + 0.8 * row[N_LOW_LEVEL + 3] - 0.3 * row[1].abs()
+            + 0.4 * gauss.sample(&mut rng);
+        let label = u32::from(score > 1.9);
+        data.extend_from_slice(&row);
+        labels.push(label);
+    }
+    let frame = TabularFrame::from_rows(data, N_FEATURES).expect("generated shape is consistent");
+    Dataset::new("HIGGS", frame, labels, 2).expect("labels match rows")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_matches_real_higgs() {
+        let d = generate(200, 1);
+        assert_eq!(d.frame().n_features(), 28);
+        assert_eq!(d.frame().n_rows(), 200);
+        assert_eq!(d.n_classes(), 2);
+    }
+
+    #[test]
+    fn labels_are_binary_and_mixed() {
+        let d = generate(2000, 2);
+        let ones = d.labels().iter().filter(|&&c| c == 1).count();
+        assert!(d.labels().iter().all(|&c| c < 2));
+        // Both classes occur with non-trivial frequency.
+        assert!(ones > 200, "only {ones} positive labels");
+        assert!(ones < 1800, "{ones} positive labels");
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        assert_eq!(generate(128, 7), generate(128, 7));
+        assert_ne!(generate(128, 7), generate(128, 8));
+    }
+
+    #[test]
+    fn high_level_features_correlate_with_label() {
+        // The labeling rule uses derived feature 21 positively; its mean must
+        // differ between classes (i.e. the data is learnable).
+        let d = generate(4000, 3);
+        let (mut sum1, mut n1, mut sum0, mut n0) = (0f64, 0usize, 0f64, 0usize);
+        for (row, &label) in d.frame().rows().zip(d.labels()) {
+            if label == 1 {
+                sum1 += row[N_LOW_LEVEL] as f64;
+                n1 += 1;
+            } else {
+                sum0 += row[N_LOW_LEVEL] as f64;
+                n0 += 1;
+            }
+        }
+        assert!(sum1 / n1 as f64 > sum0 / n0 as f64 + 0.3);
+    }
+
+    #[test]
+    fn momenta_are_non_negative() {
+        let d = generate(500, 4);
+        for row in d.frame().rows() {
+            assert!(row[0] >= 0.0);
+            assert!(row[4] >= 0.0);
+        }
+    }
+}

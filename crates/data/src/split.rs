@@ -1,0 +1,94 @@
+//! Train/test splitting.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::frame::TabularFrame;
+
+/// Splits a dataset into shuffled (train, test) parts, with `train_fraction`
+/// of rows in the training set.
+///
+/// # Errors
+///
+/// Returns [`DataError::BadSplitFraction`] unless `0 < train_fraction < 1`.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_data::{train_test_split, Dataset};
+///
+/// let d = Dataset::iris(100, 3);
+/// let (train, test) = train_test_split(&d, 0.8, 42)?;
+/// assert_eq!(train.frame().n_rows(), 80);
+/// assert_eq!(test.frame().n_rows(), 20);
+/// # Ok::<(), mlscore_data::DataError>(())
+/// ```
+pub fn train_test_split(
+    dataset: &Dataset,
+    train_fraction: f64,
+    seed: u64,
+) -> Result<(Dataset, Dataset), DataError> {
+    if !(train_fraction > 0.0 && train_fraction < 1.0) {
+        return Err(DataError::bad_split_fraction(train_fraction));
+    }
+    let n = dataset.frame().n_rows();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.shuffle(&mut StdRng::seed_from_u64(seed));
+    let n_train = ((n as f64) * train_fraction).round() as usize;
+    let build = |indices: &[usize]| -> Dataset {
+        let f = dataset.frame().n_features();
+        let mut data = Vec::with_capacity(indices.len() * f);
+        let mut labels = Vec::with_capacity(indices.len());
+        for &i in indices {
+            data.extend_from_slice(dataset.frame().row(i));
+            labels.push(dataset.labels()[i]);
+        }
+        let frame = TabularFrame::from_rows(data, f).expect("shape preserved");
+        Dataset::new(dataset.name(), frame, labels, dataset.n_classes())
+            .expect("labels match rows")
+    };
+    Ok((build(&order[..n_train]), build(&order[n_train..])))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn split_partitions_rows() {
+        let d = Dataset::higgs(50, 5);
+        let (train, test) = train_test_split(&d, 0.7, 1).unwrap();
+        assert_eq!(train.frame().n_rows(), 35);
+        assert_eq!(test.frame().n_rows(), 15);
+        assert_eq!(train.n_classes(), 2);
+    }
+
+    #[test]
+    fn split_is_deterministic() {
+        let d = Dataset::iris(30, 2);
+        let (a, _) = train_test_split(&d, 0.5, 9).unwrap();
+        let (b, _) = train_test_split(&d, 0.5, 9).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_degenerate_fractions() {
+        let d = Dataset::iris(10, 2);
+        for bad in [0.0, 1.0, -0.5, 1.5, f64::NAN] {
+            assert!(train_test_split(&d, bad, 0).is_err(), "fraction {bad}");
+        }
+    }
+
+    #[test]
+    fn split_rows_come_from_source() {
+        let d = Dataset::iris(20, 8);
+        let (train, test) = train_test_split(&d, 0.5, 3).unwrap();
+        let source: Vec<&[f32]> = d.frame().rows().collect();
+        for row in train.frame().rows().chain(test.frame().rows()) {
+            assert!(source.contains(&row));
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! The binary model-bundle format.
+//!
+//! In the paper, models live in database tables in serialized binary form
+//! (ONNX or a custom format) and the Python script deserializes them before
+//! scoring — the "model pre-processing" stage of Fig. 11. This module is our
+//! custom format: a small, versioned, length-checked binary encoding whose
+//! deserialization cost is what the pipeline simulator charges to that stage.
+//!
+//! Layout (all little-endian):
+//!
+//! ```text
+//! magic  b"MLSB"        4 bytes
+//! version u16           currently 1
+//! task    u8            0 = classification, 1 = regression
+//! n_classes u32         0 for regression
+//! n_features u32
+//! n_trees u32
+//! per tree:
+//!   n_nodes u32
+//!   per node:
+//!     tag u8            0 = decision, 1 = leaf
+//!     decision: feature u16, threshold f32, left u32, right u32
+//!     leaf:     class u32 (classification) | value f32 (regression)
+//! ```
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+use crate::error::ForestError;
+use crate::forest::{RandomForest, Task};
+use crate::node::{LeafValue, Node};
+use crate::tree::DecisionTree;
+
+const MAGIC: &[u8; 4] = b"MLSB";
+const VERSION: u16 = 1;
+
+/// A serialized random forest — the bytes a DBMS would store in a model
+/// table.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_forest::{ForestConfig, ModelBundle, RandomForest};
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(4, 4, 3).with_depth(5),
+///     7,
+/// );
+/// let bundle = ModelBundle::serialize(&forest);
+/// let restored = bundle.deserialize()?;
+/// assert_eq!(restored, forest);
+/// # Ok::<(), mlscore_forest::ForestError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelBundle {
+    bytes: Bytes,
+}
+
+impl ModelBundle {
+    /// Serializes a forest into a bundle.
+    pub fn serialize(forest: &RandomForest) -> Self {
+        let mut buf = BytesMut::with_capacity(64 + forest.n_nodes() * 16);
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        match forest.task() {
+            Task::Classification { n_classes } => {
+                buf.put_u8(0);
+                buf.put_u32_le(n_classes);
+            }
+            Task::Regression => {
+                buf.put_u8(1);
+                buf.put_u32_le(0);
+            }
+        }
+        buf.put_u32_le(forest.n_features() as u32);
+        buf.put_u32_le(forest.n_trees() as u32);
+        for tree in forest.trees() {
+            buf.put_u32_le(tree.len() as u32);
+            for node in tree.nodes() {
+                match *node {
+                    Node::Decision {
+                        feature,
+                        threshold,
+                        left,
+                        right,
+                    } => {
+                        buf.put_u8(0);
+                        buf.put_u16_le(feature);
+                        buf.put_f32_le(threshold);
+                        buf.put_u32_le(left);
+                        buf.put_u32_le(right);
+                    }
+                    Node::Leaf(LeafValue::Class(c)) => {
+                        buf.put_u8(1);
+                        buf.put_u32_le(c);
+                    }
+                    Node::Leaf(LeafValue::Value(v)) => {
+                        buf.put_u8(1);
+                        buf.put_f32_le(v);
+                    }
+                }
+            }
+        }
+        Self { bytes: buf.freeze() }
+    }
+
+    /// Wraps raw bytes (e.g. read from storage) as a bundle without
+    /// validating them; validation happens at [`ModelBundle::deserialize`].
+    pub fn from_bytes(bytes: Bytes) -> Self {
+        Self { bytes }
+    }
+
+    /// The serialized bytes.
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.bytes
+    }
+
+    /// Serialized size in bytes — the "model size" the pipeline simulator
+    /// charges for SQL-to-Python transfer and deserialization.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// Returns `true` if the bundle holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+
+    /// Parses the bundle back into a forest, validating structure.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ForestError::BadMagic`], [`ForestError::UnsupportedVersion`],
+    /// or [`ForestError::Corrupt`] for malformed input, and any structural
+    /// validation error from [`RandomForest::from_trees`].
+    pub fn deserialize(&self) -> Result<RandomForest, ForestError> {
+        let mut buf = self.bytes.clone();
+        if buf.remaining() < 4 || &buf.copy_to_bytes(4)[..] != MAGIC {
+            return Err(ForestError::BadMagic);
+        }
+        let version = take_u16(&mut buf, "version")?;
+        if version != VERSION {
+            return Err(ForestError::UnsupportedVersion(version));
+        }
+        let task_tag = take_u8(&mut buf, "task")?;
+        let n_classes = take_u32(&mut buf, "n_classes")?;
+        let task = match task_tag {
+            0 => {
+                if n_classes == 0 {
+                    return Err(ForestError::Corrupt("classifier with zero classes".into()));
+                }
+                Task::Classification { n_classes }
+            }
+            1 => Task::Regression,
+            t => return Err(ForestError::Corrupt(format!("unknown task tag {t}"))),
+        };
+        let n_features = take_u32(&mut buf, "n_features")? as usize;
+        let n_trees = take_u32(&mut buf, "n_trees")? as usize;
+        let mut trees = Vec::with_capacity(n_trees.min(1 << 20));
+        for t in 0..n_trees {
+            let n_nodes = take_u32(&mut buf, "n_nodes")? as usize;
+            let mut nodes = Vec::with_capacity(n_nodes.min(1 << 24));
+            for n in 0..n_nodes {
+                let tag = take_u8(&mut buf, "node tag")?;
+                match tag {
+                    0 => {
+                        let feature = take_u16(&mut buf, "feature")?;
+                        let threshold = take_f32(&mut buf, "threshold")?;
+                        let left = take_u32(&mut buf, "left")?;
+                        let right = take_u32(&mut buf, "right")?;
+                        nodes.push(Node::decision(feature, threshold, left, right));
+                    }
+                    1 => match task {
+                        Task::Classification { .. } => {
+                            nodes.push(Node::class_leaf(take_u32(&mut buf, "class")?));
+                        }
+                        Task::Regression => {
+                            nodes.push(Node::value_leaf(take_f32(&mut buf, "value")?));
+                        }
+                    },
+                    other => {
+                        return Err(ForestError::Corrupt(format!(
+                            "tree {t} node {n}: unknown node tag {other}"
+                        )))
+                    }
+                }
+            }
+            trees.push(DecisionTree::from_nodes(nodes)?);
+        }
+        if buf.has_remaining() {
+            return Err(ForestError::Corrupt(format!(
+                "{} trailing bytes",
+                buf.remaining()
+            )));
+        }
+        RandomForest::from_trees(trees, n_features, task)
+    }
+}
+
+fn take_u8(buf: &mut Bytes, what: &str) -> Result<u8, ForestError> {
+    if buf.remaining() < 1 {
+        return Err(ForestError::Corrupt(format!("truncated at {what}")));
+    }
+    Ok(buf.get_u8())
+}
+
+fn take_u16(buf: &mut Bytes, what: &str) -> Result<u16, ForestError> {
+    if buf.remaining() < 2 {
+        return Err(ForestError::Corrupt(format!("truncated at {what}")));
+    }
+    Ok(buf.get_u16_le())
+}
+
+fn take_u32(buf: &mut Bytes, what: &str) -> Result<u32, ForestError> {
+    if buf.remaining() < 4 {
+        return Err(ForestError::Corrupt(format!("truncated at {what}")));
+    }
+    Ok(buf.get_u32_le())
+}
+
+fn take_f32(buf: &mut Bytes, what: &str) -> Result<f32, ForestError> {
+    if buf.remaining() < 4 {
+        return Err(ForestError::Corrupt(format!("truncated at {what}")));
+    }
+    Ok(buf.get_f32_le())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::forest::ForestConfig;
+
+    fn sample_forest() -> RandomForest {
+        RandomForest::synthetic_full(&ForestConfig::classification(3, 5, 4).with_depth(4), 17)
+    }
+
+    #[test]
+    fn roundtrip_classifier() {
+        let forest = sample_forest();
+        let bundle = ModelBundle::serialize(&forest);
+        assert_eq!(bundle.deserialize().unwrap(), forest);
+    }
+
+    #[test]
+    fn roundtrip_regressor() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::regression(2, 3).with_depth(3), 5);
+        let bundle = ModelBundle::serialize(&forest);
+        assert_eq!(bundle.deserialize().unwrap(), forest);
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let bundle = ModelBundle::from_bytes(Bytes::from_static(b"NOPE\x01\x00"));
+        assert_eq!(bundle.deserialize().unwrap_err(), ForestError::BadMagic);
+    }
+
+    #[test]
+    fn unsupported_version_rejected() {
+        let forest = sample_forest();
+        let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        raw[4] = 99;
+        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        assert_eq!(err, ForestError::UnsupportedVersion(99));
+    }
+
+    #[test]
+    fn truncation_rejected_everywhere() {
+        let forest = sample_forest();
+        let raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        // Cut at a sampling of prefixes; all must fail cleanly, never panic.
+        for cut in [0, 3, 5, 7, 11, 15, 16, raw.len() / 2, raw.len() - 1] {
+            let bundle = ModelBundle::from_bytes(Bytes::from(raw[..cut].to_vec()));
+            assert!(bundle.deserialize().is_err(), "cut at {cut} must fail");
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let forest = sample_forest();
+        let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        raw.push(0xAB);
+        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        assert!(matches!(err, ForestError::Corrupt(_)));
+    }
+
+    #[test]
+    fn unknown_node_tag_rejected() {
+        let forest = sample_forest();
+        let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        // First node tag lives right after the 19-byte header + 4-byte node count.
+        raw[23] = 7;
+        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        assert!(matches!(err, ForestError::Corrupt(_)));
+    }
+
+    #[test]
+    fn zero_class_classifier_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_slice(MAGIC);
+        buf.put_u16_le(VERSION);
+        buf.put_u8(0); // classification
+        buf.put_u32_le(0); // zero classes
+        buf.put_u32_le(1);
+        buf.put_u32_le(0);
+        let err = ModelBundle::from_bytes(buf.freeze()).deserialize().unwrap_err();
+        assert!(matches!(err, ForestError::Corrupt(_)));
+    }
+
+    #[test]
+    fn size_grows_with_model() {
+        let small = ModelBundle::serialize(&RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 4, 2).with_depth(3),
+            1,
+        ));
+        let big = ModelBundle::serialize(&RandomForest::synthetic_full(
+            &ForestConfig::classification(128, 4, 2).with_depth(10),
+            1,
+        ));
+        assert!(big.len() > 100 * small.len());
+        assert!(!small.is_empty());
+    }
+}

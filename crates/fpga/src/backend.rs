@@ -1,0 +1,266 @@
+//! [`ScoringBackend`] implementation for the FPGA engine.
+
+use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
+use mlscore_forest::{FlatTree, ModelStats, Predictions};
+use mlscore_sim::{Stage, TimingBreakdown};
+
+use crate::device::FpgaDevice;
+use crate::engine::{EngineConfig, InferenceEngine};
+use crate::error::FpgaError;
+
+/// The "FPGA" backend of the paper's figures: the inference engine plus the
+/// full offload path (model transfer, CSR setup, overlapped record
+/// streaming, interrupt completion, result transfer, host software).
+#[derive(Debug, Clone, PartialEq)]
+pub struct FpgaBackend {
+    engine: InferenceEngine,
+}
+
+impl FpgaBackend {
+    /// The paper's configuration (Stratix 10, 128 PEs, depth 10, BRAM).
+    pub fn paper_default() -> Self {
+        Self::new(InferenceEngine::paper_default())
+    }
+
+    /// Wraps an engine.
+    pub fn new(engine: InferenceEngine) -> Self {
+        Self { engine }
+    }
+
+    /// A backend with a custom device and engine configuration.
+    pub fn with_config(device: FpgaDevice, config: EngineConfig) -> Self {
+        Self::new(InferenceEngine::new(device, config))
+    }
+
+    /// The underlying engine.
+    pub fn engine(&self) -> &InferenceEngine {
+        &self.engine
+    }
+
+    fn to_backend_error(e: FpgaError) -> BackendError {
+        match e {
+            FpgaError::Forest(fe) => fe.into(),
+            other => BackendError::unsupported("FPGA", other.to_string()),
+        }
+    }
+}
+
+impl ScoringBackend for FpgaBackend {
+    fn name(&self) -> &str {
+        "FPGA"
+    }
+
+    fn supports(&self, stats: &ModelStats) -> Result<(), BackendError> {
+        let cfg = self.engine.config();
+        if stats.max_depth > cfg.max_depth {
+            return Err(BackendError::unsupported(
+                "FPGA",
+                format!(
+                    "tree depth {} exceeds engine capacity of {} levels",
+                    stats.max_depth, cfg.max_depth
+                ),
+            ));
+        }
+        Ok(())
+    }
+
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        let model = self
+            .engine
+            .load(request.forest())
+            .map_err(Self::to_backend_error)?;
+        let run = self.engine.execute(&model, request.frame().as_slice());
+        Ok(run.predictions)
+    }
+
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        let device = self.engine.device();
+        let cfg = self.engine.config();
+        let link = &device.link;
+        let passes = stats.n_trees.div_ceil(cfg.pe_count) as u64;
+        let mut b = TimingBreakdown::new();
+
+        // 1) Input transfer: the model image into the tree memories, one
+        //    DMA per pass. Record streaming overlaps scoring (§IV-B), so it
+        //    is charged inside the scoring component instead.
+        let tree_mem_bytes = (FlatTree::capacity_for_depth(cfg.max_depth) * 16) as u64;
+        let trees_per_pass = (stats.n_trees as u64).div_ceil(passes);
+        b.add(
+            Stage::InputTransfer,
+            link.transfer(trees_per_pass * tree_mem_bytes) * passes as f64,
+        );
+
+        // 2) FPGA setup: the CSR driver sequence that arms each pass.
+        b.add(
+            Stage::AcceleratorSetup,
+            crate::csr::setup_time(device.csr_write) * passes as f64,
+        );
+
+        // 3) Scoring: pipeline cycles, rate-limited by the overlapped PCIe
+        //    record stream when records arrive slower than 1/cycle.
+        let ii = cfg.memory.initiation_interval();
+        let fill = cfg.max_depth as u64 + (cfg.pe_count as u64).ilog2() as u64 + 2;
+        let per_pass_compute = device.clock.cycles(fill + n_records * ii);
+        let per_pass_stream = link.stream(n_records * stats.row_bytes() as u64);
+        b.add(
+            Stage::Scoring,
+            per_pass_compute.max(per_pass_stream) * passes as f64,
+        );
+
+        // 4) Completion signalling, per pass: the paper's interrupt, or
+        //    CSR polling (half the poll interval of expected detection
+        //    delay plus one status-register read).
+        let completion = match cfg.completion {
+            crate::engine::CompletionMode::Interrupt => device.interrupt,
+            crate::engine::CompletionMode::Polling { interval } => {
+                interval / 2.0 + device.csr_write
+            }
+        };
+        b.add(Stage::CompletionSignal, completion * passes as f64);
+
+        // 5) Result transfer: one DMA per result-memory flush.
+        let flushes = (n_records as usize)
+            .div_ceil(cfg.result_buffer_records)
+            .max(1) as u64;
+        b.add(
+            Stage::ResultTransfer,
+            link.transfer(n_records * 4 / flushes) * flushes as f64,
+        );
+
+        // 6) Host software overhead: fixed per call plus per extra pass.
+        b.add(
+            Stage::SoftwareOverhead,
+            device.software_overhead
+                + device.per_pass_software * (passes.saturating_sub(1)) as f64,
+        );
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_data::Dataset;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn stats(n_trees: usize, depth: usize, n_features: usize) -> ModelStats {
+        ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(n_trees, n_features, 2).with_depth(depth),
+            1,
+        ))
+    }
+
+    #[test]
+    fn scoring_matches_reference() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(16, 28, 2).with_depth(7),
+            9,
+        );
+        let data = Dataset::higgs(150, 3).normalized();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        let preds = FpgaBackend::paper_default().score(&req).unwrap();
+        assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+    }
+
+    #[test]
+    fn supports_rejects_deep_trees() {
+        let s = stats(1, 10, 4);
+        assert!(FpgaBackend::paper_default().supports(&s).is_ok());
+        let deep = stats(1, 11, 4);
+        assert!(FpgaBackend::paper_default().supports(&deep).is_err());
+    }
+
+    #[test]
+    fn one_record_is_overhead_dominated() {
+        // Fig. 7a: for 1 record, input transfer and software overhead
+        // dominate; scoring itself is nanoseconds.
+        let b = FpgaBackend::paper_default().estimate(&stats(128, 10, 4), 1);
+        let scoring = b.get(Stage::Scoring);
+        assert!(scoring.as_micros() < 1.0, "scoring {scoring}");
+        assert!(b.total().as_micros() > 500.0, "total {}", b.total());
+        let (dominant, _) = b.dominant().unwrap();
+        assert!(
+            dominant == Stage::InputTransfer || dominant == Stage::SoftwareOverhead,
+            "dominant stage {dominant}"
+        );
+    }
+
+    #[test]
+    fn million_records_are_scoring_dominated() {
+        // Fig. 7b: at 1M records the scoring component dominates.
+        let b = FpgaBackend::paper_default().estimate(&stats(128, 10, 4), 1_000_000);
+        assert_eq!(b.dominant().unwrap().0, Stage::Scoring);
+        // ~1M cycles at 250 MHz = 4 ms.
+        assert!((3.9..6.0).contains(&b.get(Stage::Scoring).as_millis()));
+    }
+
+    #[test]
+    fn wide_rows_become_pcie_stream_bound() {
+        // HIGGS rows (112 B) need 28 GB/s at one record/cycle — more than
+        // PCIe 3.0 x16 provides, so scoring is stream-bound and slower than
+        // the 4 ms compute floor.
+        let b = FpgaBackend::paper_default().estimate(&stats(128, 10, 28), 1_000_000);
+        let scoring = b.get(Stage::Scoring).as_millis();
+        assert!((8.0..12.0).contains(&scoring), "scoring {scoring} ms");
+    }
+
+    #[test]
+    fn multi_pass_models_cost_proportionally_more() {
+        let backend = FpgaBackend::paper_default();
+        let one_pass = backend.estimate(&stats(128, 10, 4), 1_000_000);
+        let two_pass = backend.estimate(&stats(256, 10, 4), 1_000_000);
+        let ratio = two_pass.get(Stage::Scoring).ratio(one_pass.get(Stage::Scoring));
+        assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
+        assert!(two_pass.get(Stage::CompletionSignal) > one_pass.get(Stage::CompletionSignal));
+    }
+
+    #[test]
+    fn polling_completion_beats_interrupt_for_latency() {
+        use crate::engine::CompletionMode;
+        use mlscore_sim::SimDuration;
+        let interrupt = FpgaBackend::paper_default();
+        let polling = FpgaBackend::with_config(
+            crate::device::FpgaDevice::stratix10_gx2800(),
+            EngineConfig {
+                completion: CompletionMode::Polling {
+                    interval: SimDuration::from_micros(10.0),
+                },
+                ..EngineConfig::default()
+            },
+        );
+        let s = stats(128, 10, 4);
+        let i = interrupt.estimate(&s, 1).get(Stage::CompletionSignal);
+        let p = polling.estimate(&s, 1).get(Stage::CompletionSignal);
+        // Interrupt: 120 µs. Polling at 10 µs: ~6.5 µs expected delay.
+        assert!(p.as_micros() < 10.0, "polling completion {p}");
+        assert!(i.ratio(p) > 10.0, "interrupt {i} vs polling {p}");
+        // Everything else is unchanged.
+        assert_eq!(
+            interrupt.estimate(&s, 1).get(Stage::Scoring),
+            polling.estimate(&s, 1).get(Stage::Scoring)
+        );
+    }
+
+    #[test]
+    fn overheads_independent_of_model_complexity() {
+        // Fig. 7a: FPGA setup, completion signal, and software overhead are
+        // the same for 1 tree and 128 trees (both are single-pass).
+        let backend = FpgaBackend::paper_default();
+        let small = backend.estimate(&stats(1, 10, 4), 1);
+        let big = backend.estimate(&stats(128, 10, 4), 1);
+        assert_eq!(
+            small.get(Stage::AcceleratorSetup),
+            big.get(Stage::AcceleratorSetup)
+        );
+        assert_eq!(
+            small.get(Stage::CompletionSignal),
+            big.get(Stage::CompletionSignal)
+        );
+        assert_eq!(
+            small.get(Stage::SoftwareOverhead),
+            big.get(Stage::SoftwareOverhead)
+        );
+        // But input transfer grows with the model.
+        assert!(big.get(Stage::InputTransfer) > small.get(Stage::InputTransfer));
+    }
+}

@@ -1,0 +1,97 @@
+//! FPGA engine errors.
+
+use std::error::Error;
+use std::fmt;
+
+use mlscore_forest::ForestError;
+
+/// Errors from loading or executing a model on the FPGA engine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FpgaError {
+    /// A tree exceeds the engine's depth capacity (10 levels in the paper);
+    /// such models must stay on the CPU or use split execution.
+    DepthExceeded {
+        /// Observed tree depth.
+        depth: usize,
+        /// Engine capacity.
+        max_depth: usize,
+    },
+    /// The model image plus buffers does not fit in on-chip BRAM.
+    BramExceeded {
+        /// Bytes required.
+        needed: u64,
+        /// Bytes available.
+        available: u64,
+    },
+    /// A model/structure error bubbled up from the forest crate.
+    Forest(ForestError),
+}
+
+impl fmt::Display for FpgaError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FpgaError::DepthExceeded { depth, max_depth } => write!(
+                f,
+                "tree depth {depth} exceeds engine capacity of {max_depth} levels"
+            ),
+            FpgaError::BramExceeded { needed, available } => write!(
+                f,
+                "model needs {needed} bytes of BRAM but only {available} are available"
+            ),
+            FpgaError::Forest(e) => write!(f, "model error: {e}"),
+        }
+    }
+}
+
+impl Error for FpgaError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FpgaError::Forest(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ForestError> for FpgaError {
+    fn from(e: ForestError) -> Self {
+        match e {
+            ForestError::DepthExceeded { depth, max_depth } => {
+                FpgaError::DepthExceeded { depth, max_depth }
+            }
+            other => FpgaError::Forest(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn depth_error_converts_from_forest() {
+        let e: FpgaError = ForestError::DepthExceeded {
+            depth: 12,
+            max_depth: 10,
+        }
+        .into();
+        assert_eq!(
+            e,
+            FpgaError::DepthExceeded {
+                depth: 12,
+                max_depth: 10
+            }
+        );
+        assert!(format!("{e}").contains("12"));
+    }
+
+    #[test]
+    fn bram_error_displays_sizes() {
+        let e = FpgaError::BramExceeded {
+            needed: 100,
+            available: 50,
+        };
+        let s = format!("{e}");
+        assert!(s.contains("100") && s.contains("50"));
+    }
+}

@@ -1,0 +1,113 @@
+//! Warp divergence modelling.
+//!
+//! In RAPIDS FIL, the 32 threads of a warp walk different trees (and warps
+//! walk different records), so condition outcomes diverge and the warp
+//! serializes — the paper's explanation for RAPIDS' lower warp-execution
+//! efficiency, worsening with tree depth ("the strategy is less effective
+//! at higher tree depths due to control divergence across trees").
+//!
+//! We provide two estimators: an analytic [`warp_efficiency`] used by the
+//! FIL timing model, and [`measured_divergence`], which empirically walks a
+//! real forest with real records grouped into warps of 32 lanes and reports
+//! the achieved lane-activity fraction — used by tests to sanity-check the
+//! analytic curve and by the A3 ablation.
+
+use mlscore_data::TabularFrame;
+use mlscore_forest::RandomForest;
+
+/// Analytic warp execution efficiency for traversal at the given tree
+/// depth: each extra level multiplies path disagreement, degrading lane
+/// activity roughly harmonically. Calibrated so depth-10 trees land near
+/// the ~40-50% efficiency implied by the paper's nvprof observations.
+pub fn warp_efficiency(depth: usize) -> f64 {
+    1.0 / (1.0 + 0.12 * depth as f64)
+}
+
+/// Empirically measures lane activity for `forest` over `frame`, modelling
+/// a FIL-style mapping: each warp covers 32 (record, tree) lanes; a step is
+/// one tree level; lanes that already reached a leaf idle while any lane in
+/// the warp still walks.
+///
+/// Returns the fraction of lane-steps that were active (1.0 = no
+/// divergence). Empty inputs return 1.0.
+pub fn measured_divergence(forest: &RandomForest, frame: &TabularFrame) -> f64 {
+    let mut active_steps = 0u64;
+    let mut total_steps = 0u64;
+    let mut warp: Vec<usize> = Vec::with_capacity(32);
+    let mut flush = |warp: &mut Vec<usize>| {
+        if warp.is_empty() {
+            return;
+        }
+        let max = *warp.iter().max().expect("non-empty warp") as u64;
+        active_steps += warp.iter().map(|&v| v as u64).sum::<u64>();
+        total_steps += max * warp.len() as u64;
+        warp.clear();
+    };
+    for row in frame.rows() {
+        for tree in forest.trees() {
+            let (_, visited) = tree.predict_counting(row);
+            warp.push(visited);
+            if warp.len() == 32 {
+                flush(&mut warp);
+            }
+        }
+    }
+    flush(&mut warp);
+    if total_steps == 0 {
+        1.0
+    } else {
+        active_steps as f64 / total_steps as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_data::Dataset;
+    use mlscore_forest::ForestConfig;
+
+    #[test]
+    fn analytic_efficiency_decreases_with_depth() {
+        assert!(warp_efficiency(0) == 1.0);
+        assert!(warp_efficiency(6) > warp_efficiency(10));
+        let e10 = warp_efficiency(10);
+        assert!((0.35..0.55).contains(&e10), "depth-10 efficiency {e10}");
+    }
+
+    #[test]
+    fn full_trees_have_no_divergence() {
+        // Every path in a full tree has identical length, so lanes never
+        // idle regardless of data.
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(8, 4, 2).with_depth(6),
+            3,
+        );
+        let data = Dataset::iris(64, 1).normalized();
+        assert_eq!(measured_divergence(&forest, data.frame()), 1.0);
+    }
+
+    #[test]
+    fn capped_trees_diverge() {
+        // Leaf-capped trees have uneven path lengths; lane activity must
+        // drop below 1.
+        let forest = RandomForest::synthetic_capped(
+            &ForestConfig::classification(8, 4, 2).with_depth(10),
+            50,
+            3,
+        );
+        let data = Dataset::iris(64, 1).normalized();
+        let eff = measured_divergence(&forest, data.frame());
+        assert!(eff < 0.999, "efficiency {eff}");
+        assert!(eff > 0.2, "efficiency {eff}");
+    }
+
+    #[test]
+    fn empty_input_reports_unity() {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 4, 2).with_depth(2),
+            1,
+        );
+        let frame = TabularFrame::from_rows(vec![], 4).unwrap();
+        assert_eq!(measured_divergence(&forest, &frame), 1.0);
+    }
+}

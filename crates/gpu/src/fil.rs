@@ -1,0 +1,236 @@
+//! The RAPIDS-FIL-like backend ("GPU-RAPIDS").
+
+use serde::{Deserialize, Serialize};
+
+use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
+use mlscore_data::ColumnarFrame;
+use mlscore_forest::{ModelStats, Predictions, RandomForest, Task};
+use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+
+use crate::device::GpuDevice;
+use crate::divergence::warp_efficiency;
+
+/// Timing-model constants for the FIL strategy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FilCostParams {
+    /// Fixed cost of the cuDF dataframe conversion (the paper measured
+    /// ~120 ms at its 1M-record input size; most of it is fixed Python-side
+    /// setup, the rest scales with bytes).
+    pub cudf_fixed: SimDuration,
+    /// Per-byte cost of the cuDF conversion.
+    pub cudf_per_byte: SimDuration,
+    /// Node visits retired per SM per cycle with no divergence (issue-width
+    /// limited: a visit is a dependent load-compare-select chain).
+    pub visits_per_sm_cycle: f64,
+    /// Kernel invocations per scoring call (tree loading + inference +
+    /// reduction).
+    pub kernels_per_call: u32,
+}
+
+impl Default for FilCostParams {
+    fn default() -> Self {
+        Self {
+            cudf_fixed: SimDuration::from_millis(95.0),
+            cudf_per_byte: SimDuration::from_nanos(0.05),
+            visits_per_sm_cycle: 2.0,
+            kernels_per_call: 6,
+        }
+    }
+}
+
+/// The "GPU-RAPIDS" backend: cuDF conversion plus divergent per-thread tree
+/// traversal on the GPU. Binary classification only, as in the paper
+/// ("there are only two output classes for this dataset, thus the model is
+/// ... also supported by GPU RAPIDS").
+///
+/// # Example
+///
+/// ```
+/// use mlscore_backend::{ScoringBackend, ScoringRequest};
+/// use mlscore_data::Dataset;
+/// use mlscore_forest::{ForestConfig, RandomForest};
+/// use mlscore_gpu::RapidsFil;
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(8, 28, 2).with_depth(6),
+///     2,
+/// );
+/// let data = Dataset::higgs(40, 4).normalized();
+/// let req = ScoringRequest::new(&forest, data.frame())?;
+/// let preds = RapidsFil::p100().score(&req)?;
+/// assert_eq!(preds.len(), 40);
+/// # Ok::<(), mlscore_backend::BackendError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct RapidsFil {
+    device: GpuDevice,
+    params: FilCostParams,
+}
+
+impl RapidsFil {
+    /// FIL on the paper's Tesla P100.
+    pub fn p100() -> Self {
+        Self::new(GpuDevice::tesla_p100(), FilCostParams::default())
+    }
+
+    /// Fully custom construction.
+    pub fn new(device: GpuDevice, params: FilCostParams) -> Self {
+        Self { device, params }
+    }
+
+    /// The device model.
+    pub fn device(&self) -> &GpuDevice {
+        &self.device
+    }
+
+    fn check_supported(&self, task: Task) -> Result<(), BackendError> {
+        match task {
+            Task::Classification { n_classes: 2 } => Ok(()),
+            Task::Classification { n_classes } => Err(BackendError::unsupported(
+                "GPU-RAPIDS",
+                format!("only binary classification is supported, model has {n_classes} classes"),
+            )),
+            Task::Regression => Err(BackendError::unsupported(
+                "GPU-RAPIDS",
+                "regression models are routed to Hummingbird in this study",
+            )),
+        }
+    }
+}
+
+impl ScoringBackend for RapidsFil {
+    fn name(&self) -> &str {
+        "GPU-RAPIDS"
+    }
+
+    fn supports(&self, stats: &ModelStats) -> Result<(), BackendError> {
+        self.check_supported(stats.task())
+    }
+
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        let forest = request.forest();
+        self.check_supported(forest.task())?;
+        // The RAPIDS path really converts the row-major batch into a
+        // columnar (cuDF-like) frame first, then each "block" gathers its
+        // record from the columns and the trees vote. Functionally
+        // identical to a straight vote over rows; the conversion is the
+        // work the DataPreprocessing stage charges for.
+        let columnar = ColumnarFrame::from_rows(request.frame());
+        let mut row = vec![0f32; columnar.n_features()];
+        let mut classes = Vec::with_capacity(columnar.n_rows());
+        for i in 0..columnar.n_rows() {
+            columnar.gather_row(i, &mut row);
+            let counts = forest.vote_counts(&row);
+            classes.push(RandomForest::majority(&counts));
+        }
+        Ok(Predictions::Classes(classes))
+    }
+
+    fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        let d = &self.device;
+        let p = &self.params;
+        let mut b = TimingBreakdown::new();
+
+        // cuDF conversion (host-side pre-processing).
+        let input_bytes = n_records * stats.row_bytes() as u64;
+        b.add(
+            Stage::DataPreprocessing,
+            p.cudf_fixed + p.cudf_per_byte * input_bytes as f64,
+        );
+
+        // Model + records to device, results back.
+        let model_bytes = (stats.total_nodes * 16) as u64;
+        b.add(Stage::InputTransfer, d.link.transfer(model_bytes) + d.link.transfer(input_bytes));
+        b.add(Stage::ResultTransfer, d.link.transfer(n_records * 4));
+
+        // Kernel: divergent traversal, compute- or memory-bound.
+        let visits = n_records as f64 * stats.visits_per_record();
+        let eff = warp_efficiency(stats.max_depth);
+        let visit_rate = d.sms as f64 * d.clock.hz() * p.visits_per_sm_cycle * eff;
+        let compute = SimDuration::from_secs(visits / visit_rate);
+        let miss = d.l2_miss_fraction((stats.total_nodes * 16) as u64);
+        let traffic = visits * 16.0 * miss + (input_bytes + n_records * 4) as f64;
+        let memory = d.memory_time(traffic);
+        b.add(Stage::Scoring, compute.max(memory));
+
+        // Launch + driver costs.
+        b.add(
+            Stage::SoftwareOverhead,
+            d.kernel_launch * p.kernels_per_call as f64 + SimDuration::from_micros(200.0),
+        );
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_data::Dataset;
+    use mlscore_forest::ForestConfig;
+
+    fn binary_forest(n_trees: usize, depth: usize) -> RandomForest {
+        RandomForest::synthetic_full(
+            &ForestConfig::classification(n_trees, 28, 2).with_depth(depth),
+            11,
+        )
+    }
+
+    #[test]
+    fn predictions_match_reference() {
+        let forest = binary_forest(16, 6);
+        let data = Dataset::higgs(200, 3).normalized();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        let preds = RapidsFil::p100().score(&req).unwrap();
+        assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+    }
+
+    #[test]
+    fn multiclass_rejected_like_the_paper() {
+        let iris_model = RandomForest::synthetic_full(
+            &ForestConfig::classification(4, 4, 3).with_depth(4),
+            1,
+        );
+        let stats = ModelStats::of(&iris_model);
+        let err = RapidsFil::p100().supports(&stats).unwrap_err();
+        assert!(matches!(err, BackendError::Unsupported { .. }));
+        let data = Dataset::iris(10, 1).normalized();
+        let req = ScoringRequest::new(&iris_model, data.frame()).unwrap();
+        assert!(RapidsFil::p100().score(&req).is_err());
+    }
+
+    #[test]
+    fn regression_rejected() {
+        let reg = RandomForest::synthetic_full(&ForestConfig::regression(2, 4).with_depth(3), 1);
+        assert!(RapidsFil::p100().supports(&ModelStats::of(&reg)).is_err());
+    }
+
+    #[test]
+    fn small_batches_pay_the_cudf_floor() {
+        let stats = ModelStats::of(&binary_forest(1, 6));
+        let b = RapidsFil::p100().estimate(&stats, 1);
+        // Fig. 9e: RAPIDS latency is very high (~120 ms) at tiny batches.
+        assert!(b.total().as_millis() > 80.0, "total {}", b.total());
+        let (stage, _) = b.dominant().unwrap();
+        assert_eq!(stage, Stage::DataPreprocessing);
+    }
+
+    #[test]
+    fn estimate_grows_with_records_and_model() {
+        let fil = RapidsFil::p100();
+        let small = ModelStats::of(&binary_forest(1, 6));
+        let big = ModelStats::of(&binary_forest(128, 10));
+        assert!(fil.estimate(&big, 1_000_000).total() > fil.estimate(&small, 1_000_000).total());
+        assert!(fil.estimate(&big, 1_000_000).total() > fil.estimate(&big, 1_000).total());
+    }
+
+    #[test]
+    fn deeper_trees_hurt_via_divergence() {
+        let fil = RapidsFil::p100();
+        let d6 = ModelStats::of(&binary_forest(64, 6));
+        let d10 = ModelStats::of(&binary_forest(64, 10));
+        let t6 = fil.estimate(&d6, 1_000_000).get(Stage::Scoring);
+        let t10 = fil.estimate(&d10, 1_000_000).get(Stage::Scoring);
+        // Visits grow 11/7 = 1.57x; divergence makes scoring grow faster.
+        assert!(t10.ratio(t6) > 1.6, "ratio {}", t10.ratio(t6));
+    }
+}

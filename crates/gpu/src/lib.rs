@@ -1,0 +1,28 @@
+//! GPU backends: an analytic NVIDIA P100 device model with the two scoring
+//! strategies the paper benchmarks.
+//!
+//! * [`RapidsFil`] — RAPIDS cuML forest inference ("GPU-RAPIDS"): one thread
+//!   block per record, trees cyclically distributed over threads, real
+//!   divergent traversal, preceded by a fixed-cost cuDF dataframe
+//!   conversion (~120 ms at the paper's input size). Binary classification
+//!   only, as in the paper.
+//! * [`HummingbirdGpu`] — Hummingbird ("GPU-HB"): trees compiled to tensor
+//!   computations; no warp divergence (SM efficiency ~100% per the paper's
+//!   nvprof analysis) but redundant work and more memory traffic.
+//!
+//! Both are *functional* (they compute real predictions, verified against
+//! reference traversal) and carry calibrated timing models (see DESIGN.md
+//! §2 and §5 for the substitution argument and constants).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod device;
+pub mod divergence;
+pub mod fil;
+pub mod hummingbird;
+
+pub use device::GpuDevice;
+pub use divergence::{measured_divergence, warp_efficiency};
+pub use fil::{FilCostParams, RapidsFil};
+pub use hummingbird::{HummingbirdCostParams, HummingbirdGpu};

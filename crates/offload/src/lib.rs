@@ -1,0 +1,26 @@
+//! Accelerator offload models: the PCIe link, the paper's Fig. 6
+//! `O`/`L`/`C_A` decomposition, and the LogCA analytic accelerator model
+//! (Altaf & Wood, ISCA '17) the paper cites for reasoning about offload
+//! break-even points.
+//!
+//! # Example
+//!
+//! ```
+//! use mlscore_offload::PcieLink;
+//!
+//! let link = PcieLink::gen3_x16();
+//! // Streaming 1M HIGGS records (112 MB) takes ~9 ms at ~12 GB/s effective.
+//! let t = link.transfer(112_000_000);
+//! assert!(t.as_millis() > 8.0 && t.as_millis() < 11.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod logca;
+pub mod model;
+pub mod pcie;
+
+pub use logca::LogCa;
+pub use model::{OffloadCosts, OffloadSummary};
+pub use pcie::{PcieGeneration, PcieLink};

@@ -1,0 +1,61 @@
+//! Pipeline error type.
+
+use std::error::Error;
+use std::fmt;
+
+use mlscore_backend::BackendError;
+use mlscore_forest::ForestError;
+
+/// Errors from executing the query pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PipelineError {
+    /// Model deserialization failed (corrupt bundle in the model table).
+    Model(ForestError),
+    /// The scoring backend rejected or failed the request.
+    Backend(BackendError),
+}
+
+impl fmt::Display for PipelineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PipelineError::Model(e) => write!(f, "model pre-processing failed: {e}"),
+            PipelineError::Backend(e) => write!(f, "scoring failed: {e}"),
+        }
+    }
+}
+
+impl Error for PipelineError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PipelineError::Model(e) => Some(e),
+            PipelineError::Backend(e) => Some(e),
+        }
+    }
+}
+
+impl From<ForestError> for PipelineError {
+    fn from(e: ForestError) -> Self {
+        PipelineError::Model(e)
+    }
+}
+
+impl From<BackendError> for PipelineError {
+    fn from(e: BackendError) -> Self {
+        PipelineError::Backend(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_and_chains() {
+        let e: PipelineError = ForestError::BadMagic.into();
+        assert!(format!("{e}").contains("magic"));
+        assert!(e.source().is_some());
+        let e: PipelineError = BackendError::unsupported("x", "y").into();
+        assert!(format!("{e}").contains("scoring failed"));
+    }
+}

@@ -1,0 +1,229 @@
+//! The query pipeline: functional execution plus the Fig. 11 breakdown.
+
+use mlscore_backend::{ScoringBackend, ScoringRequest};
+use mlscore_data::TabularFrame;
+use mlscore_forest::{ModelBundle, ModelStats, Predictions};
+use mlscore_sim::{Stage, TimingBreakdown};
+
+use crate::error::PipelineError;
+use crate::params::PipelineParams;
+
+/// Result of running one T-SQL scoring query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRun {
+    /// The predictions returned to the DBMS.
+    pub predictions: Predictions,
+    /// End-to-end breakdown in Fig. 11's stages. The entire backend-side
+    /// scoring path (offload overheads included) is folded into
+    /// [`Stage::Scoring`].
+    pub breakdown: TimingBreakdown,
+    /// The backend's own scoring-time breakdown (the Fig. 7 quantity).
+    pub scoring_breakdown: TimingBreakdown,
+}
+
+impl QueryRun {
+    /// Total end-to-end query time.
+    pub fn total(&self) -> mlscore_sim::SimDuration {
+        self.breakdown.total()
+    }
+}
+
+/// A T-SQL analytics query with ML scoring over a pluggable backend.
+#[derive(Debug, Clone)]
+pub struct QueryPipeline<B> {
+    backend: B,
+    params: PipelineParams,
+}
+
+impl<B: ScoringBackend> QueryPipeline<B> {
+    /// A pipeline with default (paper-calibrated) stage costs.
+    pub fn new(backend: B) -> Self {
+        Self::with_params(backend, PipelineParams::default())
+    }
+
+    /// A pipeline with explicit stage costs.
+    pub fn with_params(backend: B, params: PipelineParams) -> Self {
+        Self { backend, params }
+    }
+
+    /// The scoring backend.
+    pub fn backend(&self) -> &B {
+        &self.backend
+    }
+
+    /// The stage-cost parameters.
+    pub fn params(&self) -> &PipelineParams {
+        &self.params
+    }
+
+    /// Executes the query: deserializes the model bundle (really), scores
+    /// the records on the backend (really), and assembles the Fig. 11
+    /// end-to-end breakdown (modelled).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Model`] for an unparseable bundle and
+    /// [`PipelineError::Backend`] when the backend rejects the request
+    /// (unsupported model) or the frame width mismatches.
+    pub fn execute(
+        &self,
+        bundle: &ModelBundle,
+        frame: &TabularFrame,
+    ) -> Result<QueryRun, PipelineError> {
+        let forest = bundle.deserialize()?;
+        let stats = ModelStats::of(&forest);
+        self.backend.supports(&stats)?;
+        let request = ScoringRequest::new(&forest, frame)?;
+        let predictions = self.backend.score(&request)?;
+        let scoring_breakdown = self.backend.estimate(&stats, frame.n_rows() as u64);
+        let breakdown =
+            self.assemble(&stats, bundle.len() as u64, frame, &scoring_breakdown);
+        Ok(QueryRun {
+            predictions,
+            breakdown,
+            scoring_breakdown,
+        })
+    }
+
+    /// Estimates the end-to-end breakdown without functional execution —
+    /// used for sweeps at record counts too large to score for real.
+    pub fn estimate(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+    ) -> TimingBreakdown {
+        let scoring = self.backend.estimate(stats, n_records);
+        self.assemble_sized(stats, model_bytes, n_records, &scoring)
+    }
+
+    fn assemble(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        frame: &TabularFrame,
+        scoring: &TimingBreakdown,
+    ) -> TimingBreakdown {
+        self.assemble_sized(stats, model_bytes, frame.n_rows() as u64, scoring)
+    }
+
+    fn assemble_sized(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        scoring: &TimingBreakdown,
+    ) -> TimingBreakdown {
+        let p = &self.params;
+        let data_bytes = n_records * stats.row_bytes() as u64;
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::PythonInvocation, p.python_invocation);
+        // SQL -> Python: model bundle + records; Python -> SQL: one
+        // prediction per record (4 bytes each).
+        b.add(
+            Stage::DataTransfer,
+            p.marshal_time(n_records, data_bytes + model_bytes)
+                + p.marshal_results_time(n_records),
+        );
+        b.add(Stage::ModelPreprocessing, p.model_preprocess_time(model_bytes));
+        b.add(
+            Stage::DataPreprocessing,
+            p.data_preprocess_per_byte * data_bytes as f64,
+        );
+        b.add(Stage::Scoring, scoring.total());
+        b.add(
+            Stage::PostProcessing,
+            p.postprocess_per_record * n_records as f64,
+        );
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_backend::{OnnxCpu, SklearnCpu};
+    use mlscore_data::Dataset;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn setup(n_trees: usize, depth: usize) -> (ModelBundle, Dataset, RandomForest) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(n_trees, 4, 3).with_depth(depth),
+            7,
+        );
+        let bundle = ModelBundle::serialize(&forest);
+        (bundle, Dataset::iris(300, 2).normalized(), forest)
+    }
+
+    #[test]
+    fn functional_execution_returns_reference_predictions() {
+        let (bundle, data, forest) = setup(10, 6);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
+        let run = pipeline.execute(&bundle, data.frame()).unwrap();
+        assert_eq!(run.predictions, forest.predict_batch(data.frame().as_slice()));
+    }
+
+    #[test]
+    fn breakdown_contains_all_fig11_stages() {
+        let (bundle, data, _) = setup(4, 5);
+        let pipeline = QueryPipeline::new(OnnxCpu::single_thread());
+        let run = pipeline.execute(&bundle, data.frame()).unwrap();
+        for stage in Stage::query_breakdown_order() {
+            assert!(
+                !run.breakdown.get(stage).is_zero(),
+                "stage {stage} missing from breakdown"
+            );
+        }
+        assert!(run.total() > run.scoring_breakdown.total());
+    }
+
+    #[test]
+    fn small_queries_are_dominated_by_python_invocation() {
+        // Fig. 11: for one record and a one-tree model, Python invocation
+        // and model pre-processing dominate.
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(1, 4, 3).with_depth(6),
+            1,
+        );
+        let stats = ModelStats::of(&forest);
+        let bundle = ModelBundle::serialize(&forest);
+        let pipeline = QueryPipeline::new(OnnxCpu::single_thread());
+        let b = pipeline.estimate(&stats, bundle.len() as u64, 1);
+        assert_eq!(b.dominant().unwrap().0, Stage::PythonInvocation);
+    }
+
+    #[test]
+    fn corrupt_bundle_fails_in_model_preprocessing() {
+        let (_, data, _) = setup(1, 3);
+        let bundle = ModelBundle::from_bytes(bytes::Bytes::from_static(b"garbage"));
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(2));
+        assert!(matches!(
+            pipeline.execute(&bundle, data.frame()),
+            Err(PipelineError::Model(_))
+        ));
+    }
+
+    #[test]
+    fn width_mismatch_fails_in_backend() {
+        let (bundle, _, _) = setup(1, 3);
+        let wrong = TabularFrame::from_rows(vec![0.0; 6], 2).unwrap();
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(2));
+        assert!(matches!(
+            pipeline.execute(&bundle, &wrong),
+            Err(PipelineError::Backend(_))
+        ));
+    }
+
+    #[test]
+    fn estimate_matches_execute_breakdown() {
+        let (bundle, data, forest) = setup(6, 5);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
+        let run = pipeline.execute(&bundle, data.frame()).unwrap();
+        let est = pipeline.estimate(
+            &ModelStats::of(&forest),
+            bundle.len() as u64,
+            data.frame().n_rows() as u64,
+        );
+        assert_eq!(run.breakdown, est);
+    }
+}

@@ -1,0 +1,288 @@
+//! Scheduling policies over a set of backends.
+
+use mlscore_backend::{OnnxCpu, ScoringBackend, SklearnCpu};
+use mlscore_forest::ModelStats;
+use mlscore_fpga::FpgaBackend;
+use mlscore_gpu::{HummingbirdGpu, RapidsFil};
+use mlscore_sim::SimDuration;
+
+/// The paper's full backend roster: both CPU engines (sklearn 52-thread,
+/// ONNX 1- and 52-thread), both GPU strategies, and the FPGA engine.
+pub fn paper_backends() -> Vec<Box<dyn ScoringBackend>> {
+    vec![
+        Box::new(SklearnCpu::paper_default()),
+        Box::new(OnnxCpu::single_thread()),
+        Box::new(OnnxCpu::paper_52th()),
+        Box::new(HummingbirdGpu::p100()),
+        Box::new(RapidsFil::p100()),
+        Box::new(FpgaBackend::paper_default()),
+    ]
+}
+
+/// A scheduling decision.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Choice {
+    /// Index into the backend slice.
+    pub index: usize,
+    /// The chosen backend's name.
+    pub name: String,
+    /// The time the policy predicted for its choice.
+    pub predicted: SimDuration,
+}
+
+/// A backend-selection policy.
+pub trait Policy {
+    /// Human-readable policy name.
+    fn name(&self) -> &str;
+
+    /// Picks a backend for the given model shape and batch size.
+    ///
+    /// Backends whose [`ScoringBackend::supports`] rejects the model are
+    /// never chosen. Returns `None` only if no backend supports the model.
+    fn choose(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Option<Choice>;
+}
+
+/// Picks the backend with the smallest modelled total time — the best any
+/// scheduler could do if the cost models are exact.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct OraclePolicy;
+
+impl Policy for OraclePolicy {
+    fn name(&self) -> &str {
+        "oracle"
+    }
+
+    fn choose(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Option<Choice> {
+        backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.supports(stats).is_ok())
+            .map(|(i, b)| (i, b.name().to_string(), b.estimate(stats, n_records).total()))
+            .min_by(|a, b| a.2.cmp(&b.2))
+            .map(|(index, name, predicted)| Choice {
+                index,
+                name,
+                predicted,
+            })
+    }
+}
+
+/// The Fig. 1 static rule: small batches stay on the CPU; large batches
+/// with simple models go to the GPU; everything else goes to the FPGA.
+#[derive(Debug, Clone, Copy)]
+pub struct HeuristicPolicy {
+    /// Batches strictly below this record count stay on the CPU.
+    pub cpu_max_records: u64,
+    /// Models with at most this many trees count as "simple" (GPU column
+    /// of Fig. 1).
+    pub simple_max_trees: usize,
+}
+
+impl Default for HeuristicPolicy {
+    fn default() -> Self {
+        Self {
+            cpu_max_records: 5_000,
+            simple_max_trees: 1,
+        }
+    }
+}
+
+impl HeuristicPolicy {
+    fn pick_by_kind(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+        kind: fn(&str) -> bool,
+    ) -> Option<(usize, String, SimDuration)> {
+        backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.supports(stats).is_ok() && kind(b.name()))
+            .map(|(i, b)| (i, b.name().to_string(), b.estimate(stats, n_records).total()))
+            .min_by(|a, b| a.2.cmp(&b.2))
+    }
+}
+
+impl Policy for HeuristicPolicy {
+    fn name(&self) -> &str {
+        "static-heuristic"
+    }
+
+    fn choose(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Option<Choice> {
+        let is_cpu = |n: &str| n.starts_with("CPU");
+        let is_gpu = |n: &str| n.starts_with("GPU");
+        let is_fpga = |n: &str| n == "FPGA";
+        let preference: [fn(&str) -> bool; 3] = if n_records < self.cpu_max_records {
+            [is_cpu, is_fpga, is_gpu]
+        } else if stats.n_trees <= self.simple_max_trees {
+            [is_gpu, is_fpga, is_cpu]
+        } else {
+            [is_fpga, is_gpu, is_cpu]
+        };
+        preference.iter().find_map(|kind| {
+            self.pick_by_kind(stats, n_records, backends, *kind)
+                .map(|(index, name, predicted)| Choice {
+                    index,
+                    name,
+                    predicted,
+                })
+        })
+    }
+}
+
+/// Fits each backend's cost as an affine function `t(n) = a + b*n` from two
+/// probe points (a LogCA-style linear model) and picks the argmin. Cheaper
+/// to evaluate than the full cost models at schedule time, but mispredicts
+/// where real costs are nonlinear (cache cliffs, multi-pass boundaries).
+#[derive(Debug, Clone, Copy)]
+pub struct AffineFitPolicy {
+    /// Small-probe batch size.
+    pub probe_small: u64,
+    /// Large-probe batch size.
+    pub probe_large: u64,
+}
+
+impl Default for AffineFitPolicy {
+    fn default() -> Self {
+        Self {
+            probe_small: 1,
+            probe_large: 100_000,
+        }
+    }
+}
+
+impl Policy for AffineFitPolicy {
+    fn name(&self) -> &str {
+        "affine-fit"
+    }
+
+    fn choose(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Option<Choice> {
+        backends
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| b.supports(stats).is_ok())
+            .map(|(i, b)| {
+                let t0 = b.estimate(stats, self.probe_small).total().as_secs();
+                let t1 = b.estimate(stats, self.probe_large).total().as_secs();
+                let slope = (t1 - t0) / (self.probe_large - self.probe_small) as f64;
+                let predicted = t0 + slope * (n_records.saturating_sub(self.probe_small)) as f64;
+                (i, b.name().to_string(), SimDuration::from_secs(predicted.max(0.0)))
+            })
+            .min_by(|a, b| a.2.cmp(&b.2))
+            .map(|(index, name, predicted)| Choice {
+                index,
+                name,
+                predicted,
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn stats(n_trees: usize, depth: usize, n_features: usize, n_classes: u32) -> ModelStats {
+        ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(n_trees, n_features, n_classes).with_depth(depth),
+            1,
+        ))
+    }
+
+    #[test]
+    fn oracle_picks_cpu_for_tiny_batches() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 4, 3);
+        let c = OraclePolicy.choose(&s, 1, &backends).unwrap();
+        assert!(c.name.starts_with("CPU"), "chose {}", c.name);
+    }
+
+    #[test]
+    fn oracle_picks_fpga_for_big_model_big_batch() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let c = OraclePolicy.choose(&s, 1_000_000, &backends).unwrap();
+        assert_eq!(c.name, "FPGA");
+    }
+
+    #[test]
+    fn oracle_never_picks_unsupported() {
+        let backends = paper_backends();
+        // 3-class model: RAPIDS unsupported; depth 11: FPGA unsupported.
+        let s = ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(64, 4, 3).with_depth(11),
+            1,
+        ));
+        let c = OraclePolicy.choose(&s, 1_000_000, &backends).unwrap();
+        assert_ne!(c.name, "GPU-RAPIDS");
+        assert_ne!(c.name, "FPGA");
+    }
+
+    #[test]
+    fn heuristic_follows_fig1_regions() {
+        let backends = paper_backends();
+        let h = HeuristicPolicy::default();
+        // Small batch: CPU.
+        let c = h.choose(&stats(128, 10, 4, 3), 100, &backends).unwrap();
+        assert!(c.name.starts_with("CPU"));
+        // Large batch, simple model: GPU.
+        let c = h.choose(&stats(1, 10, 4, 3), 1_000_000, &backends).unwrap();
+        assert!(c.name.starts_with("GPU"), "chose {}", c.name);
+        // Large batch, complex model: FPGA.
+        let c = h.choose(&stats(128, 10, 28, 2), 1_000_000, &backends).unwrap();
+        assert_eq!(c.name, "FPGA");
+    }
+
+    #[test]
+    fn heuristic_falls_back_when_preferred_kind_unsupported() {
+        let backends = paper_backends();
+        let h = HeuristicPolicy::default();
+        // Deep model: FPGA unsupported; must fall back to GPU.
+        let s = ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(128, 4, 3).with_depth(12),
+            1,
+        ));
+        let c = h.choose(&s, 1_000_000, &backends).unwrap();
+        assert!(c.name.starts_with("GPU"), "chose {}", c.name);
+    }
+
+    #[test]
+    fn affine_fit_agrees_with_oracle_in_linear_regions() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let oracle = OraclePolicy.choose(&s, 1_000_000, &backends).unwrap();
+        let fitted = AffineFitPolicy::default()
+            .choose(&s, 1_000_000, &backends)
+            .unwrap();
+        assert_eq!(oracle.name, fitted.name);
+    }
+
+    #[test]
+    fn empty_backend_set_yields_none() {
+        let s = stats(1, 4, 4, 2);
+        assert!(OraclePolicy.choose(&s, 10, &[]).is_none());
+        assert!(HeuristicPolicy::default().choose(&s, 10, &[]).is_none());
+        assert!(AffineFitPolicy::default().choose(&s, 10, &[]).is_none());
+    }
+}

@@ -1,0 +1,272 @@
+//! Trace-driven scheduling simulation.
+//!
+//! Fig. 1's premise is that queries arrive with *mixed* models and batch
+//! sizes, so the offload decision must be made per query. This module
+//! generates synthetic query traces (a skewed mix of the paper's model
+//! shapes and batch sizes) and replays them through a policy, producing
+//! total makespan, per-query latency percentiles, and the backend mix —
+//! the numbers a capacity planner would actually look at.
+
+use std::collections::BTreeMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use mlscore_backend::ScoringBackend;
+use mlscore_data::DatasetSpec;
+use mlscore_forest::{ForestConfig, ModelStats, RandomForest};
+use mlscore_sim::SimDuration;
+
+use crate::adaptive::AdaptiveScheduler;
+use crate::policy::Policy;
+
+/// One query in a trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceQuery {
+    /// Model shape.
+    pub stats: ModelStats,
+    /// Batch size.
+    pub n_records: u64,
+}
+
+/// A sequence of scoring queries.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryTrace {
+    queries: Vec<TraceQuery>,
+}
+
+impl QueryTrace {
+    /// Wraps explicit queries.
+    pub fn new(queries: Vec<TraceQuery>) -> Self {
+        Self { queries }
+    }
+
+    /// Generates `n` queries mixing the paper's model shapes (tree counts
+    /// 1–128, depths 6/10, both datasets) with a heavy-tailed batch-size
+    /// distribution: mostly small interactive lookups, occasionally huge
+    /// analytical scans — the regime where static placement loses.
+    pub fn synthetic(n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut shapes = Vec::new();
+        for dataset in DatasetSpec::all() {
+            for trees in [1usize, 16, 128] {
+                for depth in [6usize, 10] {
+                    let cfg = ForestConfig::classification(
+                        trees,
+                        dataset.n_features(),
+                        dataset.n_classes(),
+                    )
+                    .with_depth(depth);
+                    shapes.push(ModelStats::of(&RandomForest::synthetic_full(
+                        &cfg,
+                        0xFEED ^ trees as u64 ^ (depth as u64) << 8,
+                    )));
+                }
+            }
+        }
+        let queries = (0..n)
+            .map(|_| {
+                let stats = shapes[rng.gen_range(0..shapes.len())];
+                // Log-uniform batch sizes over 1..10^6: heavy small-query
+                // tail with occasional large scans.
+                let exponent: f64 = rng.gen_range(0.0..6.0);
+                let n_records = 10f64.powf(exponent).round() as u64;
+                TraceQuery { stats, n_records }
+            })
+            .collect();
+        Self { queries }
+    }
+
+    /// The queries.
+    pub fn queries(&self) -> &[TraceQuery] {
+        &self.queries
+    }
+
+    /// Number of queries.
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// Returns `true` if the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+}
+
+/// The result of replaying a trace through a policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceOutcome {
+    /// Policy name.
+    pub policy: String,
+    /// Sum of per-query scoring times under the chosen backends.
+    pub total: SimDuration,
+    /// Per-query latencies, in trace order.
+    pub latencies: Vec<SimDuration>,
+    /// How many queries each backend received.
+    pub picks: BTreeMap<String, usize>,
+}
+
+impl TraceOutcome {
+    /// The `p`-th latency percentile (`0 < p <= 100`), nearest-rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty outcome or `p` outside `(0, 100]`.
+    pub fn percentile(&self, p: f64) -> SimDuration {
+        assert!(!self.latencies.is_empty(), "empty outcome");
+        assert!(p > 0.0 && p <= 100.0, "percentile out of range");
+        let mut sorted = self.latencies.clone();
+        sorted.sort();
+        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+    }
+}
+
+/// Replays `trace` through `policy`, charging each query the modelled time
+/// of the backend the policy picked.
+///
+/// # Panics
+///
+/// Panics if some query has no supporting backend.
+pub fn replay(
+    policy: &dyn Policy,
+    trace: &QueryTrace,
+    backends: &[Box<dyn ScoringBackend>],
+) -> TraceOutcome {
+    let mut total = SimDuration::ZERO;
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut picks: BTreeMap<String, usize> = BTreeMap::new();
+    for q in trace.queries() {
+        let choice = policy
+            .choose(&q.stats, q.n_records, backends)
+            .expect("some backend must support every trace query");
+        let latency = backends[choice.index].estimate(&q.stats, q.n_records).total();
+        total += latency;
+        latencies.push(latency);
+        *picks.entry(choice.name).or_default() += 1;
+    }
+    TraceOutcome {
+        policy: policy.name().to_string(),
+        total,
+        latencies,
+        picks,
+    }
+}
+
+/// Replays a trace through an [`AdaptiveScheduler`], feeding each observed
+/// run back into the learner as it goes (the online setting).
+pub fn replay_adaptive(
+    scheduler: &mut AdaptiveScheduler,
+    trace: &QueryTrace,
+    backends: &[Box<dyn ScoringBackend>],
+) -> TraceOutcome {
+    let mut total = SimDuration::ZERO;
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut picks: BTreeMap<String, usize> = BTreeMap::new();
+    for q in trace.queries() {
+        let choice = scheduler
+            .choose(&q.stats, q.n_records, backends)
+            .expect("some backend must support every trace query");
+        let latency = backends[choice.index].estimate(&q.stats, q.n_records).total();
+        scheduler.observe(&q.stats, choice.index, q.n_records, latency);
+        total += latency;
+        latencies.push(latency);
+        *picks.entry(choice.name).or_default() += 1;
+    }
+    TraceOutcome {
+        policy: "adaptive".to_string(),
+        total,
+        latencies,
+        picks,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::policy::{paper_backends, HeuristicPolicy, OraclePolicy};
+
+    #[test]
+    fn synthetic_trace_is_deterministic_and_mixed() {
+        let a = QueryTrace::synthetic(100, 5);
+        let b = QueryTrace::synthetic(100, 5);
+        assert_eq!(a, b);
+        assert_eq!(a.len(), 100);
+        assert!(!a.is_empty());
+        // Batch sizes span several orders of magnitude.
+        let min = a.queries().iter().map(|q| q.n_records).min().unwrap();
+        let max = a.queries().iter().map(|q| q.n_records).max().unwrap();
+        assert!(max / min.max(1) > 1_000, "trace not heavy-tailed: {min}..{max}");
+    }
+
+    #[test]
+    fn oracle_replay_lower_bounds_other_policies() {
+        let backends = paper_backends();
+        let trace = QueryTrace::synthetic(60, 9);
+        let oracle = replay(&OraclePolicy, &trace, &backends);
+        let heuristic = replay(&HeuristicPolicy::default(), &trace, &backends);
+        assert!(oracle.total <= heuristic.total);
+        assert_eq!(oracle.latencies.len(), 60);
+    }
+
+    #[test]
+    fn oracle_uses_multiple_backends_on_a_mixed_trace() {
+        let backends = paper_backends();
+        let trace = QueryTrace::synthetic(120, 2);
+        let outcome = replay(&OraclePolicy, &trace, &backends);
+        assert!(
+            outcome.picks.len() >= 2,
+            "a mixed trace needs a mixed placement: {:?}",
+            outcome.picks
+        );
+        let assigned: usize = outcome.picks.values().sum();
+        assert_eq!(assigned, 120);
+    }
+
+    #[test]
+    fn percentiles_are_ordered() {
+        let backends = paper_backends();
+        let trace = QueryTrace::synthetic(80, 4);
+        let outcome = replay(&OraclePolicy, &trace, &backends);
+        let p50 = outcome.percentile(50.0);
+        let p95 = outcome.percentile(95.0);
+        let p99 = outcome.percentile(99.0);
+        assert!(p50 <= p95);
+        assert!(p95 <= p99);
+        assert!(p99 <= outcome.percentile(100.0));
+    }
+
+    #[test]
+    fn adaptive_replay_approaches_oracle_on_repeated_mix() {
+        let backends = paper_backends();
+        // Repeat the same short mix many times so the learner converges.
+        let base = QueryTrace::synthetic(10, 7);
+        let repeated = QueryTrace::new(
+            (0..12).flat_map(|_| base.queries().to_vec()).collect(),
+        );
+        let oracle = replay(&OraclePolicy, &repeated, &backends);
+        let mut sched = AdaptiveScheduler::new(0.4);
+        // First pass pays the exploration bill (every backend gets probed,
+        // including slow ones, on whatever batch arrives).
+        let exploration = replay_adaptive(&mut sched, &repeated, &backends);
+        assert!(exploration.total >= oracle.total);
+        // Second pass runs on learned estimates and must sit close to the
+        // oracle.
+        let learned = replay_adaptive(&mut sched, &repeated, &backends);
+        let factor = learned.total.ratio(oracle.total);
+        assert!(factor < 1.5, "learned pass {factor}x oracle");
+        assert!(learned.total <= exploration.total);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty outcome")]
+    fn percentile_of_empty_outcome_panics() {
+        let outcome = TraceOutcome {
+            policy: "x".into(),
+            total: SimDuration::ZERO,
+            latencies: vec![],
+            picks: BTreeMap::new(),
+        };
+        outcome.percentile(50.0);
+    }
+}

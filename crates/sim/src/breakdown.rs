@@ -1,0 +1,382 @@
+//! Stage taxonomy and per-stage timing breakdowns.
+//!
+//! Figures 7 and 11 of the paper are stacked-bar breakdowns of where time goes
+//! in the FPGA offload path and in the end-to-end T-SQL query. The
+//! [`TimingBreakdown`] type is the common currency: every backend and the
+//! pipeline simulator produce one, and the figure generators render them.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A named stage of the scoring or query pipeline.
+///
+/// The variants cover the union of the stages in Fig. 6 (offload overhead
+/// decomposition), Fig. 7 (FPGA scoring-time components), and Fig. 11
+/// (end-to-end query components). Each stage belongs to a [`StageClass`]
+/// mapping it onto the paper's `O` / `L` / `C` taxonomy.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
+)]
+#[non_exhaustive]
+pub enum Stage {
+    /// Transferring the model (and any non-overlapped input data) to the
+    /// accelerator (`L` in Fig. 6).
+    InputTransfer,
+    /// Configuring the accelerator and setting up the communication link —
+    /// CSR writes for the FPGA (`O`).
+    AcceleratorSetup,
+    /// The scoring computation itself (`C_A` on an accelerator, `C_H` on the
+    /// host CPU).
+    Scoring,
+    /// Signalling task completion back to the host (interrupt) (`O`).
+    CompletionSignal,
+    /// Copying scoring results back to host memory (`L`).
+    ResultTransfer,
+    /// Host-side driver/API call overhead around the offload (`O`).
+    SoftwareOverhead,
+    /// Deserializing the ML model inside the Python process (Fig. 11).
+    ModelPreprocessing,
+    /// Extracting features / preparing input data for the scoring engine
+    /// (Fig. 11). For GPU-RAPIDS this includes the cuDF conversion.
+    DataPreprocessing,
+    /// Launching the external Python process (Fig. 11).
+    PythonInvocation,
+    /// Transparent copy of data and results between SQL Server and the
+    /// external Python process (Fig. 11).
+    DataTransfer,
+    /// Assembling prediction results into the returned DataFrame.
+    PostProcessing,
+}
+
+impl Stage {
+    /// The coarse overhead class of this stage in the paper's `O`/`L`/`C`
+    /// decomposition (Fig. 6), extended with `Pipeline` for the
+    /// application-level stages of Fig. 11.
+    pub fn class(self) -> StageClass {
+        match self {
+            Stage::InputTransfer | Stage::ResultTransfer => StageClass::Transfer,
+            Stage::AcceleratorSetup | Stage::CompletionSignal | Stage::SoftwareOverhead => {
+                StageClass::Overhead
+            }
+            Stage::Scoring => StageClass::Compute,
+            Stage::ModelPreprocessing
+            | Stage::DataPreprocessing
+            | Stage::PythonInvocation
+            | Stage::DataTransfer
+            | Stage::PostProcessing => StageClass::Pipeline,
+        }
+    }
+
+    /// All stages that appear in the Fig. 7 FPGA scoring-time breakdown, in
+    /// the paper's plotting order.
+    pub fn fpga_breakdown_order() -> [Stage; 6] {
+        [
+            Stage::InputTransfer,
+            Stage::AcceleratorSetup,
+            Stage::Scoring,
+            Stage::CompletionSignal,
+            Stage::ResultTransfer,
+            Stage::SoftwareOverhead,
+        ]
+    }
+
+    /// All stages that appear in the Fig. 11 end-to-end query breakdown, in
+    /// the paper's plotting order.
+    pub fn query_breakdown_order() -> [Stage; 5] {
+        [
+            Stage::PythonInvocation,
+            Stage::DataTransfer,
+            Stage::ModelPreprocessing,
+            Stage::DataPreprocessing,
+            Stage::Scoring,
+        ]
+    }
+}
+
+impl fmt::Display for Stage {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let name = match self {
+            Stage::InputTransfer => "input transfer",
+            Stage::AcceleratorSetup => "accelerator setup",
+            Stage::Scoring => "scoring",
+            Stage::CompletionSignal => "completion signal",
+            Stage::ResultTransfer => "result transfer",
+            Stage::SoftwareOverhead => "software overhead",
+            Stage::ModelPreprocessing => "model pre-processing",
+            Stage::DataPreprocessing => "data pre-processing",
+            Stage::PythonInvocation => "python invocation",
+            Stage::DataTransfer => "data transfer",
+            Stage::PostProcessing => "post-processing",
+        };
+        f.write_str(name)
+    }
+}
+
+/// Coarse classification of a [`Stage`] per the paper's Fig. 6 taxonomy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StageClass {
+    /// `O` — setup, signalling, and host software costs of an offload.
+    Overhead,
+    /// `L` — data movement between host and accelerator.
+    Transfer,
+    /// `C` — the scoring computation itself.
+    Compute,
+    /// Application/analytics pipeline stages outside the offload itself.
+    Pipeline,
+}
+
+/// An ordered collection of `(stage, duration)` entries.
+///
+/// Stages are kept in insertion order (matching plotting order) and adding a
+/// duration to an existing stage accumulates into it.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+///
+/// let mut b = TimingBreakdown::new();
+/// b.add(Stage::Scoring, SimDuration::from_millis(2.0));
+/// b.add(Stage::Scoring, SimDuration::from_millis(1.0));
+/// assert_eq!(b.get(Stage::Scoring), SimDuration::from_millis(3.0));
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TimingBreakdown {
+    entries: Vec<(Stage, SimDuration)>,
+}
+
+impl TimingBreakdown {
+    /// Creates an empty breakdown.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a breakdown holding a single stage.
+    pub fn of(stage: Stage, d: SimDuration) -> Self {
+        let mut b = Self::new();
+        b.add(stage, d);
+        b
+    }
+
+    /// Adds `d` to `stage`, accumulating if the stage is already present.
+    pub fn add(&mut self, stage: Stage, d: SimDuration) {
+        if let Some(entry) = self.entries.iter_mut().find(|(s, _)| *s == stage) {
+            entry.1 += d;
+        } else {
+            self.entries.push((stage, d));
+        }
+    }
+
+    /// The duration recorded for `stage` (zero if absent).
+    pub fn get(&self, stage: Stage) -> SimDuration {
+        self.entries
+            .iter()
+            .find(|(s, _)| *s == stage)
+            .map(|(_, d)| *d)
+            .unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Total duration across all stages.
+    pub fn total(&self) -> SimDuration {
+        self.entries.iter().map(|(_, d)| *d).sum()
+    }
+
+    /// Total duration attributed to a given [`StageClass`].
+    pub fn total_class(&self, class: StageClass) -> SimDuration {
+        self.entries
+            .iter()
+            .filter(|(s, _)| s.class() == class)
+            .map(|(_, d)| *d)
+            .sum()
+    }
+
+    /// The stage with the largest share of time, if any.
+    pub fn dominant(&self) -> Option<(Stage, SimDuration)> {
+        self.entries.iter().copied().max_by_key(|(_, d)| *d)
+    }
+
+    /// Fraction of total time spent in `stage` (0 when the total is zero).
+    pub fn fraction(&self, stage: Stage) -> f64 {
+        let total = self.total();
+        if total.is_zero() {
+            0.0
+        } else {
+            self.get(stage).ratio(total)
+        }
+    }
+
+    /// Merges another breakdown into this one, stage by stage.
+    pub fn merge(&mut self, other: &TimingBreakdown) {
+        for (stage, d) in &other.entries {
+            self.add(*stage, *d);
+        }
+    }
+
+    /// Returns a copy with every stage scaled by `factor`.
+    ///
+    /// Useful for amortizing a per-batch breakdown over batches.
+    pub fn scaled(&self, factor: f64) -> TimingBreakdown {
+        TimingBreakdown {
+            entries: self
+                .entries
+                .iter()
+                .map(|(s, d)| (*s, *d * factor))
+                .collect(),
+        }
+    }
+
+    /// Iterates over `(stage, duration)` entries in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = (Stage, SimDuration)> + '_ {
+        self.entries.iter().copied()
+    }
+
+    /// Number of distinct stages recorded.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if no stage has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+impl fmt::Display for TimingBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.entries.is_empty() {
+            return write!(f, "(empty breakdown)");
+        }
+        let total = self.total();
+        for (i, (stage, d)) in self.entries.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(
+                f,
+                "{stage:<22} {d:>12}  ({:5.1}%)",
+                d.ratio(total) * 100.0,
+                stage = stage.to_string(),
+                d = d.to_string(),
+            )?;
+        }
+        writeln!(f)?;
+        write!(f, "{:<22} {:>12}", "TOTAL", total.to_string())
+    }
+}
+
+impl FromIterator<(Stage, SimDuration)> for TimingBreakdown {
+    fn from_iter<I: IntoIterator<Item = (Stage, SimDuration)>>(iter: I) -> Self {
+        let mut b = TimingBreakdown::new();
+        for (s, d) in iter {
+            b.add(s, d);
+        }
+        b
+    }
+}
+
+impl Extend<(Stage, SimDuration)> for TimingBreakdown {
+    fn extend<I: IntoIterator<Item = (Stage, SimDuration)>>(&mut self, iter: I) {
+        for (s, d) in iter {
+            self.add(s, d);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: f64) -> SimDuration {
+        SimDuration::from_millis(v)
+    }
+
+    #[test]
+    fn add_accumulates_per_stage() {
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::Scoring, ms(1.0));
+        b.add(Stage::Scoring, ms(2.0));
+        b.add(Stage::InputTransfer, ms(0.5));
+        assert_eq!(b.get(Stage::Scoring), ms(3.0));
+        assert_eq!(b.len(), 2);
+        assert_eq!(b.total(), ms(3.5));
+    }
+
+    #[test]
+    fn missing_stage_reads_zero() {
+        let b = TimingBreakdown::new();
+        assert_eq!(b.get(Stage::ResultTransfer), SimDuration::ZERO);
+        assert!(b.is_empty());
+        assert!(b.dominant().is_none());
+    }
+
+    #[test]
+    fn dominant_and_fraction() {
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::SoftwareOverhead, ms(1.0));
+        b.add(Stage::Scoring, ms(3.0));
+        let (stage, d) = b.dominant().unwrap();
+        assert_eq!(stage, Stage::Scoring);
+        assert_eq!(d, ms(3.0));
+        assert!((b.fraction(Stage::Scoring) - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn class_totals_follow_fig6_taxonomy() {
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::InputTransfer, ms(1.0));
+        b.add(Stage::ResultTransfer, ms(1.0));
+        b.add(Stage::AcceleratorSetup, ms(0.25));
+        b.add(Stage::CompletionSignal, ms(0.25));
+        b.add(Stage::SoftwareOverhead, ms(0.5));
+        b.add(Stage::Scoring, ms(4.0));
+        assert_eq!(b.total_class(StageClass::Transfer), ms(2.0));
+        assert_eq!(b.total_class(StageClass::Overhead), ms(1.0));
+        assert_eq!(b.total_class(StageClass::Compute), ms(4.0));
+        assert_eq!(b.total_class(StageClass::Pipeline), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = TimingBreakdown::of(Stage::Scoring, ms(2.0));
+        let b = TimingBreakdown::of(Stage::Scoring, ms(1.0));
+        a.merge(&b);
+        assert_eq!(a.get(Stage::Scoring), ms(3.0));
+        let half = a.scaled(0.5);
+        assert_eq!(half.get(Stage::Scoring), ms(1.5));
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let b: TimingBreakdown = [
+            (Stage::Scoring, ms(1.0)),
+            (Stage::Scoring, ms(1.0)),
+            (Stage::DataTransfer, ms(2.0)),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(b.get(Stage::Scoring), ms(2.0));
+        assert_eq!(b.get(Stage::DataTransfer), ms(2.0));
+    }
+
+    #[test]
+    fn display_includes_stage_and_total() {
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::Scoring, ms(1.0));
+        let s = format!("{b}");
+        assert!(s.contains("scoring"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn stage_orders_cover_paper_figures() {
+        assert_eq!(Stage::fpga_breakdown_order().len(), 6);
+        assert_eq!(Stage::query_breakdown_order().len(), 5);
+        // Every FPGA breakdown stage is an offload-level class.
+        for s in Stage::fpga_breakdown_order() {
+            assert_ne!(s.class(), StageClass::Pipeline);
+        }
+    }
+}

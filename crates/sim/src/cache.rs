@@ -1,0 +1,197 @@
+//! A small working-set cache model.
+//!
+//! The paper attributes the CPU's and GPU's falling behind at large model /
+//! record sizes to cache misses and memory traffic (§IV-C, citing forest
+//! packing \[40\] and runtime tree optimizations \[41\]). We model that effect
+//! with a capacity-based hierarchy: an access to a working set that fits in
+//! level *i* costs that level's latency; between levels the cost is
+//! interpolated smoothly so sweeps do not produce artificial cliffs.
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// One level of a cache hierarchy.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CacheLevel {
+    /// Capacity in bytes.
+    pub capacity_bytes: u64,
+    /// Average access latency when the working set fits in this level.
+    pub access: SimDuration,
+}
+
+impl CacheLevel {
+    /// Creates a level with the given capacity (bytes) and access latency.
+    pub fn new(capacity_bytes: u64, access: SimDuration) -> Self {
+        Self {
+            capacity_bytes,
+            access,
+        }
+    }
+}
+
+/// A multi-level cache hierarchy ending in main memory.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::{CacheHierarchy, CacheLevel, SimDuration};
+///
+/// let xeon = CacheHierarchy::new(
+///     vec![
+///         CacheLevel::new(32 * 1024, SimDuration::from_nanos(1.5)),
+///         CacheLevel::new(1024 * 1024, SimDuration::from_nanos(5.0)),
+///         CacheLevel::new(36 * 1024 * 1024, SimDuration::from_nanos(18.0)),
+///     ],
+///     SimDuration::from_nanos(90.0),
+/// );
+/// // A tiny model scores out of L1:
+/// assert_eq!(xeon.access_cost(16 * 1024), SimDuration::from_nanos(1.5));
+/// // A model far larger than LLC pays memory latency:
+/// assert_eq!(xeon.access_cost(1 << 30), SimDuration::from_nanos(90.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CacheHierarchy {
+    levels: Vec<CacheLevel>,
+    memory_access: SimDuration,
+}
+
+impl CacheHierarchy {
+    /// Creates a hierarchy from innermost-to-outermost `levels` plus the main
+    /// memory access latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `levels` is empty or capacities are not strictly increasing.
+    pub fn new(levels: Vec<CacheLevel>, memory_access: SimDuration) -> Self {
+        assert!(!levels.is_empty(), "cache hierarchy needs at least one level");
+        for pair in levels.windows(2) {
+            assert!(
+                pair[0].capacity_bytes < pair[1].capacity_bytes,
+                "cache capacities must be strictly increasing"
+            );
+        }
+        Self {
+            levels,
+            memory_access,
+        }
+    }
+
+    /// The cache levels, innermost first.
+    pub fn levels(&self) -> &[CacheLevel] {
+        &self.levels
+    }
+
+    /// Main memory access latency.
+    pub fn memory_access(&self) -> SimDuration {
+        self.memory_access
+    }
+
+    /// Capacity of the outermost (last-level) cache in bytes.
+    pub fn llc_capacity(&self) -> u64 {
+        self.levels.last().expect("non-empty").capacity_bytes
+    }
+
+    /// Expected cost of one access given a resident working set of
+    /// `working_set_bytes`.
+    ///
+    /// If the working set fits in level *i* the cost is that level's latency.
+    /// When it spills past a level, the cost blends between the two
+    /// neighbouring levels in proportion to the fraction of the working set
+    /// that still fits (a standard capacity-miss approximation), reaching the
+    /// next level's latency when the set is 4x the smaller capacity.
+    pub fn access_cost(&self, working_set_bytes: u64) -> SimDuration {
+        let ws = working_set_bytes.max(1) as f64;
+        let mut prev = self.levels[0];
+        if ws <= prev.capacity_bytes as f64 {
+            return prev.access;
+        }
+        for level in self.levels.iter().skip(1).copied() {
+            if ws <= level.capacity_bytes as f64 {
+                return Self::blend(prev, level.access, ws);
+            }
+            prev = level;
+        }
+        Self::blend(prev, self.memory_access, ws)
+    }
+
+    /// Blend between `inner`'s latency and `outer_access` as the working set
+    /// grows past `inner`'s capacity; saturation at 4x the inner capacity.
+    fn blend(inner: CacheLevel, outer_access: SimDuration, ws: f64) -> SimDuration {
+        let cap = inner.capacity_bytes as f64;
+        let frac = ((ws / cap).log2() / 2.0).clamp(0.0, 1.0);
+        inner.access * (1.0 - frac) + outer_access * frac
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn three_level() -> CacheHierarchy {
+        CacheHierarchy::new(
+            vec![
+                CacheLevel::new(32 << 10, SimDuration::from_nanos(1.0)),
+                CacheLevel::new(1 << 20, SimDuration::from_nanos(4.0)),
+                CacheLevel::new(32 << 20, SimDuration::from_nanos(16.0)),
+            ],
+            SimDuration::from_nanos(80.0),
+        )
+    }
+
+    #[test]
+    fn fits_in_l1() {
+        let h = three_level();
+        assert_eq!(h.access_cost(1), SimDuration::from_nanos(1.0));
+        assert_eq!(h.access_cost(32 << 10), SimDuration::from_nanos(1.0));
+    }
+
+    #[test]
+    fn monotone_in_working_set() {
+        let h = three_level();
+        let mut prev = SimDuration::ZERO;
+        for shift in 10..32 {
+            let cost = h.access_cost(1u64 << shift);
+            assert!(cost >= prev, "cost must be non-decreasing (shift {shift})");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn saturates_at_memory_latency() {
+        let h = three_level();
+        assert_eq!(h.access_cost(16 << 30), SimDuration::from_nanos(80.0));
+    }
+
+    #[test]
+    fn blending_between_levels_is_partial() {
+        let h = three_level();
+        // 2x L1 capacity: halfway in log2 terms towards saturation at 4x.
+        let c = h.access_cost(64 << 10);
+        assert!(c > SimDuration::from_nanos(1.0));
+        assert!(c < SimDuration::from_nanos(4.0));
+    }
+
+    #[test]
+    fn llc_capacity_reported() {
+        assert_eq!(three_level().llc_capacity(), 32 << 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn rejects_non_increasing_capacities() {
+        CacheHierarchy::new(
+            vec![
+                CacheLevel::new(1 << 20, SimDuration::from_nanos(4.0)),
+                CacheLevel::new(1 << 20, SimDuration::from_nanos(8.0)),
+            ],
+            SimDuration::from_nanos(80.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one level")]
+    fn rejects_empty_hierarchy() {
+        CacheHierarchy::new(vec![], SimDuration::from_nanos(80.0));
+    }
+}

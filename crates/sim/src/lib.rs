@@ -1,0 +1,33 @@
+//! Simulated-time primitives shared by every `mlscore` device and pipeline model.
+//!
+//! The reproduction measures *modelled* time: every backend (CPU cost model,
+//! GPU analytic model, FPGA cycle model, DBMS pipeline) reports a
+//! [`TimingBreakdown`] built from [`SimDuration`] values. Keeping time in a
+//! dedicated newtype (rather than `std::time::Duration`) lets models work in
+//! fractional nanoseconds, scale breakdowns analytically, and stay fully
+//! deterministic across machines.
+//!
+//! # Example
+//!
+//! ```
+//! use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+//!
+//! let mut b = TimingBreakdown::new();
+//! b.add(Stage::InputTransfer, SimDuration::from_micros(420.0));
+//! b.add(Stage::Scoring, SimDuration::from_millis(4.0));
+//! assert!(b.total() > SimDuration::from_millis(4.0));
+//! assert_eq!(b.dominant().unwrap().0, Stage::Scoring);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod breakdown;
+pub mod cache;
+pub mod rate;
+pub mod time;
+
+pub use breakdown::{Stage, StageClass, TimingBreakdown};
+pub use cache::{CacheHierarchy, CacheLevel};
+pub use rate::{transfer_time, Bandwidth, ClockRate};
+pub use time::SimDuration;

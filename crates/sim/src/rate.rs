@@ -1,0 +1,182 @@
+//! Bandwidth, clock-rate, and transfer-time helpers.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimDuration;
+
+/// A data-movement bandwidth in bytes per second.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::Bandwidth;
+///
+/// let pcie3x16 = Bandwidth::from_gb_per_sec(12.0);
+/// let t = pcie3x16.transfer_time(112_000_000); // 1M HIGGS rows
+/// assert!((t.as_millis() - 9.33).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Bandwidth(f64);
+
+impl Bandwidth {
+    /// Creates a bandwidth from bytes per second.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the value is finite and positive.
+    pub fn from_bytes_per_sec(bps: f64) -> Self {
+        debug_assert!(bps.is_finite() && bps > 0.0, "invalid bandwidth: {bps}");
+        Bandwidth(bps)
+    }
+
+    /// Creates a bandwidth from gigabytes (1e9 bytes) per second.
+    pub fn from_gb_per_sec(gbps: f64) -> Self {
+        Self::from_bytes_per_sec(gbps * 1e9)
+    }
+
+    /// The bandwidth in bytes per second.
+    pub fn bytes_per_sec(self) -> f64 {
+        self.0
+    }
+
+    /// The bandwidth in gigabytes per second.
+    pub fn gb_per_sec(self) -> f64 {
+        self.0 / 1e9
+    }
+
+    /// Time to move `bytes` at this bandwidth (pure streaming, no latency).
+    pub fn transfer_time(self, bytes: u64) -> SimDuration {
+        SimDuration::from_secs(bytes as f64 / self.0)
+    }
+
+    /// Returns this bandwidth derated by `efficiency` in `(0, 1]`,
+    /// e.g. protocol/DMA efficiency on a PCIe link.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts `0 < efficiency <= 1`.
+    pub fn derated(self, efficiency: f64) -> Bandwidth {
+        debug_assert!(
+            efficiency > 0.0 && efficiency <= 1.0,
+            "invalid efficiency: {efficiency}"
+        );
+        Bandwidth(self.0 * efficiency)
+    }
+}
+
+impl fmt::Display for Bandwidth {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.2} GB/s", self.gb_per_sec())
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::ClockRate;
+///
+/// let fpga = ClockRate::from_mhz(250.0);
+/// assert_eq!(fpga.cycle_time().as_nanos(), 4.0);
+/// assert_eq!(fpga.cycles(1_000_000).as_millis(), 4.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct ClockRate(f64);
+
+impl ClockRate {
+    /// Creates a clock rate from hertz.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that the value is finite and positive.
+    pub fn from_hz(hz: f64) -> Self {
+        debug_assert!(hz.is_finite() && hz > 0.0, "invalid clock rate: {hz}");
+        ClockRate(hz)
+    }
+
+    /// Creates a clock rate from megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::from_hz(mhz * 1e6)
+    }
+
+    /// Creates a clock rate from gigahertz.
+    pub fn from_ghz(ghz: f64) -> Self {
+        Self::from_hz(ghz * 1e9)
+    }
+
+    /// The rate in hertz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Duration of one clock cycle.
+    pub fn cycle_time(self) -> SimDuration {
+        SimDuration::from_secs(1.0 / self.0)
+    }
+
+    /// Duration of `n` clock cycles.
+    pub fn cycles(self, n: u64) -> SimDuration {
+        SimDuration::from_secs(n as f64 / self.0)
+    }
+}
+
+impl fmt::Display for ClockRate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.0} MHz", self.0 / 1e6)
+    }
+}
+
+/// Transfer time for `bytes` over a link with fixed `latency` plus streaming
+/// at `bandwidth`.
+///
+/// This is the standard latency-bandwidth (alpha-beta) model used for every
+/// host/accelerator copy in the reproduction.
+pub fn transfer_time(bytes: u64, latency: SimDuration, bandwidth: Bandwidth) -> SimDuration {
+    latency + bandwidth.transfer_time(bytes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bandwidth_transfer_time() {
+        let bw = Bandwidth::from_gb_per_sec(10.0);
+        assert_eq!(bw.transfer_time(10_000_000_000).as_secs(), 1.0);
+        assert_eq!(bw.transfer_time(0), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn bandwidth_derating() {
+        let raw = Bandwidth::from_gb_per_sec(15.75);
+        let eff = raw.derated(0.8);
+        assert!((eff.gb_per_sec() - 12.6).abs() < 1e-9);
+    }
+
+    #[test]
+    fn clock_cycles() {
+        let c = ClockRate::from_mhz(250.0);
+        assert_eq!(c.cycle_time(), SimDuration::from_nanos(4.0));
+        assert_eq!(c.cycles(250), SimDuration::from_micros(1.0));
+        assert_eq!(ClockRate::from_ghz(2.6).hz(), 2.6e9);
+    }
+
+    #[test]
+    fn alpha_beta_transfer() {
+        let t = transfer_time(
+            1_000_000,
+            SimDuration::from_micros(5.0),
+            Bandwidth::from_gb_per_sec(1.0),
+        );
+        assert!((t.as_micros() - 1005.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(format!("{}", Bandwidth::from_gb_per_sec(12.0)), "12.00 GB/s");
+        assert_eq!(format!("{}", ClockRate::from_mhz(250.0)), "250 MHz");
+    }
+}

@@ -1,0 +1,274 @@
+//! The [`SimDuration`] simulated-time type.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, Mul, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+/// A span of simulated time, stored as `f64` seconds.
+///
+/// Unlike `std::time::Duration`, a `SimDuration` can hold sub-nanosecond
+/// values (an FPGA clock tick at 250 MHz is 4 ns; a single pipelined scoring
+/// slot may be a fraction of that after amortization) and supports scaling by
+/// arbitrary `f64` factors, which analytic cost models need.
+///
+/// Values are expected to be non-negative and finite; constructors debug-assert
+/// this. Ordering uses IEEE `total_cmp`, so `SimDuration` is `Ord`-comparable
+/// through [`SimDuration::min`]/[`SimDuration::max`] and `partial_cmp` never
+/// surprises for the valid (finite) domain.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::SimDuration;
+///
+/// let cycle = SimDuration::from_nanos(4.0); // 250 MHz
+/// let million_records = cycle * 1_000_000.0;
+/// assert_eq!(million_records, SimDuration::from_millis(4.0));
+/// assert_eq!(format!("{million_records}"), "4.000ms");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimDuration(f64);
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0.0);
+
+    /// Creates a duration from seconds.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `secs` is finite and non-negative.
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration(secs)
+    }
+
+    /// Creates a duration from milliseconds.
+    pub fn from_millis(ms: f64) -> Self {
+        Self::from_secs(ms * 1e-3)
+    }
+
+    /// Creates a duration from microseconds.
+    pub fn from_micros(us: f64) -> Self {
+        Self::from_secs(us * 1e-6)
+    }
+
+    /// Creates a duration from nanoseconds.
+    pub fn from_nanos(ns: f64) -> Self {
+        Self::from_secs(ns * 1e-9)
+    }
+
+    /// The duration in seconds.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// The duration in milliseconds.
+    pub fn as_millis(self) -> f64 {
+        self.0 * 1e3
+    }
+
+    /// The duration in microseconds.
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The duration in nanoseconds.
+    pub fn as_nanos(self) -> f64 {
+        self.0 * 1e9
+    }
+
+    /// Returns the smaller of two durations.
+    pub fn min(self, other: SimDuration) -> SimDuration {
+        if self.0.total_cmp(&other.0).is_le() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns the larger of two durations.
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.0.total_cmp(&other.0).is_ge() {
+            self
+        } else {
+            other
+        }
+    }
+
+    /// Returns `true` if this is exactly zero.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0.0
+    }
+
+    /// The ratio `self / other`, i.e. how many times `other` fits in `self`.
+    ///
+    /// Useful for speedup computations: `baseline.ratio(accelerated)` is the
+    /// speedup of the accelerated backend over the baseline.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `other` is non-zero.
+    pub fn ratio(self, other: SimDuration) -> f64 {
+        debug_assert!(!other.is_zero(), "ratio against zero duration");
+        self.0 / other.0
+    }
+
+    /// Converts record count and this total duration into a throughput in
+    /// records per second.
+    pub fn throughput(self, records: u64) -> f64 {
+        if self.is_zero() {
+            f64::INFINITY
+        } else {
+            records as f64 / self.0
+        }
+    }
+}
+
+impl Eq for SimDuration {}
+
+impl PartialOrd for SimDuration {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimDuration {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration((self.0 - rhs.0).max(0.0))
+    }
+}
+
+impl SubAssign for SimDuration {
+    fn sub_assign(&mut self, rhs: SimDuration) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 * rhs)
+    }
+}
+
+impl Div<f64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: f64) -> SimDuration {
+        SimDuration(self.0 / rhs)
+    }
+}
+
+impl Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> SimDuration {
+        iter.fold(SimDuration::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for SimDuration {
+    /// Renders with an auto-selected unit: `ns`, `µs`, `ms`, or `s`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = self.0;
+        if s == 0.0 {
+            write!(f, "0ns")
+        } else if s < 1e-6 {
+            write!(f, "{:.1}ns", s * 1e9)
+        } else if s < 1e-3 {
+            write!(f, "{:.2}µs", s * 1e6)
+        } else if s < 1.0 {
+            write!(f, "{:.3}ms", s * 1e3)
+        } else {
+            write!(f, "{:.3}s", s)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_constructors_roundtrip() {
+        assert_eq!(SimDuration::from_millis(1.0).as_micros(), 1000.0);
+        assert_eq!(SimDuration::from_micros(1.0).as_nanos(), 1000.0);
+        assert!((SimDuration::from_nanos(500.0).as_secs() - 5e-7).abs() < 1e-18);
+        assert_eq!(SimDuration::from_secs(2.0).as_millis(), 2000.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = SimDuration::from_millis(3.0);
+        let b = SimDuration::from_millis(1.0);
+        assert_eq!(a + b, SimDuration::from_millis(4.0));
+        assert_eq!(a - b, SimDuration::from_millis(2.0));
+        assert_eq!(a * 2.0, SimDuration::from_millis(6.0));
+        assert_eq!(a / 3.0, SimDuration::from_millis(1.0));
+    }
+
+    #[test]
+    fn subtraction_saturates_at_zero() {
+        let a = SimDuration::from_millis(1.0);
+        let b = SimDuration::from_millis(3.0);
+        assert_eq!(a - b, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn min_max_ordering() {
+        let a = SimDuration::from_micros(10.0);
+        let b = SimDuration::from_micros(20.0);
+        assert_eq!(a.min(b), a);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn ratio_is_speedup() {
+        let cpu = SimDuration::from_millis(697.0);
+        let fpga = SimDuration::from_millis(10.0);
+        assert!((cpu.ratio(fpga) - 69.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_records_per_second() {
+        let t = SimDuration::from_millis(10.0);
+        assert_eq!(t.throughput(1_000_000), 1e8);
+        assert_eq!(SimDuration::ZERO.throughput(1), f64::INFINITY);
+    }
+
+    #[test]
+    fn display_picks_unit() {
+        assert_eq!(format!("{}", SimDuration::from_nanos(12.0)), "12.0ns");
+        assert_eq!(format!("{}", SimDuration::from_micros(12.0)), "12.00µs");
+        assert_eq!(format!("{}", SimDuration::from_millis(12.0)), "12.000ms");
+        assert_eq!(format!("{}", SimDuration::from_secs(1.5)), "1.500s");
+        assert_eq!(format!("{}", SimDuration::ZERO), "0ns");
+    }
+
+    #[test]
+    fn sum_over_iterator() {
+        let total: SimDuration = (0..4).map(|_| SimDuration::from_micros(25.0)).sum();
+        assert_eq!(total, SimDuration::from_micros(100.0));
+    }
+}

@@ -1,0 +1,180 @@
+//! Property tests on the simulated-time primitives: the algebra every cost
+//! model in the workspace leans on.
+
+use proptest::prelude::*;
+
+use mlscore_sim::{
+    Bandwidth, CacheHierarchy, CacheLevel, ClockRate, SimDuration, Stage, TimingBreakdown,
+};
+
+fn arb_duration() -> impl Strategy<Value = SimDuration> {
+    (0.0f64..1e6).prop_map(SimDuration::from_micros)
+}
+
+fn arb_stage() -> impl Strategy<Value = Stage> {
+    prop_oneof![
+        Just(Stage::InputTransfer),
+        Just(Stage::AcceleratorSetup),
+        Just(Stage::Scoring),
+        Just(Stage::CompletionSignal),
+        Just(Stage::ResultTransfer),
+        Just(Stage::SoftwareOverhead),
+        Just(Stage::ModelPreprocessing),
+        Just(Stage::DataPreprocessing),
+        Just(Stage::PythonInvocation),
+        Just(Stage::DataTransfer),
+        Just(Stage::PostProcessing),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn duration_addition_is_commutative_and_monotone(
+        a in arb_duration(),
+        b in arb_duration(),
+    ) {
+        prop_assert_eq!(a + b, b + a);
+        prop_assert!(a + b >= a);
+        prop_assert!(a + b >= b);
+        prop_assert_eq!((a + b) - b <= a + SimDuration::from_nanos(1.0), true);
+    }
+
+    #[test]
+    fn duration_subtraction_saturates(a in arb_duration(), b in arb_duration()) {
+        let d = a - b;
+        prop_assert!(d >= SimDuration::ZERO);
+        if a >= b {
+            prop_assert!((d.as_secs() - (a.as_secs() - b.as_secs())).abs() < 1e-15);
+        } else {
+            prop_assert_eq!(d, SimDuration::ZERO);
+        }
+    }
+
+    #[test]
+    fn scaling_distributes_over_addition(
+        a in arb_duration(),
+        b in arb_duration(),
+        k in 0.0f64..1e3,
+    ) {
+        let lhs = (a + b) * k;
+        let rhs = a * k + b * k;
+        prop_assert!((lhs.as_secs() - rhs.as_secs()).abs() <= 1e-9 * lhs.as_secs().max(1e-30));
+    }
+
+    #[test]
+    fn min_max_partition(a in arb_duration(), b in arb_duration()) {
+        let (lo, hi) = (a.min(b), a.max(b));
+        prop_assert!(lo <= hi);
+        prop_assert_eq!(lo + hi, a + b);
+    }
+
+    #[test]
+    fn breakdown_total_equals_sum_of_entries(
+        entries in proptest::collection::vec((arb_stage(), arb_duration()), 0..24),
+    ) {
+        let breakdown: TimingBreakdown = entries.iter().copied().collect();
+        let expected: SimDuration = entries.iter().map(|(_, d)| *d).sum();
+        prop_assert!(
+            (breakdown.total().as_secs() - expected.as_secs()).abs()
+                <= 1e-9 * expected.as_secs().max(1e-30)
+        );
+        // Per-stage accumulation matches a manual tally.
+        for (stage, _) in &entries {
+            let manual: SimDuration = entries
+                .iter()
+                .filter(|(s, _)| s == stage)
+                .map(|(_, d)| *d)
+                .sum();
+            prop_assert!(
+                (breakdown.get(*stage).as_secs() - manual.as_secs()).abs()
+                    <= 1e-9 * manual.as_secs().max(1e-30)
+            );
+        }
+    }
+
+    #[test]
+    fn breakdown_merge_adds_totals(
+        a in proptest::collection::vec((arb_stage(), arb_duration()), 0..12),
+        b in proptest::collection::vec((arb_stage(), arb_duration()), 0..12),
+    ) {
+        let ba: TimingBreakdown = a.into_iter().collect();
+        let bb: TimingBreakdown = b.into_iter().collect();
+        let mut merged = ba.clone();
+        merged.merge(&bb);
+        let want = ba.total() + bb.total();
+        prop_assert!(
+            (merged.total().as_secs() - want.as_secs()).abs()
+                <= 1e-9 * want.as_secs().max(1e-30)
+        );
+    }
+
+    #[test]
+    fn breakdown_scaling_scales_total(
+        entries in proptest::collection::vec((arb_stage(), arb_duration()), 1..12),
+        k in 0.0f64..100.0,
+    ) {
+        let b: TimingBreakdown = entries.into_iter().collect();
+        let scaled = b.scaled(k);
+        prop_assert!(
+            (scaled.total().as_secs() - b.total().as_secs() * k).abs()
+                <= 1e-9 * (b.total().as_secs() * k).max(1e-30)
+        );
+    }
+
+    #[test]
+    fn dominant_is_maximal(
+        entries in proptest::collection::vec((arb_stage(), arb_duration()), 1..12),
+    ) {
+        let b: TimingBreakdown = entries.into_iter().collect();
+        let (_, top) = b.dominant().unwrap();
+        for (_, d) in b.iter() {
+            prop_assert!(d <= top);
+        }
+    }
+
+    #[test]
+    fn fractions_sum_to_one(
+        entries in proptest::collection::vec((arb_stage(), 1.0f64..1e6), 1..12),
+    ) {
+        let b: TimingBreakdown = entries
+            .into_iter()
+            .map(|(s, us)| (s, SimDuration::from_micros(us)))
+            .collect();
+        let total: f64 = b.iter().map(|(s, _)| b.fraction(s)).sum::<f64>();
+        // Stages are deduplicated by `iter`, so fractions over distinct
+        // stages must sum to 1.
+        prop_assert!((total - 1.0).abs() < 1e-9, "fractions sum {total}");
+    }
+
+    #[test]
+    fn bandwidth_transfer_scales_linearly(gb in 0.1f64..100.0, bytes in 0u64..1 << 40) {
+        let bw = Bandwidth::from_gb_per_sec(gb);
+        let one = bw.transfer_time(bytes);
+        let two = bw.transfer_time(bytes * 2);
+        prop_assert!((two.as_secs() - 2.0 * one.as_secs()).abs() <= 1e-9 * two.as_secs().max(1e-30));
+    }
+
+    #[test]
+    fn clock_cycles_compose(mhz in 1.0f64..5_000.0, a in 0u64..1 << 30, b in 0u64..1 << 30) {
+        let c = ClockRate::from_mhz(mhz);
+        let lhs = c.cycles(a + b);
+        let rhs = c.cycles(a) + c.cycles(b);
+        prop_assert!((lhs.as_secs() - rhs.as_secs()).abs() <= 1e-9 * lhs.as_secs().max(1e-30));
+    }
+
+    #[test]
+    fn cache_cost_monotone_in_working_set(ws_a in 1u64..1 << 36, ws_b in 1u64..1 << 36) {
+        let h = CacheHierarchy::new(
+            vec![
+                CacheLevel::new(32 << 10, SimDuration::from_nanos(1.5)),
+                CacheLevel::new(1 << 20, SimDuration::from_nanos(5.0)),
+                CacheLevel::new(32 << 20, SimDuration::from_nanos(20.0)),
+            ],
+            SimDuration::from_nanos(90.0),
+        );
+        let (lo, hi) = if ws_a <= ws_b { (ws_a, ws_b) } else { (ws_b, ws_a) };
+        prop_assert!(h.access_cost(lo) <= h.access_cost(hi));
+        prop_assert!(h.access_cost(hi) <= SimDuration::from_nanos(90.0));
+        prop_assert!(h.access_cost(lo) >= SimDuration::from_nanos(1.5));
+    }
+}

@@ -1,0 +1,25 @@
+//! Prints the Fig. 1 / Fig. 8 shmoo: the best-performing backend for every
+//! (tree count x record count) cell of both datasets, with speedups over
+//! the best CPU engine.
+//!
+//! ```text
+//! cargo run --release --example accelerator_shmoo
+//! ```
+
+use mlscore_core::report::render_shmoo;
+use mlscore_core::shmoo::ShmooTable;
+use mlscore_data::DatasetSpec;
+
+fn main() {
+    for dataset in DatasetSpec::all() {
+        let table = ShmooTable::paper_grid(dataset);
+        println!("{}", render_shmoo(&table));
+        // Fig. 1's simplified family view.
+        println!("family map (rows = records, cols = trees):");
+        for (i, &n) in table.record_counts.iter().enumerate() {
+            let row: Vec<&str> = table.cells[i].iter().map(|c| c.family()).collect();
+            println!("  {:>9}: {}", n, row.join("  "));
+        }
+        println!();
+    }
+}

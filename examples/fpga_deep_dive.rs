@@ -1,0 +1,91 @@
+//! FPGA engine deep dive: BRAM planning, multi-pass execution for >128
+//! trees, cycle accounting, and split execution for trees deeper than the
+//! engine's 10-level capacity (the paper's §III-B extension).
+//!
+//! ```text
+//! cargo run --release --example fpga_deep_dive
+//! ```
+
+use mlscore::prelude::*;
+use mlscore_backend::CpuSpec;
+use mlscore_fpga::{split_score, InferenceEngine};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let engine = InferenceEngine::paper_default();
+    let data = Dataset::iris(5_000, 3).normalized();
+
+    // 1. The paper's flagship model: 128 trees x depth 10 fits in one pass.
+    let model_128 = RandomForest::synthetic_full(
+        &ForestConfig::classification(128, 4, 3).with_depth(10),
+        9,
+    );
+    let loaded = engine.load(&model_128)?;
+    println!(
+        "128-tree model: {} pass(es), model image {} KiB",
+        loaded.passes(),
+        loaded.model_bytes() / 1024
+    );
+    println!("BRAM plan:");
+    for region in loaded.bram().regions() {
+        println!("  {:<16} {:>10} bytes", region.label, region.bytes);
+    }
+    println!(
+        "  used {} / {} bytes ({:.1}%)",
+        loaded.bram().used_bytes(),
+        loaded.bram().capacity(),
+        100.0 * loaded.bram().used_bytes() as f64 / loaded.bram().capacity() as f64
+    );
+
+    let run = engine.execute(&loaded, data.frame().as_slice());
+    println!(
+        "scored {} records in {} cycles ({} fill + {} streaming) -> {}\n",
+        run.predictions.len(),
+        run.report.total_cycles,
+        run.report.fill_cycles,
+        run.report.streaming_cycles,
+        engine.device().clock.cycles(run.report.total_cycles),
+    );
+
+    // 2. A 300-tree model needs three passes, as §III-B describes.
+    let model_300 = RandomForest::synthetic_full(
+        &ForestConfig::classification(300, 4, 3).with_depth(8),
+        4,
+    );
+    let loaded = engine.load(&model_300)?;
+    let run = engine.execute(&loaded, data.frame().as_slice());
+    println!(
+        "300-tree model: {} passes, {} total cycles",
+        run.report.passes, run.report.total_cycles
+    );
+    assert_eq!(
+        run.predictions,
+        model_300.predict_batch(data.frame().as_slice()),
+        "multi-pass voting must match reference"
+    );
+
+    // 3. Depth 14 exceeds the engine: plain loading fails...
+    let deep = RandomForest::synthetic_capped(
+        &ForestConfig::classification(8, 4, 3).with_depth(14),
+        400,
+        2,
+    );
+    println!("\ndepth-14 model: load -> {:?}", engine.load(&deep).err());
+
+    // ...but split execution finishes the deep paths on the CPU.
+    let (preds, report) = split_score(&engine, &deep, data.frame());
+    assert_eq!(preds, deep.predict_batch(data.frame().as_slice()));
+    println!(
+        "split execution: {:.1}% of traversals finished on the FPGA, {} CPU visits",
+        report.fpga_fraction() * 100.0,
+        report.cpu_visits
+    );
+    let est = mlscore_fpga::split::split_estimate(
+        &engine,
+        &CpuSpec::xeon_8171m(),
+        &ModelStats::of(&deep),
+        data.frame().n_rows() as u64,
+        &report,
+    );
+    println!("split-execution time model:\n{est}");
+    Ok(())
+}

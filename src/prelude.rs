@@ -1,0 +1,10 @@
+//! Convenient re-exports of the types most programs need.
+//!
+//! ```
+//! use mlscore::prelude::*;
+//! ```
+
+pub use mlscore_backend::{ScoringBackend, ScoringRequest};
+pub use mlscore_data::{Dataset, DatasetSpec, TabularFrame};
+pub use mlscore_forest::{ForestConfig, ModelStats, RandomForest, Task, TrainedModel};
+pub use mlscore_sim::{SimDuration, Stage, TimingBreakdown};

@@ -1,0 +1,107 @@
+//! Cross-model integration: random forests and gradient-boosted trees
+//! trained on the same data, compared on accuracy and on how they map onto
+//! the study's infrastructure (flat layouts, model statistics).
+
+use mlscore::prelude::*;
+use mlscore_data::train_test_split;
+use mlscore_forest::{
+    metrics::accuracy, FlatTree, ForestBuilder, GradientBoost, GradientBoostConfig,
+    TrainOptions,
+};
+
+#[test]
+fn forest_and_gbdt_both_learn_higgs() {
+    let data = Dataset::higgs(1_200, 13);
+    let (train, test) = train_test_split(&data, 0.8, 2).unwrap();
+    let (x, y) = (train.frame().as_slice(), train.labels());
+
+    let forest = ForestBuilder::new(
+        12,
+        TrainOptions {
+            max_depth: 7,
+            seed: 4,
+            ..Default::default()
+        },
+    )
+    .train_classifier(x, 28, y, 2)
+    .unwrap();
+    let gbdt = GradientBoost::train_binary(
+        x,
+        28,
+        y,
+        &GradientBoostConfig {
+            n_stages: 18,
+            depth: 4,
+            learning_rate: 0.3,
+            seed: 4,
+        },
+    )
+    .unwrap();
+
+    let majority = {
+        let ones = test.labels().iter().filter(|&&c| c == 1).count();
+        ones.max(test.labels().len() - ones) as f64 / test.labels().len() as f64
+    };
+    let forest_preds = forest.predict_batch(test.frame().as_slice());
+    let forest_acc = accuracy(forest_preds.as_classes().unwrap(), test.labels());
+    let gbdt_preds: Vec<u32> = test
+        .frame()
+        .rows()
+        .map(|row| gbdt.predict_class(row))
+        .collect();
+    let gbdt_acc = accuracy(&gbdt_preds, test.labels());
+    assert!(forest_acc > majority, "forest {forest_acc} vs majority {majority}");
+    assert!(gbdt_acc > majority, "gbdt {gbdt_acc} vs majority {majority}");
+}
+
+#[test]
+fn gbdt_stage_trees_flatten_like_forest_trees() {
+    // Each boosting stage is an ordinary DecisionTree, so the FPGA's flat
+    // layout applies per stage — the path by which a boosted model would
+    // ride the same engine.
+    let x: Vec<f32> = (0..200).map(|i| i as f32 / 200.0).collect();
+    let y: Vec<f32> = x.iter().map(|&v| (v * 4.0).sin()).collect();
+    let model = GradientBoost::train_regressor(
+        &x,
+        1,
+        &y,
+        &GradientBoostConfig {
+            n_stages: 8,
+            depth: 4,
+            ..Default::default()
+        },
+    )
+    .unwrap();
+    for tree in model.trees() {
+        let flat = FlatTree::from_tree(tree, 10).unwrap();
+        // Flat scoring of the stage agrees with tree scoring.
+        for &v in &[0.1f32, 0.4, 0.9] {
+            assert_eq!(
+                flat.score(&[v]),
+                tree.predict(&[v]).as_value().unwrap()
+            );
+        }
+    }
+}
+
+#[test]
+fn gbdt_probabilities_are_probabilities() {
+    let data = Dataset::higgs(400, 21);
+    let model = GradientBoost::train_binary(
+        data.frame().as_slice(),
+        28,
+        data.labels(),
+        &GradientBoostConfig {
+            n_stages: 10,
+            depth: 3,
+            learning_rate: 0.3,
+            seed: 1,
+        },
+    )
+    .unwrap();
+    for row in data.frame().rows().take(100) {
+        let p = model.predict_proba(row);
+        assert!((0.0..=1.0).contains(&p), "probability {p}");
+        assert_eq!(model.predict_class(row), u32::from(p > 0.5));
+    }
+}

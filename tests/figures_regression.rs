@@ -1,0 +1,137 @@
+//! Regression guards on the figure generators: determinism, structural
+//! completeness, and export integrity. These catch accidental calibration
+//! drift that the looser shape bands might admit.
+
+use mlscore_core::{calibration, export, figures, shmoo::ShmooTable};
+use mlscore_data::DatasetSpec;
+use mlscore_sim::Stage;
+
+#[test]
+fn figure_generation_is_deterministic() {
+    let a = figures::fig9_over(DatasetSpec::Higgs, 128, 10, &[1, 1_000, 1_000_000]);
+    let b = figures::fig9_over(DatasetSpec::Higgs, 128, 10, &[1, 1_000, 1_000_000]);
+    assert_eq!(a, b);
+    let sa = ShmooTable::build(DatasetSpec::Iris, 10, &[1, 128], &[1, 1_000_000]);
+    let sb = ShmooTable::build(DatasetSpec::Iris, 10, &[1, 128], &[1, 1_000_000]);
+    assert_eq!(sa, sb);
+}
+
+#[test]
+fn paper_models_are_stable_across_calls() {
+    for dataset in DatasetSpec::all() {
+        for trees in [1usize, 128] {
+            assert_eq!(
+                calibration::paper_model(dataset, trees, 10),
+                calibration::paper_model(dataset, trees, 10)
+            );
+        }
+    }
+}
+
+#[test]
+fn fig9_series_sets_match_dataset_support() {
+    // IRIS (3 classes): 5 series; HIGGS (binary): 6 series with RAPIDS.
+    let iris = figures::fig9_over(DatasetSpec::Iris, 16, 10, &[100]);
+    let higgs = figures::fig9_over(DatasetSpec::Higgs, 16, 10, &[100]);
+    assert_eq!(iris.series.len(), 5);
+    assert_eq!(higgs.series.len(), 6);
+    let names: Vec<&str> = higgs.series.iter().map(|s| s.name.as_str()).collect();
+    for expected in [
+        "CPU_SKLearn_52th",
+        "CPU_ONNX",
+        "CPU_ONNX_52th",
+        "GPU-HB",
+        "GPU-RAPIDS",
+        "FPGA",
+    ] {
+        assert!(names.contains(&expected), "missing series {expected}");
+    }
+}
+
+#[test]
+fn latencies_are_monotone_in_record_count() {
+    // Every backend's modelled latency must be non-decreasing in batch
+    // size, for every panel configuration.
+    for dataset in DatasetSpec::all() {
+        for trees in [1usize, 128] {
+            let c = figures::fig9(dataset, trees, 10);
+            for s in &c.series {
+                for w in s.totals.windows(2) {
+                    assert!(
+                        w[1] >= w[0],
+                        "{dataset:?} {trees}t {}: latency decreased with batch size",
+                        s.name
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn deeper_trees_never_score_faster() {
+    for dataset in DatasetSpec::all() {
+        let d6 = figures::fig9_over(dataset, 128, 6, &[1_000_000]);
+        let d10 = figures::fig9_over(dataset, 128, 10, &[1_000_000]);
+        for s6 in &d6.series {
+            if let Some(s10) = d10.series_for(&s6.name) {
+                assert!(
+                    s10.totals[0] >= s6.totals[0] * 0.99,
+                    "{dataset:?} {}: depth 10 faster than depth 6",
+                    s6.name
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn export_save_all_is_reproducible() {
+    let base = std::env::temp_dir().join(format!("mlscore_regr_{}", std::process::id()));
+    let dir_a = base.join("a");
+    let dir_b = base.join("b");
+    let wrote_a = export::save_all(&dir_a).unwrap();
+    let wrote_b = export::save_all(&dir_b).unwrap();
+    assert_eq!(wrote_a, wrote_b);
+    for name in &wrote_a {
+        let a = std::fs::read(dir_a.join(name)).unwrap();
+        let b = std::fs::read(dir_b.join(name)).unwrap();
+        assert_eq!(a, b, "{name} differs between runs");
+    }
+    std::fs::remove_dir_all(&base).unwrap();
+}
+
+#[test]
+fn fig7_totals_are_consistent_with_component_sum() {
+    for r in figures::fig7a().iter().chain(figures::fig7b().iter()) {
+        let component_sum: f64 = Stage::fpga_breakdown_order()
+            .iter()
+            .map(|&s| r.breakdown.get(s).as_secs())
+            .sum();
+        assert!(
+            (component_sum - r.breakdown.total().as_secs()).abs() < 1e-12,
+            "breakdown contains stages outside the Fig. 7 taxonomy"
+        );
+    }
+}
+
+#[test]
+fn shmoo_gpu_row_matches_manual_computation() {
+    let table = ShmooTable::paper_grid(DatasetSpec::Higgs);
+    for (j, &trees) in table.tree_counts.iter().enumerate() {
+        let point = mlscore_core::experiment::SweepPoint::evaluate(
+            DatasetSpec::Higgs,
+            trees,
+            10,
+            1_000_000,
+        );
+        let expected = point
+            .best_gpu()
+            .map(|g| point.best_cpu().total().ratio(g.total()));
+        match (expected, table.gpu_row[j]) {
+            (Some(e), Some(g)) => assert!((e - g).abs() < 1e-9),
+            (None, None) => {}
+            other => panic!("gpu row mismatch at {trees} trees: {other:?}"),
+        }
+    }
+}

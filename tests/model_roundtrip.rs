@@ -1,0 +1,132 @@
+//! Property tests on the model representations: serialization and the flat
+//! layout must both roundtrip losslessly, and flat-layout scoring must
+//! agree with tree scoring on arbitrary inputs.
+
+use proptest::prelude::*;
+
+use mlscore::prelude::*;
+use mlscore_forest::{FlatForest, FlatTree, ModelBundle};
+
+fn arb_config() -> impl Strategy<Value = ForestConfig> {
+    (1usize..10, 0usize..9, 1usize..12, 2u32..6).prop_map(
+        |(n_trees, depth, n_features, n_classes)| {
+            ForestConfig::classification(n_trees, n_features, n_classes).with_depth(depth)
+        },
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn bundle_roundtrip_full(config in arb_config(), seed in any::<u64>()) {
+        let forest = RandomForest::synthetic_full(&config, seed);
+        let bundle = ModelBundle::serialize(&forest);
+        prop_assert_eq!(bundle.deserialize().unwrap(), forest);
+    }
+
+    #[test]
+    fn bundle_roundtrip_capped(
+        config in arb_config(),
+        max_leaves in 1usize..300,
+        seed in any::<u64>(),
+    ) {
+        let forest = RandomForest::synthetic_capped(&config, max_leaves, seed);
+        let bundle = ModelBundle::serialize(&forest);
+        prop_assert_eq!(bundle.deserialize().unwrap(), forest);
+    }
+
+    #[test]
+    fn bundle_roundtrip_regression(
+        n_trees in 1usize..8,
+        depth in 0usize..8,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ForestConfig::regression(n_trees, 5).with_depth(depth);
+        let forest = RandomForest::synthetic_full(&cfg, seed);
+        let bundle = ModelBundle::serialize(&forest);
+        prop_assert_eq!(bundle.deserialize().unwrap(), forest);
+    }
+
+    #[test]
+    fn truncated_bundles_never_panic(
+        config in arb_config(),
+        seed in any::<u64>(),
+        cut_fraction in 0.0f64..1.0,
+    ) {
+        let forest = RandomForest::synthetic_full(&config, seed);
+        let raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        let cut = ((raw.len() as f64) * cut_fraction) as usize;
+        if cut < raw.len() {
+            let bundle = ModelBundle::from_bytes(bytes::Bytes::from(raw[..cut].to_vec()));
+            prop_assert!(bundle.deserialize().is_err());
+        }
+    }
+
+    #[test]
+    fn corrupted_bundles_never_roundtrip_silently_wrong(
+        config in arb_config(),
+        seed in any::<u64>(),
+        flip_byte in any::<usize>(),
+        flip_bits in 1u8..=255,
+    ) {
+        // Flipping bits may or may not produce a parseable bundle, but it
+        // must never panic, and if it parses the result must still be a
+        // structurally valid forest (from_trees validation holds).
+        let forest = RandomForest::synthetic_full(&config, seed);
+        let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
+        let idx = flip_byte % raw.len();
+        raw[idx] ^= flip_bits;
+        let bundle = ModelBundle::from_bytes(bytes::Bytes::from(raw));
+        if let Ok(parsed) = bundle.deserialize() {
+            // Structural invariants held by construction.
+            prop_assert!(parsed.n_trees() > 0);
+            for tree in parsed.trees() {
+                prop_assert!(tree
+                    .validate(parsed.n_features(), parsed.task().n_classes())
+                    .is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn flat_layout_roundtrips_and_scores_identically(
+        config in arb_config(),
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(0.0f32..1.0, 12),
+    ) {
+        let forest = RandomForest::synthetic_full(&config, seed);
+        let flat = FlatForest::from_forest(&forest, config.depth).unwrap();
+        // Roundtrip each tree.
+        for (flat_tree, tree) in flat.trees().iter().zip(forest.trees()) {
+            prop_assert_eq!(&flat_tree.to_tree(forest.task()).unwrap(), tree);
+        }
+        // Score an arbitrary record.
+        let row = &xs[..config.n_features.min(xs.len())];
+        if row.len() == config.n_features {
+            let expected = forest.predict_one(row).as_class().unwrap();
+            prop_assert_eq!(flat.score_one(row) as u32, expected);
+        }
+    }
+
+    #[test]
+    fn flat_tree_path_never_exceeds_capacity_depth(
+        depth in 0usize..10,
+        seed in any::<u64>(),
+        xs in proptest::collection::vec(0.0f32..1.0, 6),
+    ) {
+        let cfg = ForestConfig::classification(1, 6, 2).with_depth(depth);
+        let forest = RandomForest::synthetic_full(&cfg, seed);
+        let flat = FlatTree::from_tree(&forest.trees()[0], 10).unwrap();
+        let (_, visited) = flat.score_counting(&xs);
+        prop_assert!(visited <= 11, "visited {} records", visited);
+    }
+}
+
+#[test]
+fn bundle_len_matches_bytes() {
+    let cfg = ForestConfig::classification(2, 3, 2).with_depth(3);
+    let forest = RandomForest::synthetic_full(&cfg, 1);
+    let bundle = ModelBundle::serialize(&forest);
+    assert_eq!(bundle.len(), bundle.as_bytes().len());
+}

@@ -1,0 +1,120 @@
+//! Scheduler integration: policies over the full paper grid, and the Fig. 1
+//! narrative expressed as assertions on the oracle's decisions.
+
+use mlscore_core::calibration::{paper_model, RECORD_SWEEP, TREE_SWEEP};
+use mlscore_data::DatasetSpec;
+use mlscore_forest::ModelStats;
+use mlscore_sched::{
+    evaluate_policy, paper_backends, AffineFitPolicy, HeuristicPolicy, OraclePolicy, Policy,
+};
+
+fn paper_grid() -> Vec<(ModelStats, u64)> {
+    let mut grid = Vec::new();
+    for dataset in DatasetSpec::all() {
+        for &trees in &TREE_SWEEP {
+            let stats = ModelStats::of(&paper_model(dataset, trees, 10));
+            for &n in &RECORD_SWEEP {
+                grid.push((stats, n));
+            }
+        }
+    }
+    grid
+}
+
+#[test]
+fn oracle_decisions_partition_like_fig1() {
+    // Fig. 1: CPU in the top (small-data) region, GPU bottom-left (simple
+    // models, big data), FPGA bottom-right (complex models, big data).
+    let backends = paper_backends();
+    let mut cpu_cells = 0;
+    let mut gpu_cells = 0;
+    let mut fpga_cells = 0;
+    for (stats, n) in paper_grid() {
+        let c = OraclePolicy.choose(&stats, n, &backends).unwrap();
+        if c.name.starts_with("CPU") {
+            cpu_cells += 1;
+            assert!(
+                n <= 100_000,
+                "CPU should not win huge batches ({} trees, {n} records)",
+                stats.n_trees
+            );
+        } else if c.name.starts_with("GPU") {
+            gpu_cells += 1;
+        } else {
+            fpga_cells += 1;
+            assert!(
+                n >= 1_000,
+                "FPGA should not win tiny batches ({} trees, {n} records)",
+                stats.n_trees
+            );
+        }
+    }
+    assert!(cpu_cells > 0, "some cells must stay on the CPU");
+    assert!(gpu_cells > 0, "some cells must go to the GPU");
+    assert!(fpga_cells > 0, "some cells must go to the FPGA");
+    // The small-data region dominates the grid (5 of 7 sweep decades are
+    // below the crossovers).
+    assert!(cpu_cells > fpga_cells);
+}
+
+#[test]
+fn policies_rank_oracle_heuristic_affine() {
+    let backends = paper_backends();
+    let grid = paper_grid();
+    let oracle = evaluate_policy(&OraclePolicy, &grid, &backends);
+    let heuristic = evaluate_policy(&HeuristicPolicy::default(), &grid, &backends);
+    let affine = evaluate_policy(&AffineFitPolicy::default(), &grid, &backends);
+    assert_eq!(oracle.mean_factor, 1.0);
+    assert!(heuristic.mean_factor >= 1.0);
+    assert!(affine.mean_factor >= 1.0);
+    // The affine fit probes the real cost models, so it should track the
+    // oracle more closely than a static threshold rule on average.
+    assert!(
+        affine.mean_factor <= heuristic.mean_factor + 0.25,
+        "affine {} vs heuristic {}",
+        affine.mean_factor,
+        heuristic.mean_factor
+    );
+}
+
+#[test]
+fn heuristic_agreement_is_high_on_the_paper_grid() {
+    let backends = paper_backends();
+    let grid = paper_grid();
+    let heuristic = evaluate_policy(&HeuristicPolicy::default(), &grid, &backends);
+    assert!(
+        heuristic.agreement() > 0.5,
+        "heuristic agreement {}",
+        heuristic.agreement()
+    );
+    assert!(
+        heuristic.worst_factor < 50.0,
+        "heuristic worst-case {}x",
+        heuristic.worst_factor
+    );
+}
+
+#[test]
+fn oracle_respects_support_constraints_across_grid() {
+    // Deep models exclude the FPGA; multi-class excludes RAPIDS; the oracle
+    // must still produce a valid choice everywhere.
+    let backends = paper_backends();
+    for depth in [11usize, 14] {
+        for dataset in DatasetSpec::all() {
+            let stats = ModelStats::of(&paper_model(dataset, 64, depth));
+            for &n in &RECORD_SWEEP {
+                let c = OraclePolicy.choose(&stats, n, &backends).unwrap();
+                assert_ne!(c.name, "FPGA", "depth {depth} must exclude the FPGA");
+            }
+        }
+    }
+}
+
+#[test]
+fn choices_are_stable_across_repeated_evaluation() {
+    let backends = paper_backends();
+    let stats = ModelStats::of(&paper_model(DatasetSpec::Higgs, 128, 10));
+    let a = OraclePolicy.choose(&stats, 123_456, &backends).unwrap();
+    let b = OraclePolicy.choose(&stats, 123_456, &backends).unwrap();
+    assert_eq!(a, b);
+}

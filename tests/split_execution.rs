@@ -1,0 +1,66 @@
+//! Property tests for §III-B split execution: for any tree shape and any
+//! data, splitting traversal between the FPGA (first 10 levels) and the
+//! CPU (the rest) must be observationally identical to pure CPU scoring.
+
+use proptest::prelude::*;
+
+use mlscore::prelude::*;
+use mlscore_fpga::{split_score, EngineConfig, FpgaDevice, InferenceEngine};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn split_matches_reference_for_any_depth(
+        n_trees in 1usize..8,
+        depth in 1usize..16,
+        max_leaves in 2usize..400,
+        seed in any::<u64>(),
+    ) {
+        let cfg = ForestConfig::classification(n_trees, 4, 3).with_depth(depth);
+        let forest = RandomForest::synthetic_capped(&cfg, max_leaves, seed);
+        let data: Vec<f32> = (0..48 * 4)
+            .map(|i| ((i as f32 * 0.377) + (seed % 97) as f32 * 0.01) % 1.0)
+            .collect();
+        let frame = TabularFrame::from_rows(data, 4).unwrap();
+        let engine = InferenceEngine::paper_default();
+        let (preds, report) = split_score(&engine, &forest, &frame);
+        prop_assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+        // Accounting invariant: every (record, tree) traversal is counted
+        // exactly once.
+        prop_assert_eq!(
+            report.finished_on_fpga + report.continued_on_cpu,
+            (frame.n_rows() * n_trees) as u64
+        );
+        // Within the depth budget nothing ever reaches the CPU.
+        if depth <= engine.config().max_depth {
+            prop_assert_eq!(report.continued_on_cpu, 0);
+        }
+    }
+
+    #[test]
+    fn smaller_engine_budgets_push_more_work_to_cpu(
+        seed in any::<u64>(),
+    ) {
+        let cfg = ForestConfig::classification(4, 4, 2).with_depth(14);
+        let forest = RandomForest::synthetic_capped(&cfg, 500, seed);
+        let data: Vec<f32> = (0..32 * 4).map(|i| (i as f32 * 0.61) % 1.0).collect();
+        let frame = TabularFrame::from_rows(data, 4).unwrap();
+        let mut prev_cpu_visits = None;
+        for budget in [12usize, 10, 8, 6] {
+            let engine = InferenceEngine::new(
+                FpgaDevice::stratix10_gx2800(),
+                EngineConfig { max_depth: budget, ..EngineConfig::default() },
+            );
+            let (preds, report) = split_score(&engine, &forest, &frame);
+            prop_assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+            if let Some(prev) = prev_cpu_visits {
+                prop_assert!(
+                    report.cpu_visits >= prev,
+                    "shrinking the budget must not shrink CPU work"
+                );
+            }
+            prev_cpu_visits = Some(report.cpu_visits);
+        }
+    }
+}
