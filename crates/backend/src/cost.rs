@@ -56,8 +56,7 @@ impl CpuSpec {
     /// model's (locality-inflated) working set.
     pub fn visit_cost(&self, stats: &ModelStats) -> SimDuration {
         let base = self.clock.cycles(3);
-        let working_set =
-            (stats.live_layout_bytes() as f64 * self.locality_penalty) as u64;
+        let working_set = (stats.live_layout_bytes() as f64 * self.locality_penalty) as u64;
         base + self.caches.access_cost(working_set)
     }
 

@@ -27,7 +27,7 @@ pub mod traits;
 
 pub use cost::{parallel_efficiency, CpuSpec};
 pub use error::BackendError;
-pub use onnx::{OnnxCpu, OnnxCostParams};
+pub use onnx::{OnnxCostParams, OnnxCpu};
 pub use request::ScoringRequest;
 pub use sklearn::{SklearnCostParams, SklearnCpu};
 pub use traits::ScoringBackend;

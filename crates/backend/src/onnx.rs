@@ -10,7 +10,8 @@
 use serde::{Deserialize, Serialize};
 
 use mlscore_forest::{FlatForest, ModelStats, Predictions, Task};
-use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
@@ -128,10 +129,7 @@ impl ScoringBackend for OnnxCpu {
         let frame = request.frame();
         let flat = FlatForest::from_forest(forest, forest.max_depth())?;
         let n_rows = frame.n_rows();
-        let threads = self
-            .threads
-            .min(n_rows.max(1))
-            .min(forest.n_trees().max(1));
+        let threads = self.threads.min(n_rows.max(1)).min(forest.n_trees().max(1));
         match forest.task() {
             Task::Classification { .. } => {
                 let mut out = vec![0u32; n_rows];
@@ -147,10 +145,19 @@ impl ScoringBackend for OnnxCpu {
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
         let per_record = self.params.per_record
             + self.spec.row_load_cost(stats)
-            + self.spec.visit_cost(stats)
-                * (stats.visits_per_record() * self.params.visit_factor);
+            + self.spec.visit_cost(stats) * (stats.visits_per_record() * self.params.visit_factor);
         // ONNX parallelizes *within* one inference (across the ensemble's
         // trees), not across batch rows — a single-tree model gains nothing
         // from 52 threads, which is why the paper's best CPU for 1-tree
@@ -158,13 +165,36 @@ impl ScoringBackend for OnnxCpu {
         let usable_threads = self.threads.min(stats.n_trees.max(1));
         let parallel = effective_parallelism(usable_threads, n_records);
         let compute = per_record * (n_records as f64 / parallel);
+        let spinup = self.params.thread_spinup * (self.threads.saturating_sub(1)) as f64;
         let mut b = TimingBreakdown::new();
-        b.add(
-            Stage::SoftwareOverhead,
-            self.params.call_overhead
-                + self.params.thread_spinup * (self.threads.saturating_sub(1)) as f64,
-        );
+        b.add(Stage::SoftwareOverhead, self.params.call_overhead + spinup);
         b.add(Stage::Scoring, compute);
+
+        // Two overhead spans whose left-to-right fold is the same sum the
+        // direct breakdown adds, so reconstruction stays exact.
+        let mut t = tracer
+            .span("session dispatch", start)
+            .stage(Stage::SoftwareOverhead)
+            .scope(Scope::Offload)
+            .track(self.name(), "offload")
+            .meta("backend", self.name())
+            .finish_after(self.params.call_overhead);
+        if self.threads > 1 {
+            t = tracer
+                .span("thread-pool spinup", t)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(self.name(), "offload")
+                .meta("threads", self.threads.to_string())
+                .finish_after(spinup);
+        }
+        tracer
+            .span("flat-forest traversal", t)
+            .stage(Stage::Scoring)
+            .scope(Scope::Offload)
+            .track(self.name(), "offload")
+            .meta("usable_threads", usable_threads.to_string())
+            .finish_after(compute);
         b
     }
 }
@@ -220,10 +250,7 @@ mod tests {
 
     #[test]
     fn regression_matches_reference() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::regression(4, 5).with_depth(4),
-            3,
-        );
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(4, 5).with_depth(4), 3);
         let frame = mlscore_data::TabularFrame::from_rows(
             (0..50).map(|i| (i as f32 * 0.17) % 1.0).collect(),
             5,
@@ -240,10 +267,8 @@ mod tests {
         // CPU_SKLearn (52 threads) on a single-tree model.
         use crate::sklearn::SklearnCpu;
         use crate::traits::ScoringBackend as _;
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 3).with_depth(10),
-            5,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 3).with_depth(10), 5);
         let stats = ModelStats::of(&forest);
         let onnx = OnnxCpu::single_thread();
         let sklearn = SklearnCpu::paper_default();
@@ -257,10 +282,8 @@ mod tests {
     fn crossover_is_in_the_paper_band() {
         // Find where sklearn overtakes ONNX; the paper says ~5K records.
         use crate::sklearn::SklearnCpu;
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 3).with_depth(10),
-            5,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 3).with_depth(10), 5);
         let stats = ModelStats::of(&forest);
         let onnx = OnnxCpu::single_thread();
         let sklearn = SklearnCpu::paper_default();
@@ -285,6 +308,20 @@ mod tests {
         let onnx = OnnxCostParams::default();
         let sk = SklearnCostParams::default();
         assert!(onnx.call_overhead < sk.call_overhead);
+    }
+
+    #[test]
+    fn traced_estimate_reconstructs_exactly() {
+        use mlscore_sim::SimInstant;
+        use mlscore_telemetry::{Scope, Tracer};
+        let (forest, _) = higgs_setup();
+        let stats = ModelStats::of(&forest);
+        for backend in [OnnxCpu::single_thread(), OnnxCpu::paper_52th()] {
+            let tracer = Tracer::new();
+            let traced = backend.estimate_traced(&stats, 50_000, &tracer, SimInstant::ZERO);
+            assert_eq!(traced, backend.estimate(&stats, 50_000));
+            assert_eq!(tracer.take().breakdown(Scope::Offload), traced);
+        }
     }
 
     #[test]

@@ -36,10 +36,7 @@ impl<'a> ScoringRequest<'a> {
     ///
     /// Returns [`ForestError::FeatureWidthMismatch`] (wrapped) when the
     /// frame's feature count differs from the model's.
-    pub fn new(
-        forest: &'a RandomForest,
-        frame: &'a TabularFrame,
-    ) -> Result<Self, BackendError> {
+    pub fn new(forest: &'a RandomForest, frame: &'a TabularFrame) -> Result<Self, BackendError> {
         if forest.n_features() != frame.n_features() {
             return Err(ForestError::FeatureWidthMismatch {
                 expected: forest.n_features(),
@@ -73,24 +70,23 @@ mod tests {
 
     #[test]
     fn width_mismatch_rejected() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 5, 2).with_depth(2),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 5, 2).with_depth(2), 1);
         let frame = TabularFrame::from_rows(vec![0.0; 8], 4).unwrap();
         let err = ScoringRequest::new(&forest, &frame).unwrap_err();
         assert!(matches!(
             err,
-            BackendError::Forest(ForestError::FeatureWidthMismatch { expected: 5, got: 4 })
+            BackendError::Forest(ForestError::FeatureWidthMismatch {
+                expected: 5,
+                got: 4
+            })
         ));
     }
 
     #[test]
     fn accessors() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 2, 2).with_depth(2),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 2, 2).with_depth(2), 1);
         let frame = TabularFrame::from_rows(vec![0.0; 8], 2).unwrap();
         let req = ScoringRequest::new(&forest, &frame).unwrap();
         assert_eq!(req.n_records(), 4);

@@ -11,7 +11,8 @@
 use serde::{Deserialize, Serialize};
 
 use mlscore_forest::{ModelStats, Predictions, Task};
-use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
@@ -145,6 +146,16 @@ impl ScoringBackend for SklearnCpu {
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
         let per_record = self.params.per_record
             + self.params.per_record_per_feature * stats.n_features as f64
             + self.spec.row_load_cost(stats)
@@ -154,9 +165,42 @@ impl ScoringBackend for SklearnCpu {
         let mut b = TimingBreakdown::new();
         b.add(Stage::SoftwareOverhead, self.params.call_overhead);
         b.add(Stage::Scoring, compute);
+
+        let t = tracer
+            .span("python dispatch", start)
+            .stage(Stage::SoftwareOverhead)
+            .scope(Scope::Offload)
+            .track(self.name(), "offload")
+            .meta("backend", self.name())
+            .finish_after(self.params.call_overhead);
+        tracer
+            .span("batch traversal", t)
+            .stage(Stage::Scoring)
+            .scope(Scope::Offload)
+            .track(self.name(), "offload")
+            .meta("threads", self.threads.to_string())
+            .finish_after(compute);
+        if tracer.is_enabled() {
+            // Worker lanes: the batch is chunked across threads that all run
+            // for (modelled) the same duration.
+            let workers = self
+                .threads
+                .min(n_records.max(1) as usize)
+                .min(MAX_WORKER_LANES);
+            for w in 0..workers {
+                tracer
+                    .span(format!("chunk {w}"), t)
+                    .track(self.name(), format!("worker{w}"))
+                    .meta("records", (n_records / workers as u64).to_string())
+                    .finish_after(compute);
+            }
+        }
         b
     }
 }
+
+/// Cap on per-worker detail lanes so a 52-thread trace stays readable.
+const MAX_WORKER_LANES: usize = 8;
 
 /// Runs `f(i)` for every row index, splitting rows across `threads` chunks
 /// with crossbeam scoped threads, writing into `out`.
@@ -197,10 +241,8 @@ mod tests {
     use mlscore_forest::{ForestConfig, RandomForest};
 
     fn iris_setup() -> (RandomForest, Dataset) {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(12, 4, 3).with_depth(7),
-            9,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(12, 4, 3).with_depth(7), 9);
         (forest, Dataset::iris(257, 4).normalized())
     }
 
@@ -223,10 +265,7 @@ mod tests {
 
     #[test]
     fn regression_scoring_works() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::regression(6, 3).with_depth(5),
-            2,
-        );
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(6, 3).with_depth(5), 2);
         let frame = mlscore_data::TabularFrame::from_rows(
             (0..60).map(|i| (i as f32 * 0.31) % 1.0).collect(),
             3,
@@ -260,8 +299,12 @@ mod tests {
     fn more_threads_score_faster_in_model() {
         let (forest, _) = iris_setup();
         let stats = ModelStats::of(&forest);
-        let t1 = SklearnCpu::with_threads(1).estimate(&stats, 1_000_000).total();
-        let t52 = SklearnCpu::with_threads(52).estimate(&stats, 1_000_000).total();
+        let t1 = SklearnCpu::with_threads(1)
+            .estimate(&stats, 1_000_000)
+            .total();
+        let t52 = SklearnCpu::with_threads(52)
+            .estimate(&stats, 1_000_000)
+            .total();
         assert!(t1.ratio(t52) > 20.0);
     }
 
@@ -270,6 +313,22 @@ mod tests {
         assert_eq!(SklearnCpu::paper_default().name(), "CPU_SKLearn_52th");
         assert_eq!(SklearnCpu::with_threads(1).name(), "CPU_SKLearn_1th");
         assert_eq!(SklearnCpu::with_threads(4).threads(), 4);
+    }
+
+    #[test]
+    fn traced_estimate_reconstructs_exactly() {
+        use mlscore_sim::SimInstant;
+        use mlscore_telemetry::{Scope, Tracer};
+        let (forest, _) = iris_setup();
+        let stats = ModelStats::of(&forest);
+        let backend = SklearnCpu::with_threads(4);
+        let tracer = Tracer::new();
+        let traced = backend.estimate_traced(&stats, 10_000, &tracer, SimInstant::ZERO);
+        assert_eq!(traced, backend.estimate(&stats, 10_000));
+        let trace = tracer.take();
+        assert_eq!(trace.breakdown(Scope::Offload), traced);
+        // 2 offload spans + 4 worker detail lanes.
+        assert_eq!(trace.len(), 6);
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The [`ScoringBackend`] trait.
 
 use mlscore_forest::{ModelStats, Predictions};
-use mlscore_sim::TimingBreakdown;
+use mlscore_sim::{SimInstant, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::error::BackendError;
 use crate::request::ScoringRequest;
@@ -46,6 +47,41 @@ pub trait ScoringBackend {
     /// in host memory) for scoring `n_records` with a model of the given
     /// shape.
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown;
+
+    /// Like [`ScoringBackend::estimate`], but also records the offload
+    /// stages as [`Scope::Offload`] spans on `tracer`, starting at `start`
+    /// on the simulated timeline.
+    ///
+    /// The contract every implementation (and the default) upholds:
+    /// folding the recorded `Offload` spans in recording order —
+    /// [`Trace::breakdown`](mlscore_telemetry::Trace::breakdown) — yields a
+    /// breakdown **equal** to the returned one, stage order and `f64` sums
+    /// included. Backends with internal structure worth seeing (FPGA
+    /// passes, PCIe streams, CPU workers) additionally record
+    /// [`Scope::Detail`] spans, which breakdowns ignore.
+    ///
+    /// The default implementation replays the direct estimate as one
+    /// sequential span per stage.
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        let b = self.estimate(stats, n_records);
+        let mut t = start;
+        for (stage, d) in b.iter() {
+            t = tracer
+                .span(stage.to_string(), t)
+                .stage(stage)
+                .scope(Scope::Offload)
+                .track(self.name(), "offload")
+                .meta("backend", self.name())
+                .finish_after(d);
+        }
+        b
+    }
 }
 
 /// Blanket impl so `Box<dyn ScoringBackend>` works wherever a backend does.
@@ -65,14 +101,81 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
         (**self).estimate(stats, n_records)
     }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        (**self).estimate_traced(stats, n_records, tracer, start)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlscore_sim::{SimDuration, Stage};
 
     #[test]
     fn trait_is_object_safe() {
         fn _takes_dyn(_b: &dyn ScoringBackend) {}
+    }
+
+    /// A backend with only `estimate` implemented, to exercise the default
+    /// `estimate_traced` replay.
+    struct FixedBackend;
+
+    impl ScoringBackend for FixedBackend {
+        fn name(&self) -> &str {
+            "fixed"
+        }
+
+        fn score(&self, _request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+            Ok(Predictions::Classes(vec![]))
+        }
+
+        fn estimate(&self, _stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+            let mut b = TimingBreakdown::new();
+            b.add(Stage::SoftwareOverhead, SimDuration::from_micros(150.0));
+            b.add(
+                Stage::Scoring,
+                SimDuration::from_nanos(70.0) * n_records as f64,
+            );
+            b
+        }
+    }
+
+    fn fixed_stats() -> ModelStats {
+        use mlscore_forest::{ForestConfig, RandomForest};
+        ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(2, 4, 2).with_depth(3),
+            1,
+        ))
+    }
+
+    #[test]
+    fn default_traced_replay_reconstructs_exactly() {
+        let backend = FixedBackend;
+        let tracer = Tracer::new();
+        let stats = fixed_stats();
+        let direct = backend.estimate(&stats, 12_345);
+        let traced = backend.estimate_traced(&stats, 12_345, &tracer, SimInstant::ZERO);
+        assert_eq!(direct, traced);
+        let trace = tracer.take();
+        assert_eq!(trace.len(), 2);
+        assert_eq!(trace.breakdown(Scope::Offload), direct);
+        // Spans are laid out back to back.
+        assert_eq!(trace.events()[1].start, trace.events()[0].end());
+    }
+
+    #[test]
+    fn boxed_backend_forwards_estimate_traced() {
+        let boxed: Box<dyn ScoringBackend> = Box::new(FixedBackend);
+        let tracer = Tracer::new();
+        let stats = fixed_stats();
+        let b = boxed.estimate_traced(&stats, 10, &tracer, SimInstant::ZERO);
+        assert_eq!(tracer.take().breakdown(Scope::Offload), b);
     }
 }

@@ -29,8 +29,7 @@ fn print_ablation() {
     for (name, mem) in [("BRAM", MemoryBackend::Bram), ("DDR", MemoryBackend::Ddr)] {
         let b = backend(mem);
         let cell = |ds, trees| {
-            let stats =
-                ModelStats::of(&mlscore_core::calibration::paper_model(ds, trees, 10));
+            let stats = ModelStats::of(&mlscore_core::calibration::paper_model(ds, trees, 10));
             b.estimate(&stats, 1_000_000).total().to_string()
         };
         println!(
@@ -46,10 +45,8 @@ fn print_ablation() {
 fn print_quantized_capacity() {
     use mlscore_forest::{FlatForest, ForestConfig, QuantScheme, QuantizedForest, RandomForest};
     println!("\n    quantized (16-bit) layout vs the Fig. 4b f32 layout:");
-    let forest = RandomForest::synthetic_full(
-        &ForestConfig::classification(128, 28, 2).with_depth(10),
-        3,
-    );
+    let forest =
+        RandomForest::synthetic_full(&ForestConfig::classification(128, 28, 2).with_depth(10), 3);
     let flat = FlatForest::from_forest(&forest, 10).unwrap();
     let quant = QuantizedForest::from_forest(&forest, QuantScheme::unit(28)).unwrap();
     let data = mlscore_data::Dataset::higgs(2_000, 9).normalized();
@@ -60,9 +57,7 @@ fn print_quantized_capacity() {
         quant.footprint_bytes() / 1024,
         rate * 100.0
     );
-    println!(
-        "      -> the same 28.6 MB BRAM holds ~2x the trees (or one more tree level)"
-    );
+    println!("      -> the same 28.6 MB BRAM holds ~2x the trees (or one more tree level)");
 }
 
 fn bench(c: &mut Criterion) {

@@ -7,8 +7,8 @@ use mlscore_backend::ScoringBackend;
 use mlscore_data::{Dataset, DatasetSpec};
 use mlscore_forest::ModelStats;
 use mlscore_gpu::{
-    measured_divergence, warp_efficiency, FilCostParams, HummingbirdCostParams,
-    HummingbirdGpu, RapidsFil,
+    measured_divergence, warp_efficiency, FilCostParams, HummingbirdCostParams, HummingbirdGpu,
+    RapidsFil,
 };
 
 fn print_ablation() {
@@ -31,8 +31,10 @@ fn print_ablation() {
     )
     .estimate(&stats, 1_000_000)
     .total();
-    println!("  RAPIDS with divergence {with_div}, divergence-free {no_div} ({:.2}x)",
-        with_div.ratio(no_div));
+    println!(
+        "  RAPIDS with divergence {with_div}, divergence-free {no_div} ({:.2}x)",
+        with_div.ratio(no_div)
+    );
 
     // HB: traffic factor 1.5 vs 1.0.
     let hb_default = HummingbirdGpu::p100().estimate(&stats, 1_000_000).total();

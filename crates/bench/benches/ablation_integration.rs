@@ -10,7 +10,9 @@ use mlscore_fpga::FpgaBackend;
 use mlscore_pipeline::{IntegrationMode, QueryPipeline};
 
 fn print_ablation() {
-    println!("\n--- Ablation A7: integration modes (HIGGS, 128 trees, 1M records, FPGA scoring) ---");
+    println!(
+        "\n--- Ablation A7: integration modes (HIGGS, 128 trees, 1M records, FPGA scoring) ---"
+    );
     let model = mlscore_core::calibration::paper_model(DatasetSpec::Higgs, 128, 10);
     let stats = ModelStats::of(&model);
     let model_bytes = ModelBundle::serialize(&model).len() as u64;
@@ -20,8 +22,7 @@ fn print_ablation() {
     );
     let mut baseline = None;
     for mode in IntegrationMode::all() {
-        let pipeline =
-            QueryPipeline::with_params(FpgaBackend::paper_default(), mode.params());
+        let pipeline = QueryPipeline::with_params(FpgaBackend::paper_default(), mode.params());
         let b = pipeline.estimate(&stats, model_bytes, 1_000_000);
         let total = b.total();
         let baseline_total = *baseline.get_or_insert(total);
@@ -41,8 +42,7 @@ fn bench(c: &mut Criterion) {
     let model_bytes = ModelBundle::serialize(&model).len() as u64;
     let mut g = c.benchmark_group("ablation_integration");
     for mode in IntegrationMode::all() {
-        let pipeline =
-            QueryPipeline::with_params(FpgaBackend::paper_default(), mode.params());
+        let pipeline = QueryPipeline::with_params(FpgaBackend::paper_default(), mode.params());
         g.bench_function(mode.name(), |b| {
             b.iter(|| pipeline.estimate(std::hint::black_box(&stats), model_bytes, 1_000_000))
         });

@@ -47,7 +47,9 @@ fn print_ablation() {
             name,
             t.to_string(),
             cpu_t.ratio(t),
-            crossover.map(|n| n.to_string()).unwrap_or_else(|| "never".into())
+            crossover
+                .map(|n| n.to_string())
+                .unwrap_or_else(|| "never".into())
         );
     }
 }

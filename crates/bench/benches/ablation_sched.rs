@@ -48,8 +48,20 @@ fn bench(c: &mut Criterion) {
     g.sample_size(20);
     let policies: [(&str, &dyn Policy); 3] = [
         ("oracle", &OraclePolicy),
-        ("heuristic", &HeuristicPolicy { cpu_max_records: 5_000, simple_max_trees: 1 }),
-        ("affine", &AffineFitPolicy { probe_small: 1, probe_large: 100_000 }),
+        (
+            "heuristic",
+            &HeuristicPolicy {
+                cpu_max_records: 5_000,
+                simple_max_trees: 1,
+            },
+        ),
+        (
+            "affine",
+            &AffineFitPolicy {
+                probe_small: 1,
+                probe_large: 100_000,
+            },
+        ),
     ];
     for (name, policy) in policies {
         g.bench_function(name, |b| {

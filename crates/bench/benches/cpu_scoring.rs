@@ -9,10 +9,8 @@ use mlscore_fpga::FpgaBackend;
 use mlscore_gpu::HummingbirdGpu;
 
 fn bench(c: &mut Criterion) {
-    let forest = RandomForest::synthetic_full(
-        &ForestConfig::classification(64, 28, 2).with_depth(10),
-        7,
-    );
+    let forest =
+        RandomForest::synthetic_full(&ForestConfig::classification(64, 28, 2).with_depth(10), 7);
     let data = Dataset::higgs(2_000, 3).normalized();
     let request = ScoringRequest::new(&forest, data.frame()).unwrap();
     let n = data.frame().n_rows() as u64;
@@ -43,7 +41,9 @@ fn bench(c: &mut Criterion) {
     g.bench_function("bundle_serialize", |b| {
         b.iter(|| mlscore_forest::ModelBundle::serialize(&forest))
     });
-    g.bench_function("bundle_deserialize", |b| b.iter(|| bundle.deserialize().unwrap()));
+    g.bench_function("bundle_deserialize", |b| {
+        b.iter(|| bundle.deserialize().unwrap())
+    });
     g.finish();
 }
 

@@ -1,13 +1,21 @@
-//! Regenerates every table and figure from the paper's evaluation section.
+//! Regenerates every table and figure from the paper's evaluation section,
+//! and exports Perfetto traces of simulated queries.
 //!
-//! Usage: `repro [all|fig1|fig7a|fig7b|fig8|fig9|fig10|fig11|headlines|scheduler]`
+//! Run `repro --help` for the full target list.
 
+use mlscore_backend::{OnnxCpu, ScoringBackend, SklearnCpu};
 use mlscore_core::{figures, headline::HeadlineReport, report, shmoo::ShmooTable};
 use mlscore_data::DatasetSpec;
-use mlscore_forest::ModelStats;
+use mlscore_forest::{ModelBundle, ModelStats};
+use mlscore_fpga::FpgaBackend;
+use mlscore_gpu::{HummingbirdGpu, RapidsFil};
+use mlscore_pipeline::QueryPipeline;
 use mlscore_sched::{
-    evaluate_policy, paper_backends, AffineFitPolicy, HeuristicPolicy, OraclePolicy,
+    evaluate_policy, paper_backends, replay, AffineFitPolicy, HeuristicPolicy, OraclePolicy,
+    QueryTrace,
 };
+use mlscore_sim::SimInstant;
+use mlscore_telemetry::{perfetto, MetricsRegistry, Tracer};
 
 fn fig1() {
     println!("== Fig. 1: best-performing hardware by model complexity x data size ==");
@@ -88,9 +96,7 @@ fn scheduler() {
     let mut grid = Vec::new();
     for dataset in DatasetSpec::all() {
         for &trees in &mlscore_core::calibration::TREE_SWEEP {
-            let stats = ModelStats::of(&mlscore_core::calibration::paper_model(
-                dataset, trees, 10,
-            ));
+            let stats = ModelStats::of(&mlscore_core::calibration::paper_model(dataset, trees, 10));
             for &n in &mlscore_core::calibration::RECORD_SWEEP {
                 grid.push((stats, n));
             }
@@ -112,11 +118,167 @@ fn scheduler() {
         );
     }
     println!();
+
+    // Per-policy latency distributions from a synthetic mixed trace, folded
+    // through the shared telemetry histograms (p50/p95/p99 come from the
+    // same log-bucketed type every layer records into).
+    println!("== Trace replay: latency percentiles (200-query synthetic mix) ==");
+    let trace = QueryTrace::synthetic(200, 42);
+    let registry = MetricsRegistry::new();
+    for outcome in [
+        replay(&OraclePolicy, &trace, &backends),
+        replay(&HeuristicPolicy::default(), &trace, &backends),
+        replay(&AffineFitPolicy::default(), &trace, &backends),
+    ] {
+        let name = format!("latency.{}", outcome.policy);
+        for &latency in &outcome.latencies {
+            registry.record(&name, latency);
+        }
+        for (backend, n) in &outcome.picks {
+            registry.inc_counter(&format!("picks.{}.{backend}", outcome.policy), *n as u64);
+        }
+    }
+    print!("{}", registry.render());
+    println!();
+}
+
+/// Builds the backend a `repro trace` argument names.
+fn backend_by_name(name: &str) -> Option<Box<dyn ScoringBackend>> {
+    Some(match name {
+        "cpu" | "onnx" => Box::new(OnnxCpu::paper_52th()),
+        "onnx1" => Box::new(OnnxCpu::single_thread()),
+        "sklearn" => Box::new(SklearnCpu::paper_default()),
+        "gpu" | "gpu-hb" | "hummingbird" => Box::new(HummingbirdGpu::p100()),
+        "gpu-rapids" | "rapids" | "fil" => Box::new(RapidsFil::p100()),
+        "fpga" => Box::new(FpgaBackend::paper_default()),
+        _ => return None,
+    })
+}
+
+/// Parses a record count with optional `k`/`m` suffix (`"250k"`, `"1m"`).
+fn parse_count(text: &str) -> Option<u64> {
+    let lower = text.to_ascii_lowercase();
+    let (digits, mult) = match lower.strip_suffix(['k', 'm']) {
+        Some(d) if lower.ends_with('k') => (d, 1_000),
+        Some(d) => (d, 1_000_000),
+        None => (lower.as_str(), 1),
+    };
+    digits.parse::<u64>().ok().map(|n| n * mult)
+}
+
+/// `repro trace [--out FILE] [dataset] [trees] [records] [backend]`
+fn trace(args: &[String]) {
+    let mut out_path: Option<String> = None;
+    let mut pos: Vec<String> = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--out" {
+            match it.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            }
+        } else {
+            pos.push(arg.clone());
+        }
+    }
+    fn fail(msg: String) -> ! {
+        eprintln!("{msg}");
+        eprintln!("usage: repro trace [--out FILE] [iris|higgs] [trees] [records] [backend]");
+        eprintln!("backends: cpu sklearn onnx1 gpu gpu-rapids fpga");
+        std::process::exit(2);
+    }
+    let dataset = match pos.first().map(String::as_str).unwrap_or("higgs") {
+        "higgs" => DatasetSpec::Higgs,
+        "iris" => DatasetSpec::Iris,
+        other => fail(format!("unknown dataset '{other}'")),
+    };
+    let trees: usize = match pos.get(1).map(String::as_str).unwrap_or("128").parse() {
+        Ok(t) if t >= 1 => t,
+        _ => fail(format!("bad tree count '{}' (need >= 1)", pos[1])),
+    };
+    let records = match parse_count(pos.get(2).map(String::as_str).unwrap_or("1m")) {
+        Some(n) => n,
+        None => fail(format!("bad record count '{}'", pos[2])),
+    };
+    let backend_name = pos.get(3).map(String::as_str).unwrap_or("fpga");
+    let backend = match backend_by_name(backend_name) {
+        Some(b) => b,
+        None => fail(format!("unknown backend '{backend_name}'")),
+    };
+
+    let forest = mlscore_core::calibration::paper_model(dataset, trees, 10);
+    let stats = ModelStats::of(&forest);
+    if let Err(e) = backend.supports(&stats) {
+        fail(format!("backend rejects this model: {e}"));
+    }
+    let bundle = ModelBundle::serialize(&forest);
+    let pipeline = QueryPipeline::new(backend);
+    let tracer = Tracer::new();
+    let breakdown = pipeline.estimate_traced(
+        &stats,
+        bundle.len() as u64,
+        records,
+        &tracer,
+        SimInstant::ZERO,
+    );
+    let span_trace = tracer.take();
+    let json = perfetto::to_json(&span_trace);
+    match out_path {
+        Some(path) => {
+            std::fs::write(&path, &json).unwrap_or_else(|e| {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            });
+            println!(
+                "wrote {path}: {} spans, {} bytes (open at ui.perfetto.dev)",
+                span_trace.len(),
+                json.len()
+            );
+            println!(
+                "{} x{} trees, {} records on {}: total {}",
+                dataset.name(),
+                trees,
+                records,
+                pipeline.backend().name(),
+                breakdown.total()
+            );
+            for (stage, d) in breakdown.iter() {
+                println!("  {stage:<20} {d}");
+            }
+        }
+        None => println!("{json}"),
+    }
+}
+
+fn usage() -> String {
+    "usage: repro [target]\n\
+     targets:\n\
+       all              every figure, table, and the scheduler study (default)\n\
+       fig1             best backend by model complexity x data size\n\
+       fig7a            FPGA scoring-time breakdown, 1 record\n\
+       fig7b            FPGA scoring-time breakdown, 1M records\n\
+       fig8             best backend + speedup over CPU (depth 10)\n\
+       fig9             scoring latency curves\n\
+       fig10            scoring throughput curves\n\
+       fig11            end-to-end T-SQL query breakdown\n\
+       headlines        headline ratios from the paper's section IV\n\
+       scheduler        policy regret + latency percentiles (telemetry histograms)\n\
+       trace [--out FILE] [iris|higgs] [trees] [records] [backend]\n\
+                        export a Perfetto trace of one simulated query\n\
+                        (defaults: higgs 128 1m fpga; records accept k/m suffixes;\n\
+                         backends: cpu sklearn onnx1 gpu gpu-rapids fpga)\n\
+       csv [dir]        write every figure as CSV (default dir: figures_out)\n\
+       help             this message"
+        .to_string()
 }
 
 fn main() {
-    let what = std::env::args().nth(1).unwrap_or_else(|| "all".to_string());
-    match what.as_str() {
+    let args: Vec<String> = std::env::args().collect();
+    let what = args.get(1).map(String::as_str).unwrap_or("all");
+    match what {
         "fig1" => fig1(),
         "fig7a" => fig7(1, "7a"),
         "fig7b" => fig7(1_000_000, "7b"),
@@ -126,9 +288,11 @@ fn main() {
         "fig11" => fig11(),
         "headlines" => headlines(),
         "scheduler" => scheduler(),
+        "trace" => trace(&args[2..]),
         "csv" => {
-            let dir = std::env::args()
-                .nth(2)
+            let dir = args
+                .get(2)
+                .cloned()
                 .unwrap_or_else(|| "figures_out".to_string());
             let written = mlscore_core::export::save_all(std::path::Path::new(&dir))
                 .expect("writing figure CSVs");
@@ -145,10 +309,10 @@ fn main() {
             headlines();
             scheduler();
         }
+        "help" | "--help" | "-h" => println!("{}", usage()),
         other => {
-            eprintln!(
-                "unknown figure '{other}'; try all, fig1, fig7a, fig7b, fig8, fig9, fig10, fig11, headlines, scheduler, csv [dir]"
-            );
+            eprintln!("unknown target '{other}'");
+            eprintln!("{}", usage());
             std::process::exit(2);
         }
     }

@@ -57,17 +57,11 @@ pub fn paper_model(dataset: DatasetSpec, n_trees: usize, depth: usize) -> Random
     {
         return model.clone();
     }
-    let config = ForestConfig::classification(
-        n_trees,
-        dataset.n_features(),
-        dataset.n_classes(),
-    )
-    .with_depth(depth);
+    let config = ForestConfig::classification(n_trees, dataset.n_features(), dataset.n_classes())
+        .with_depth(depth);
     let seed = 0xC0FFEE ^ (n_trees as u64) << 16 ^ (depth as u64);
     let model = match dataset {
-        DatasetSpec::Iris => {
-            RandomForest::synthetic_capped(&config, IRIS_DISTINCT_SAMPLES, seed)
-        }
+        DatasetSpec::Iris => RandomForest::synthetic_capped(&config, IRIS_DISTINCT_SAMPLES, seed),
         DatasetSpec::Higgs => RandomForest::synthetic_full(&config, seed),
     };
     cache

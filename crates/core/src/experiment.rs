@@ -49,7 +49,14 @@ impl SweepPoint {
     pub fn evaluate(dataset: DatasetSpec, n_trees: usize, depth: usize, n_records: u64) -> Self {
         let model = paper_model(dataset, n_trees, depth);
         let stats = ModelStats::of(&model);
-        Self::evaluate_with(&paper_backends(), &stats, dataset, n_trees, depth, n_records)
+        Self::evaluate_with(
+            &paper_backends(),
+            &stats,
+            dataset,
+            n_trees,
+            depth,
+            n_records,
+        )
     }
 
     /// Evaluates an explicit backend set at one point.
@@ -176,7 +183,11 @@ mod tests {
     #[test]
     fn tiny_batches_favor_cpu() {
         let p = SweepPoint::evaluate(DatasetSpec::Iris, 128, 10, 1);
-        assert!(p.best().backend.starts_with("CPU"), "best {}", p.best().backend);
+        assert!(
+            p.best().backend.starts_with("CPU"),
+            "best {}",
+            p.best().backend
+        );
         assert_eq!(p.best_speedup_vs_cpu(), 1.0);
     }
 

@@ -101,13 +101,14 @@ pub fn write_fig11_csv<W: Write>(rows: &[Fig11Row], mut writer: W) -> io::Result
 pub fn save_all(dir: &Path) -> io::Result<Vec<String>> {
     fs::create_dir_all(dir)?;
     let mut written = Vec::new();
-    let mut save = |name: &str, body: &dyn Fn(&mut dyn Write) -> io::Result<()>| -> io::Result<()> {
-        let path = dir.join(name);
-        let mut file = fs::File::create(&path)?;
-        body(&mut file)?;
-        written.push(name.to_string());
-        Ok(())
-    };
+    let mut save =
+        |name: &str, body: &dyn Fn(&mut dyn Write) -> io::Result<()>| -> io::Result<()> {
+            let path = dir.join(name);
+            let mut file = fs::File::create(&path)?;
+            body(&mut file)?;
+            written.push(name.to_string());
+            Ok(())
+        };
 
     save("fig7a.csv", &|w| write_fig7_csv(&figures::fig7a(), w))?;
     save("fig7b.csv", &|w| write_fig7_csv(&figures::fig7b(), w))?;

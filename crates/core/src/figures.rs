@@ -111,12 +111,7 @@ pub fn fig9(dataset: DatasetSpec, n_trees: usize, depth: usize) -> CurveSet {
 }
 
 /// Fig. 9 panel over an explicit record axis.
-pub fn fig9_over(
-    dataset: DatasetSpec,
-    n_trees: usize,
-    depth: usize,
-    records: &[u64],
-) -> CurveSet {
+pub fn fig9_over(dataset: DatasetSpec, n_trees: usize, depth: usize, records: &[u64]) -> CurveSet {
     let mut series: Vec<Series> = Vec::new();
     let mut names: Vec<String> = Vec::new();
     let points: Vec<SweepPoint> = records
@@ -175,12 +170,7 @@ pub struct Fig11Row {
 
 /// Fig. 11: end-to-end T-SQL query breakdowns at one configuration for a
 /// single-threaded CPU (as the figure assumes), the best GPU, and the FPGA.
-pub fn fig11(
-    dataset: DatasetSpec,
-    n_trees: usize,
-    depth: usize,
-    n_records: u64,
-) -> Vec<Fig11Row> {
+pub fn fig11(dataset: DatasetSpec, n_trees: usize, depth: usize, n_records: u64) -> Vec<Fig11Row> {
     let model = paper_model(dataset, n_trees, depth);
     let stats = ModelStats::of(&model);
     let model_bytes = ModelBundle::serialize(&model).len() as u64;
@@ -196,11 +186,17 @@ pub fn fig11(
     let gpu_point = SweepPoint::evaluate(dataset, n_trees, depth, n_records);
     if let Some(best_gpu) = gpu_point.best_gpu() {
         let breakdown = if best_gpu.backend == "GPU-RAPIDS" {
-            QueryPipeline::new(mlscore_gpu::RapidsFil::p100())
-                .estimate(&stats, model_bytes, n_records)
+            QueryPipeline::new(mlscore_gpu::RapidsFil::p100()).estimate(
+                &stats,
+                model_bytes,
+                n_records,
+            )
         } else {
-            QueryPipeline::new(mlscore_gpu::HummingbirdGpu::p100())
-                .estimate(&stats, model_bytes, n_records)
+            QueryPipeline::new(mlscore_gpu::HummingbirdGpu::p100()).estimate(
+                &stats,
+                model_bytes,
+                n_records,
+            )
         };
         rows.push(Fig11Row {
             backend: format!("GPU ({})", best_gpu.backend),

@@ -11,8 +11,8 @@ use crate::figures::fig11;
 
 /// A dense record sweep for locating crossover points between decades.
 pub const DENSE_SWEEP: [u64; 17] = [
-    1, 10, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000,
-    500_000, 700_000, 850_000, 1_000_000,
+    1, 10, 100, 200, 500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000, 200_000, 500_000,
+    700_000, 850_000, 1_000_000,
 ];
 
 /// Every headline ratio from §IV, as computed by this reproduction.
@@ -73,7 +73,10 @@ impl HeadlineReport {
         let speedups = |dataset, trees: usize, depth: usize| {
             let p = SweepPoint::evaluate(dataset, trees, depth, 1_000_000);
             let cpu = p.best_cpu().total();
-            let fpga = p.result("FPGA").map(|r| cpu.ratio(r.total())).unwrap_or(0.0);
+            let fpga = p
+                .result("FPGA")
+                .map(|r| cpu.ratio(r.total()))
+                .unwrap_or(0.0);
             let gpu = p.best_gpu().map(|r| cpu.ratio(r.total())).unwrap_or(0.0);
             (fpga, gpu)
         };

@@ -44,7 +44,11 @@ pub enum CsvError {
 impl std::fmt::Display for CsvError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            CsvError::RaggedRow { line, got, expected } => {
+            CsvError::RaggedRow {
+                line,
+                got,
+                expected,
+            } => {
                 write!(f, "line {line}: {got} fields, expected {expected}")
             }
             CsvError::BadField { line, column, text } => {
@@ -247,13 +251,20 @@ mod tests {
         let err = read_frame("1,x\n".as_bytes(), false).unwrap_err();
         assert!(matches!(
             err,
-            CsvError::BadField { line: 1, column: 1, .. }
+            CsvError::BadField {
+                line: 1,
+                column: 1,
+                ..
+            }
         ));
     }
 
     #[test]
     fn empty_inputs_rejected() {
-        assert_eq!(read_frame("".as_bytes(), false).unwrap_err(), CsvError::Empty);
+        assert_eq!(
+            read_frame("".as_bytes(), false).unwrap_err(),
+            CsvError::Empty
+        );
         assert_eq!(
             read_frame("h1,h2\n".as_bytes(), true).unwrap_err(),
             CsvError::Empty

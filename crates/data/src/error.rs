@@ -67,7 +67,10 @@ mod tests {
 
     #[test]
     fn messages_mention_parameters() {
-        let e = DataError::LabelMismatch { rows: 10, labels: 9 };
+        let e = DataError::LabelMismatch {
+            rows: 10,
+            labels: 9,
+        };
         assert!(format!("{e}").contains("10"));
         let e = DataError::bad_split_fraction(1.5);
         assert!(format!("{e}").contains("1.5"));

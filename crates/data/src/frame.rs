@@ -160,7 +160,10 @@ mod tests {
     fn shape_validation() {
         assert!(matches!(
             TabularFrame::from_rows(vec![1.0; 5], 2),
-            Err(DataError::ShapeMismatch { len: 5, n_features: 2 })
+            Err(DataError::ShapeMismatch {
+                len: 5,
+                n_features: 2
+            })
         ));
         assert!(matches!(
             TabularFrame::from_rows(vec![], 0),

@@ -93,7 +93,13 @@ mod tests {
         // should separate them nearly perfectly, as in the real data.
         let mut misclassified = 0;
         for (row, &label) in d.frame().rows().zip(d.labels()) {
-            let predicted = if row[2] < 2.5 { 0 } else if row[2] < 4.9 { 1 } else { 2 };
+            let predicted = if row[2] < 2.5 {
+                0
+            } else if row[2] < 4.9 {
+                1
+            } else {
+                2
+            };
             if predicted != label {
                 misclassified += 1;
             }

@@ -47,8 +47,7 @@ pub fn train_test_split(
             labels.push(dataset.labels()[i]);
         }
         let frame = TabularFrame::from_rows(data, f).expect("shape preserved");
-        Dataset::new(dataset.name(), frame, labels, dataset.n_classes())
-            .expect("labels match rows")
+        Dataset::new(dataset.name(), frame, labels, dataset.n_classes()).expect("labels match rows")
     };
     Ok((build(&order[..n_train]), build(&order[n_train..])))
 }

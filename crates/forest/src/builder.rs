@@ -165,8 +165,7 @@ impl ForestBuilder {
             y,
             n_classes: n_classes as usize,
         };
-        let (trees, feature_importances) =
-            self.train_trees(x, n_features, &targets, criterion)?;
+        let (trees, feature_importances) = self.train_trees(x, n_features, &targets, criterion)?;
         Ok(TrainedModel {
             forest: RandomForest::from_trees(
                 trees,
@@ -201,7 +200,12 @@ impl ForestBuilder {
         RandomForest::from_trees(trees, n_features, Task::Regression)
     }
 
-    fn check_shapes(&self, x: &[f32], n_features: usize, n_labels: usize) -> Result<(), ForestError> {
+    fn check_shapes(
+        &self,
+        x: &[f32],
+        n_features: usize,
+        n_labels: usize,
+    ) -> Result<(), ForestError> {
         if n_features == 0 {
             return Err(ForestError::InvalidTrainingData("zero features".into()));
         }
@@ -349,7 +353,8 @@ impl TreeGrower<'_> {
                 }
                 let idx = self.nodes.len();
                 // Placeholder; children get patched after recursion.
-                self.nodes.push(Node::decision(feature as u16, threshold, 0, 0));
+                self.nodes
+                    .push(Node::decision(feature as u16, threshold, 0, 0));
                 let left = self.grow(left_idx, depth + 1);
                 let right = self.grow(right_idx, depth + 1);
                 self.nodes[idx] = Node::decision(feature as u16, threshold, left, right);
@@ -389,8 +394,7 @@ impl TreeGrower<'_> {
                 let nl = left.len() as f64;
                 let nr = right.len() as f64;
                 let n = nl + nr;
-                let weighted =
-                    self.impurity(left) * nl / n + self.impurity(right) * nr / n;
+                let weighted = self.impurity(left) * nl / n + self.impurity(right) * nr / n;
                 let gain = parent_impurity - weighted;
                 if gain > 1e-12 && best.is_none_or(|(g, _, _)| gain > g) {
                     best = Some((gain, f, threshold));
@@ -483,18 +487,31 @@ mod tests {
     #[test]
     fn respects_max_depth() {
         let (x, y) = blobs(100);
-        let forest = ForestBuilder::new(5, TrainOptions { max_depth: 3, ..Default::default() })
-            .train_classifier(&x, 2, &y, 2)
-            .unwrap();
+        let forest = ForestBuilder::new(
+            5,
+            TrainOptions {
+                max_depth: 3,
+                ..Default::default()
+            },
+        )
+        .train_classifier(&x, 2, &y, 2)
+        .unwrap();
         assert!(forest.max_depth() <= 3);
     }
 
     #[test]
     fn deterministic_given_seed() {
         let (x, y) = blobs(30);
-        let opts = TrainOptions { seed: 99, ..Default::default() };
-        let a = ForestBuilder::new(4, opts).train_classifier(&x, 2, &y, 2).unwrap();
-        let b = ForestBuilder::new(4, opts).train_classifier(&x, 2, &y, 2).unwrap();
+        let opts = TrainOptions {
+            seed: 99,
+            ..Default::default()
+        };
+        let a = ForestBuilder::new(4, opts)
+            .train_classifier(&x, 2, &y, 2)
+            .unwrap();
+        let b = ForestBuilder::new(4, opts)
+            .train_classifier(&x, 2, &y, 2)
+            .unwrap();
         assert_eq!(a, b);
     }
 
@@ -515,7 +532,11 @@ mod tests {
         let y: Vec<f32> = x.iter().map(|&v| if v < 0.5 { 1.0 } else { 5.0 }).collect();
         let forest = ForestBuilder::new(
             10,
-            TrainOptions { max_depth: 4, bootstrap: false, ..Default::default() },
+            TrainOptions {
+                max_depth: 4,
+                bootstrap: false,
+                ..Default::default()
+            },
         )
         .train_regressor(&x, 1, &y)
         .unwrap();
@@ -575,7 +596,11 @@ mod tests {
         let (x, y) = blobs(50);
         let forest = ForestBuilder::new(
             3,
-            TrainOptions { min_samples_leaf: 10, bootstrap: false, ..Default::default() },
+            TrainOptions {
+                min_samples_leaf: 10,
+                bootstrap: false,
+                ..Default::default()
+            },
         )
         .train_classifier(&x, 2, &y, 2)
         .unwrap();

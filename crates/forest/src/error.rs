@@ -78,7 +78,10 @@ impl fmt::Display for ForestError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ForestError::ChildOutOfRange { node, child, len } => {
-                write!(f, "node {node} references child {child} beyond tree length {len}")
+                write!(
+                    f,
+                    "node {node} references child {child} beyond tree length {len}"
+                )
             }
             ForestError::NonTopological { node, child } => {
                 write!(f, "node {node} references non-forward child {child}")

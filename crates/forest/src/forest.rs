@@ -264,9 +264,7 @@ impl RandomForest {
         let idx = nodes.len() as u32;
         if leaf_budget == 1 || depth >= config.depth {
             let leaf = match config.task {
-                Task::Classification { n_classes } => {
-                    Node::class_leaf(rng.gen_range(0..n_classes))
-                }
+                Task::Classification { n_classes } => Node::class_leaf(rng.gen_range(0..n_classes)),
                 Task::Regression => Node::value_leaf(rng.gen_range(-1.0..1.0)),
             };
             nodes.push(leaf);
@@ -282,8 +280,7 @@ impl RandomForest {
         let threshold = rng.gen_range(0.0f32..1.0f32);
         nodes.push(Node::decision(feature, threshold, 0, 0)); // patched below
         let left = Self::capped_subtree(config, left_budget, depth + 1, nodes, rng);
-        let right =
-            Self::capped_subtree(config, leaf_budget - left_budget, depth + 1, nodes, rng);
+        let right = Self::capped_subtree(config, leaf_budget - left_budget, depth + 1, nodes, rng);
         nodes[idx as usize] = Node::decision(feature, threshold, left, right);
         idx
     }
@@ -292,9 +289,7 @@ impl RandomForest {
         let depth = config.depth;
         if depth == 0 {
             let leaf = match config.task {
-                Task::Classification { n_classes } => {
-                    LeafValue::Class(rng.gen_range(0..n_classes))
-                }
+                Task::Classification { n_classes } => LeafValue::Class(rng.gen_range(0..n_classes)),
                 Task::Regression => LeafValue::Value(rng.gen_range(-1.0..1.0)),
             };
             return DecisionTree::leaf(leaf);
@@ -315,9 +310,7 @@ impl RandomForest {
         }
         for _ in 0..n_leaves {
             let leaf = match config.task {
-                Task::Classification { n_classes } => {
-                    Node::class_leaf(rng.gen_range(0..n_classes))
-                }
+                Task::Classification { n_classes } => Node::class_leaf(rng.gen_range(0..n_classes)),
                 Task::Regression => Node::value_leaf(rng.gen_range(-1.0..1.0)),
             };
             nodes.push(leaf);
@@ -347,7 +340,11 @@ impl RandomForest {
 
     /// Deepest tree depth, in levels.
     pub fn max_depth(&self) -> usize {
-        self.trees.iter().map(DecisionTree::depth).max().unwrap_or(0)
+        self.trees
+            .iter()
+            .map(DecisionTree::depth)
+            .max()
+            .unwrap_or(0)
     }
 
     /// Total node count across all trees.
@@ -363,11 +360,10 @@ impl RandomForest {
     /// feature count (see [`RandomForest::predict_checked`] for the
     /// validating path).
     pub fn vote_counts(&self, x: &[f32]) -> Vec<u32> {
-        let n_classes = self
-            .task
-            .n_classes()
-            .expect("vote_counts requires a classification forest")
-            as usize;
+        let n_classes =
+            self.task
+                .n_classes()
+                .expect("vote_counts requires a classification forest") as usize;
         let mut counts = vec![0u32; n_classes];
         for tree in &self.trees {
             if let LeafValue::Class(c) = tree.predict(x) {
@@ -516,12 +512,9 @@ mod tests {
             RandomForest::from_trees(vec![], 1, Task::Regression).unwrap_err(),
             ForestError::EmptyForest
         );
-        let err = RandomForest::from_trees(
-            vec![stump(0, 5)],
-            1,
-            Task::Classification { n_classes: 2 },
-        )
-        .unwrap_err();
+        let err =
+            RandomForest::from_trees(vec![stump(0, 5)], 1, Task::Classification { n_classes: 2 })
+                .unwrap_err();
         assert!(matches!(err, ForestError::ClassOutOfRange { class: 5, .. }));
     }
 
@@ -574,7 +567,9 @@ mod tests {
         let cfg = ForestConfig::classification(9, 4, 3).with_depth(5);
         let f = RandomForest::synthetic_full(&cfg, 12);
         for i in 0..20 {
-            let x: Vec<f32> = (0..4).map(|j| ((i * 13 + j * 7) % 100) as f32 / 100.0).collect();
+            let x: Vec<f32> = (0..4)
+                .map(|j| ((i * 13 + j * 7) % 100) as f32 / 100.0)
+                .collect();
             let p = f.predict_proba(&x);
             assert_eq!(p.len(), 3);
             let sum: f32 = p.iter().sum();

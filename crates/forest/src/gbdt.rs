@@ -92,11 +92,7 @@ impl GradientBoost {
         let mut scores = vec![init; y.len()];
         let mut trees = Vec::with_capacity(config.n_stages);
         for stage in 0..config.n_stages {
-            let residuals: Vec<f32> = y
-                .iter()
-                .zip(&scores)
-                .map(|(t, s)| t - s)
-                .collect();
+            let residuals: Vec<f32> = y.iter().zip(&scores).map(|(t, s)| t - s).collect();
             let tree = Self::fit_stage(x, n_features, &residuals, config, stage)?;
             for (i, row) in x.chunks_exact(n_features).enumerate() {
                 let step = tree.predict(row).as_value().expect("regression stage");
@@ -373,9 +369,18 @@ mod tests {
     fn config_validation() {
         let (x, y) = wave(10);
         for bad in [
-            GradientBoostConfig { n_stages: 0, ..Default::default() },
-            GradientBoostConfig { learning_rate: 0.0, ..Default::default() },
-            GradientBoostConfig { learning_rate: 1.5, ..Default::default() },
+            GradientBoostConfig {
+                n_stages: 0,
+                ..Default::default()
+            },
+            GradientBoostConfig {
+                learning_rate: 0.0,
+                ..Default::default()
+            },
+            GradientBoostConfig {
+                learning_rate: 1.5,
+                ..Default::default()
+            },
         ] {
             assert!(GradientBoost::train_regressor(&x, 1, &y, &bad).is_err());
         }

@@ -386,7 +386,9 @@ mod tests {
         let forest = RandomForest::synthetic_full(&cfg, 33);
         let flat = FlatForest::from_forest(&forest, 10).unwrap();
         for i in 0..50 {
-            let x: Vec<f32> = (0..4).map(|j| ((i * 7 + j * 13) % 100) as f32 / 100.0).collect();
+            let x: Vec<f32> = (0..4)
+                .map(|j| ((i * 7 + j * 13) % 100) as f32 / 100.0)
+                .collect();
             assert_eq!(
                 flat.score_one(&x) as u32,
                 forest.predict_one(&x).as_class().unwrap(),

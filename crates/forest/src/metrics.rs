@@ -16,11 +16,7 @@
 pub fn accuracy(predicted: &[u32], truth: &[u32]) -> f64 {
     assert_eq!(predicted.len(), truth.len(), "length mismatch");
     assert!(!predicted.is_empty(), "empty prediction set");
-    let correct = predicted
-        .iter()
-        .zip(truth)
-        .filter(|(p, t)| p == t)
-        .count();
+    let correct = predicted.iter().zip(truth).filter(|(p, t)| p == t).count();
     correct as f64 / predicted.len() as f64
 }
 

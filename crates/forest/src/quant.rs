@@ -178,10 +178,7 @@ impl QuantizedForest {
     ///
     /// Propagates per-tree errors; rejects regression forests with
     /// [`ForestError::LeafTaskMismatch`].
-    pub fn from_forest(
-        forest: &RandomForest,
-        scheme: QuantScheme,
-    ) -> Result<Self, ForestError> {
+    pub fn from_forest(forest: &RandomForest, scheme: QuantScheme) -> Result<Self, ForestError> {
         let Task::Classification { n_classes } = forest.task() else {
             return Err(ForestError::LeafTaskMismatch);
         };
@@ -286,8 +283,8 @@ mod tests {
             Node::class_leaf(1),
         ])
         .unwrap();
-        let f = RandomForest::from_trees(vec![tree], 1, Task::Classification { n_classes: 2 })
-            .unwrap();
+        let f =
+            RandomForest::from_trees(vec![tree], 1, Task::Classification { n_classes: 2 }).unwrap();
         let q = QuantizedForest::from_forest(&f, QuantScheme::unit(1)).unwrap();
         for x in [0.0f32, 0.1, 0.25, 0.49, 0.51, 0.75, 1.0] {
             assert_eq!(
@@ -325,10 +322,8 @@ mod tests {
     #[test]
     fn oversized_trees_rejected() {
         // Depth 16 full tree: 131071 nodes > u16 addressing.
-        let f = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 2).with_depth(16),
-            1,
-        );
+        let f =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 2).with_depth(16), 1);
         assert!(matches!(
             QuantizedForest::from_forest(&f, QuantScheme::unit(4)).unwrap_err(),
             ForestError::DepthExceeded { .. }

@@ -100,7 +100,9 @@ impl ModelBundle {
                 }
             }
         }
-        Self { bytes: buf.freeze() }
+        Self {
+            bytes: buf.freeze(),
+        }
     }
 
     /// Wraps raw bytes (e.g. read from storage) as a bundle without
@@ -242,8 +244,7 @@ mod tests {
 
     #[test]
     fn roundtrip_regressor() {
-        let forest =
-            RandomForest::synthetic_full(&ForestConfig::regression(2, 3).with_depth(3), 5);
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(2, 3).with_depth(3), 5);
         let bundle = ModelBundle::serialize(&forest);
         assert_eq!(bundle.deserialize().unwrap(), forest);
     }
@@ -259,7 +260,9 @@ mod tests {
         let forest = sample_forest();
         let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
         raw[4] = 99;
-        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        let err = ModelBundle::from_bytes(Bytes::from(raw))
+            .deserialize()
+            .unwrap_err();
         assert_eq!(err, ForestError::UnsupportedVersion(99));
     }
 
@@ -279,7 +282,9 @@ mod tests {
         let forest = sample_forest();
         let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
         raw.push(0xAB);
-        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        let err = ModelBundle::from_bytes(Bytes::from(raw))
+            .deserialize()
+            .unwrap_err();
         assert!(matches!(err, ForestError::Corrupt(_)));
     }
 
@@ -289,7 +294,9 @@ mod tests {
         let mut raw = ModelBundle::serialize(&forest).as_bytes().to_vec();
         // First node tag lives right after the 19-byte header + 4-byte node count.
         raw[23] = 7;
-        let err = ModelBundle::from_bytes(Bytes::from(raw)).deserialize().unwrap_err();
+        let err = ModelBundle::from_bytes(Bytes::from(raw))
+            .deserialize()
+            .unwrap_err();
         assert!(matches!(err, ForestError::Corrupt(_)));
     }
 
@@ -302,7 +309,9 @@ mod tests {
         buf.put_u32_le(0); // zero classes
         buf.put_u32_le(1);
         buf.put_u32_le(0);
-        let err = ModelBundle::from_bytes(buf.freeze()).deserialize().unwrap_err();
+        let err = ModelBundle::from_bytes(buf.freeze())
+            .deserialize()
+            .unwrap_err();
         assert!(matches!(err, ForestError::Corrupt(_)));
     }
 

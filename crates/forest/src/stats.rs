@@ -145,10 +145,8 @@ mod tests {
 
     #[test]
     fn full_tree_stats() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(4, 6, 3).with_depth(5),
-            9,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(4, 6, 3).with_depth(5), 9);
         let s = ModelStats::of(&forest);
         assert_eq!(s.n_trees, 4);
         assert_eq!(s.n_features, 6);
@@ -183,10 +181,8 @@ mod tests {
 
     #[test]
     fn leaf_only_tree_path() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(2, 2, 2).with_depth(0),
-            3,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(2, 2, 2).with_depth(0), 3);
         let s = ModelStats::of(&forest);
         assert_eq!(s.mean_path_nodes, 1.0);
         assert_eq!(s.total_leaves, 2);

@@ -249,21 +249,15 @@ mod tests {
 
     #[test]
     fn rejects_dangling_child() {
-        let err = DecisionTree::from_nodes(vec![
-            Node::decision(0, 0.5, 1, 9),
-            Node::class_leaf(0),
-        ])
-        .unwrap_err();
+        let err = DecisionTree::from_nodes(vec![Node::decision(0, 0.5, 1, 9), Node::class_leaf(0)])
+            .unwrap_err();
         assert!(matches!(err, ForestError::ChildOutOfRange { child: 9, .. }));
     }
 
     #[test]
     fn rejects_backward_child() {
-        let err = DecisionTree::from_nodes(vec![
-            Node::decision(0, 0.5, 0, 1),
-            Node::class_leaf(0),
-        ])
-        .unwrap_err();
+        let err = DecisionTree::from_nodes(vec![Node::decision(0, 0.5, 0, 1), Node::class_leaf(0)])
+            .unwrap_err();
         assert!(matches!(err, ForestError::NonTopological { child: 0, .. }));
     }
 
@@ -290,7 +284,10 @@ mod tests {
     #[test]
     fn validate_task_mismatch() {
         let t = stump();
-        assert_eq!(t.validate(1, None).unwrap_err(), ForestError::LeafTaskMismatch);
+        assert_eq!(
+            t.validate(1, None).unwrap_err(),
+            ForestError::LeafTaskMismatch
+        );
         let reg = DecisionTree::leaf(LeafValue::Value(1.0));
         assert_eq!(
             reg.validate(1, Some(2)).unwrap_err(),

@@ -2,7 +2,8 @@
 
 use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
 use mlscore_forest::{FlatTree, ModelStats, Predictions};
-use mlscore_sim::{Stage, TimingBreakdown};
+use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{ExactSplit, Scope, Tracer};
 
 use crate::device::FpgaDevice;
 use crate::engine::{EngineConfig, InferenceEngine};
@@ -74,6 +75,16 @@ impl ScoringBackend for FpgaBackend {
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
         let device = self.engine.device();
         let cfg = self.engine.config();
         let link = &device.link;
@@ -85,16 +96,12 @@ impl ScoringBackend for FpgaBackend {
         //    is charged inside the scoring component instead.
         let tree_mem_bytes = (FlatTree::capacity_for_depth(cfg.max_depth) * 16) as u64;
         let trees_per_pass = (stats.n_trees as u64).div_ceil(passes);
-        b.add(
-            Stage::InputTransfer,
-            link.transfer(trees_per_pass * tree_mem_bytes) * passes as f64,
-        );
+        let input_total = link.transfer(trees_per_pass * tree_mem_bytes) * passes as f64;
+        b.add(Stage::InputTransfer, input_total);
 
         // 2) FPGA setup: the CSR driver sequence that arms each pass.
-        b.add(
-            Stage::AcceleratorSetup,
-            crate::csr::setup_time(device.csr_write) * passes as f64,
-        );
+        let setup_total = crate::csr::setup_time(device.csr_write) * passes as f64;
+        b.add(Stage::AcceleratorSetup, setup_total);
 
         // 3) Scoring: pipeline cycles, rate-limited by the overlapped PCIe
         //    record stream when records arrive slower than 1/cycle.
@@ -102,10 +109,8 @@ impl ScoringBackend for FpgaBackend {
         let fill = cfg.max_depth as u64 + (cfg.pe_count as u64).ilog2() as u64 + 2;
         let per_pass_compute = device.clock.cycles(fill + n_records * ii);
         let per_pass_stream = link.stream(n_records * stats.row_bytes() as u64);
-        b.add(
-            Stage::Scoring,
-            per_pass_compute.max(per_pass_stream) * passes as f64,
-        );
+        let scoring_total = per_pass_compute.max(per_pass_stream) * passes as f64;
+        b.add(Stage::Scoring, scoring_total);
 
         // 4) Completion signalling, per pass: the paper's interrupt, or
         //    CSR polling (half the poll interval of expected detection
@@ -116,24 +121,170 @@ impl ScoringBackend for FpgaBackend {
                 interval / 2.0 + device.csr_write
             }
         };
-        b.add(Stage::CompletionSignal, completion * passes as f64);
+        let completion_total = completion * passes as f64;
+        b.add(Stage::CompletionSignal, completion_total);
 
         // 5) Result transfer: one DMA per result-memory flush.
         let flushes = (n_records as usize)
             .div_ceil(cfg.result_buffer_records)
             .max(1) as u64;
-        b.add(
-            Stage::ResultTransfer,
-            link.transfer(n_records * 4 / flushes) * flushes as f64,
-        );
+        let result_total = link.transfer(n_records * 4 / flushes) * flushes as f64;
+        b.add(Stage::ResultTransfer, result_total);
 
         // 6) Host software overhead: fixed per call plus per extra pass.
+        let inter_pass_sw = device.per_pass_software * (passes.saturating_sub(1)) as f64;
         b.add(
             Stage::SoftwareOverhead,
-            device.software_overhead
-                + device.per_pass_software * (passes.saturating_sub(1)) as f64,
+            device.software_overhead + inter_pass_sw,
         );
+
+        if tracer.is_enabled() {
+            self.record_spans(
+                tracer,
+                start,
+                PassTotals {
+                    passes: passes as usize,
+                    input_total,
+                    setup_total,
+                    scoring_total,
+                    completion_total,
+                    result_total,
+                    inter_pass_sw,
+                    per_pass_compute,
+                    per_pass_stream,
+                    flushes,
+                },
+            );
+        }
         b
+    }
+}
+
+/// Stage totals handed from the cost model to the span recorder.
+struct PassTotals {
+    passes: usize,
+    input_total: mlscore_sim::SimDuration,
+    setup_total: mlscore_sim::SimDuration,
+    scoring_total: mlscore_sim::SimDuration,
+    completion_total: mlscore_sim::SimDuration,
+    result_total: mlscore_sim::SimDuration,
+    inter_pass_sw: mlscore_sim::SimDuration,
+    per_pass_compute: mlscore_sim::SimDuration,
+    per_pass_stream: mlscore_sim::SimDuration,
+    flushes: u64,
+}
+
+/// Cap on per-pass detail lanes so very wide models stay readable.
+const MAX_PASS_LANES: usize = 8;
+
+impl FpgaBackend {
+    /// Replays the offload timeline onto `tracer`.
+    ///
+    /// Per-pass `Offload` spans are cut with [`ExactSplit`] so folding them
+    /// back in recording order recovers each stage total bit-exactly; the
+    /// per-pass interleaving (input, setup, scoring, completion) still
+    /// yields the same first-occurrence stage order as the direct
+    /// `TimingBreakdown::add` sequence above. The two `SoftwareOverhead`
+    /// spans are recorded last (keeping that stage last in the breakdown)
+    /// but placed where the host actually spends the time: the driver call
+    /// before pass 0, the inter-pass driver work in the gap after pass 0.
+    fn record_spans(&self, tracer: &Tracer, start: SimInstant, t: PassTotals) {
+        let device = self.engine.device();
+        let name = <Self as ScoringBackend>::name(self);
+        let inputs = ExactSplit::new(t.input_total, t.passes);
+        let setups = ExactSplit::new(t.setup_total, t.passes);
+        let scorings = ExactSplit::new(t.scoring_total, t.passes);
+        let completions = ExactSplit::new(t.completion_total, t.passes);
+
+        let mut cursor = start + device.software_overhead;
+        let mut first_gap = cursor;
+        let stream_bound = t.per_pass_stream > t.per_pass_compute;
+        for (i, (((inp, set), sco), com)) in inputs
+            .zip(setups)
+            .zip(scorings)
+            .zip(completions)
+            .enumerate()
+        {
+            cursor = tracer
+                .span(format!("model dma pass {i}"), cursor)
+                .stage(Stage::InputTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("pass", i.to_string())
+                .finish_after(inp);
+            cursor = tracer
+                .span(format!("csr setup pass {i}"), cursor)
+                .stage(Stage::AcceleratorSetup)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("pass", i.to_string())
+                .finish_after(set);
+            if i < MAX_PASS_LANES {
+                // Detail lanes: the engine pipeline and the overlapped PCIe
+                // record stream run concurrently; scoring is the max.
+                tracer
+                    .span(format!("engine compute pass {i}"), cursor)
+                    .track(name, format!("pass{i}"))
+                    .finish_after(t.per_pass_compute);
+                tracer
+                    .span(format!("record stream pass {i}"), cursor)
+                    .track(name, "pcie")
+                    .finish_after(t.per_pass_stream);
+            }
+            cursor = tracer
+                .span(format!("scoring pass {i}"), cursor)
+                .stage(Stage::Scoring)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("pass", i.to_string())
+                .meta(
+                    "bound",
+                    if stream_bound {
+                        "pcie-stream"
+                    } else {
+                        "compute"
+                    },
+                )
+                .finish_after(sco);
+            cursor = tracer
+                .span(format!("completion pass {i}"), cursor)
+                .stage(Stage::CompletionSignal)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("pass", i.to_string())
+                .finish_after(com);
+            if i == 0 {
+                first_gap = cursor;
+            }
+            if i + 1 < t.passes {
+                cursor += device.per_pass_software;
+            }
+        }
+        tracer
+            .span("result dma", cursor)
+            .stage(Stage::ResultTransfer)
+            .scope(Scope::Offload)
+            .track(name, "offload")
+            .meta("flushes", t.flushes.to_string())
+            .finish_after(t.result_total);
+        // Host-side spans, recorded last so SoftwareOverhead stays the last
+        // stage of the reconstructed breakdown.
+        tracer
+            .span("driver call", start)
+            .stage(Stage::SoftwareOverhead)
+            .scope(Scope::Offload)
+            .track(name, "host")
+            .meta("backend", name)
+            .finish_after(device.software_overhead);
+        if t.passes > 1 {
+            tracer
+                .span("inter-pass driver", first_gap)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(name, "host")
+                .meta("passes", t.passes.to_string())
+                .finish_after(t.inter_pass_sw);
+        }
     }
 }
 
@@ -152,10 +303,8 @@ mod tests {
 
     #[test]
     fn scoring_matches_reference() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(16, 28, 2).with_depth(7),
-            9,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(16, 28, 2).with_depth(7), 9);
         let data = Dataset::higgs(150, 3).normalized();
         let req = ScoringRequest::new(&forest, data.frame()).unwrap();
         let preds = FpgaBackend::paper_default().score(&req).unwrap();
@@ -209,7 +358,9 @@ mod tests {
         let backend = FpgaBackend::paper_default();
         let one_pass = backend.estimate(&stats(128, 10, 4), 1_000_000);
         let two_pass = backend.estimate(&stats(256, 10, 4), 1_000_000);
-        let ratio = two_pass.get(Stage::Scoring).ratio(one_pass.get(Stage::Scoring));
+        let ratio = two_pass
+            .get(Stage::Scoring)
+            .ratio(one_pass.get(Stage::Scoring));
         assert!((1.9..2.1).contains(&ratio), "ratio {ratio}");
         assert!(two_pass.get(Stage::CompletionSignal) > one_pass.get(Stage::CompletionSignal));
     }
@@ -239,6 +390,59 @@ mod tests {
             interrupt.estimate(&s, 1).get(Stage::Scoring),
             polling.estimate(&s, 1).get(Stage::Scoring)
         );
+    }
+
+    #[test]
+    fn traced_estimate_reconstructs_exactly() {
+        let backend = FpgaBackend::paper_default();
+        // Single-pass tiny batch, multi-pass stream-bound HIGGS-size batch.
+        for (s, n) in [
+            (stats(128, 10, 4), 1u64),
+            (stats(256, 10, 28), 1_000_000),
+            (stats(300, 9, 12), 77_777),
+        ] {
+            let tracer = Tracer::new();
+            let traced = backend.estimate_traced(&s, n, &tracer, SimInstant::ZERO);
+            assert_eq!(traced, backend.estimate(&s, n));
+            let trace = tracer.take();
+            assert_eq!(trace.breakdown(Scope::Offload), traced);
+        }
+    }
+
+    #[test]
+    fn traced_two_pass_span_inventory() {
+        let backend = FpgaBackend::paper_default();
+        let tracer = Tracer::new();
+        backend.estimate_traced(&stats(256, 10, 4), 1000, &tracer, SimInstant::ZERO);
+        let trace = tracer.take();
+        // 4 offload spans per pass x 2 passes + result dma + driver call +
+        // inter-pass driver = 11 offload; 2 detail lanes per pass = 4.
+        assert_eq!(trace.len(), 15);
+        let details = trace
+            .events()
+            .iter()
+            .filter(|e| e.scope == Scope::Detail)
+            .count();
+        assert_eq!(details, 4);
+        // The driver call sits at the very start of the timeline.
+        let driver = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "driver call")
+            .unwrap();
+        assert_eq!(driver.start, SimInstant::ZERO);
+        // Compute and stream detail spans for a pass start together.
+        let compute = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "engine compute pass 0")
+            .unwrap();
+        let stream = trace
+            .events()
+            .iter()
+            .find(|e| e.name == "record stream pass 0")
+            .unwrap();
+        assert_eq!(compute.start, stream.start);
     }
 
     #[test]

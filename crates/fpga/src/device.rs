@@ -58,6 +58,9 @@ mod tests {
         let d = FpgaDevice::stratix10_gx2800();
         assert_eq!(d.clock.cycle_time(), SimDuration::from_nanos(4.0));
         assert!((d.bram_bytes as f64 / (1 << 20) as f64 - 28.6).abs() < 0.1);
-        assert!(d.csr_write < d.interrupt, "CSR setup is cheaper than interrupt");
+        assert!(
+            d.csr_write < d.interrupt,
+            "CSR setup is cheaper than interrupt"
+        );
     }
 }

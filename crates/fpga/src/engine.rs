@@ -179,8 +179,7 @@ impl InferenceEngine {
     pub fn load(&self, forest: &RandomForest) -> Result<LoadedModel, FpgaError> {
         let flat = FlatForest::from_forest(forest, self.config.max_depth)?;
         let passes = forest.n_trees().div_ceil(self.config.pe_count);
-        let tree_mem_bytes =
-            (FlatTree::capacity_for_depth(self.config.max_depth) * 16) as u64;
+        let tree_mem_bytes = (FlatTree::capacity_for_depth(self.config.max_depth) * 16) as u64;
         let mut bram = BramAllocator::new(self.device.bram_bytes);
         if self.config.memory == MemoryBackend::Bram {
             let resident_trees = forest.n_trees().min(self.config.pe_count) as u64;
@@ -248,11 +247,7 @@ impl InferenceEngine {
                         }
                     }
                 }
-                Predictions::Values(
-                    sums.into_iter()
-                        .map(|s| s / trees.len() as f32)
-                        .collect(),
-                )
+                Predictions::Values(sums.into_iter().map(|s| s / trees.len() as f32).collect())
             }
         };
         EngineRun {
@@ -268,9 +263,7 @@ impl InferenceEngine {
         let ii = self.config.memory.initiation_interval();
         // Fill: one level per cycle down the tree plus the voting tree
         // (log2 of PE count) and output registration.
-        let fill = self.config.max_depth as u64
-            + (self.config.pe_count as u64).ilog2() as u64
-            + 2;
+        let fill = self.config.max_depth as u64 + (self.config.pe_count as u64).ilog2() as u64 + 2;
         let streaming = n_records * ii;
         let passes = model.passes as u64;
         CycleReport {
@@ -297,28 +290,30 @@ mod tests {
 
     #[test]
     fn predictions_match_reference_iris() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(12, 4, 3).with_depth(8),
-            5,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(12, 4, 3).with_depth(8), 5);
         let data = Dataset::iris(200, 9).normalized();
         let model = engine().load(&forest).unwrap();
         let run = engine().execute(&model, data.frame().as_slice());
-        assert_eq!(run.predictions, forest.predict_batch(data.frame().as_slice()));
+        assert_eq!(
+            run.predictions,
+            forest.predict_batch(data.frame().as_slice())
+        );
     }
 
     #[test]
     fn multi_pass_votes_accumulate_correctly() {
         // 300 trees > 128 PEs: 3 passes, same predictions as reference.
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(300, 4, 3).with_depth(4),
-            6,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(300, 4, 3).with_depth(4), 6);
         let data = Dataset::iris(50, 2).normalized();
         let model = engine().load(&forest).unwrap();
         assert_eq!(model.passes(), 3);
         let run = engine().execute(&model, data.frame().as_slice());
-        assert_eq!(run.predictions, forest.predict_batch(data.frame().as_slice()));
+        assert_eq!(
+            run.predictions,
+            forest.predict_batch(data.frame().as_slice())
+        );
         assert_eq!(run.report.passes, 3);
     }
 
@@ -341,10 +336,8 @@ mod tests {
 
     #[test]
     fn deep_trees_rejected() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 2).with_depth(11),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 2).with_depth(11), 1);
         let err = engine().load(&forest).unwrap_err();
         assert_eq!(
             err,
@@ -375,10 +368,8 @@ mod tests {
             ..EngineConfig::default()
         };
         let e = InferenceEngine::new(FpgaDevice::stratix10_gx2800(), cfg);
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 2).with_depth(4),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 2).with_depth(4), 1);
         assert!(matches!(
             e.load(&forest).unwrap_err(),
             FpgaError::BramExceeded { .. }
@@ -393,14 +384,11 @@ mod tests {
             ..EngineConfig::default()
         };
         let e = InferenceEngine::new(FpgaDevice::stratix10_gx2800(), cfg);
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(8, 4, 2).with_depth(6),
-            2,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(8, 4, 2).with_depth(6), 2);
         let model = e.load(&forest).unwrap();
         let report = e.cycle_report(&model, 1000);
-        let bram_report = engine()
-            .cycle_report(&engine().load(&forest).unwrap(), 1000);
+        let bram_report = engine().cycle_report(&engine().load(&forest).unwrap(), 1000);
         assert_eq!(report.streaming_cycles, 4 * bram_report.streaming_cycles);
     }
 
@@ -425,10 +413,8 @@ mod tests {
             ..EngineConfig::default()
         };
         let e = InferenceEngine::new(FpgaDevice::stratix10_gx2800(), cfg);
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 2).with_depth(4),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 2).with_depth(4), 1);
         let model = e.load(&forest).unwrap();
         assert_eq!(e.cycle_report(&model, 1).result_flushes, 1);
         assert_eq!(e.cycle_report(&model, 250).result_flushes, 3);

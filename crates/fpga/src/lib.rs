@@ -34,8 +34,8 @@
 #![warn(missing_docs)]
 
 pub mod backend;
-pub mod csr;
 pub mod bram;
+pub mod csr;
 pub mod device;
 pub mod engine;
 pub mod error;

@@ -35,11 +35,7 @@ impl SplitReport {
 
 /// Walks `x` down a tree for at most `depth_budget` levels; returns either
 /// the leaf value or the frontier node index where the budget ran out.
-fn walk_to_depth(
-    nodes: &[Node],
-    x: &[f32],
-    depth_budget: usize,
-) -> Result<LeafValue, usize> {
+fn walk_to_depth(nodes: &[Node], x: &[f32], depth_budget: usize) -> Result<LeafValue, usize> {
     let mut idx = 0usize;
     for _ in 0..=depth_budget {
         match nodes[idx] {
@@ -178,7 +174,9 @@ pub fn split_estimate(
     // Frontier transfer: one index per (record, tree) that continued.
     b.add(
         Stage::ResultTransfer,
-        device.link.transfer(report.continued_on_cpu * 4 + n_records * 4),
+        device
+            .link
+            .transfer(report.continued_on_cpu * 4 + n_records * 4),
     );
     b.add(Stage::CompletionSignal, device.interrupt * passes as f64);
     b.add(Stage::SoftwareOverhead, device.software_overhead);
@@ -215,10 +213,8 @@ mod tests {
 
     #[test]
     fn shallow_trees_never_touch_cpu() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(4, 4, 2).with_depth(6),
-            3,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(4, 4, 2).with_depth(6), 3);
         let data = Dataset::iris(40, 5).normalized();
         let engine = InferenceEngine::paper_default();
         let (preds, report) = split_score(&engine, &forest, data.frame());
@@ -229,11 +225,8 @@ mod tests {
 
     #[test]
     fn regression_split_works() {
-        let forest = RandomForest::synthetic_capped(
-            &ForestConfig::regression(3, 3).with_depth(13),
-            300,
-            2,
-        );
+        let forest =
+            RandomForest::synthetic_capped(&ForestConfig::regression(3, 3).with_depth(13), 300, 2);
         let records: Vec<f32> = (0..60).map(|i| (i as f32 * 0.41) % 1.0).collect();
         let frame = TabularFrame::from_rows(records.clone(), 3).unwrap();
         let engine = InferenceEngine::paper_default();

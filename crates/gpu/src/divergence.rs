@@ -78,10 +78,8 @@ mod tests {
     fn full_trees_have_no_divergence() {
         // Every path in a full tree has identical length, so lanes never
         // idle regardless of data.
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(8, 4, 2).with_depth(6),
-            3,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(8, 4, 2).with_depth(6), 3);
         let data = Dataset::iris(64, 1).normalized();
         assert_eq!(measured_divergence(&forest, data.frame()), 1.0);
     }
@@ -103,10 +101,8 @@ mod tests {
 
     #[test]
     fn empty_input_reports_unity() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 2).with_depth(2),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 2).with_depth(2), 1);
         let frame = TabularFrame::from_rows(vec![], 4).unwrap();
         assert_eq!(measured_divergence(&forest, &frame), 1.0);
     }

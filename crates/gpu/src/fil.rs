@@ -5,10 +5,12 @@ use serde::{Deserialize, Serialize};
 use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
 use mlscore_data::ColumnarFrame;
 use mlscore_forest::{ModelStats, Predictions, RandomForest, Task};
-use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::device::GpuDevice;
 use crate::divergence::warp_efficiency;
+use crate::MAX_LAUNCH_LANES;
 
 /// Timing-model constants for the FIL strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -127,21 +129,32 @@ impl ScoringBackend for RapidsFil {
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
         let d = &self.device;
         let p = &self.params;
         let mut b = TimingBreakdown::new();
 
         // cuDF conversion (host-side pre-processing).
         let input_bytes = n_records * stats.row_bytes() as u64;
-        b.add(
-            Stage::DataPreprocessing,
-            p.cudf_fixed + p.cudf_per_byte * input_bytes as f64,
-        );
+        let cudf = p.cudf_fixed + p.cudf_per_byte * input_bytes as f64;
+        b.add(Stage::DataPreprocessing, cudf);
 
         // Model + records to device, results back.
         let model_bytes = (stats.total_nodes * 16) as u64;
-        b.add(Stage::InputTransfer, d.link.transfer(model_bytes) + d.link.transfer(input_bytes));
-        b.add(Stage::ResultTransfer, d.link.transfer(n_records * 4));
+        let model_h2d = d.link.transfer(model_bytes);
+        let records_h2d = d.link.transfer(input_bytes);
+        b.add(Stage::InputTransfer, model_h2d + records_h2d);
+        let results_d2h = d.link.transfer(n_records * 4);
+        b.add(Stage::ResultTransfer, results_d2h);
 
         // Kernel: divergent traversal, compute- or memory-bound.
         let visits = n_records as f64 * stats.visits_per_record();
@@ -151,13 +164,86 @@ impl ScoringBackend for RapidsFil {
         let miss = d.l2_miss_fraction((stats.total_nodes * 16) as u64);
         let traffic = visits * 16.0 * miss + (input_bytes + n_records * 4) as f64;
         let memory = d.memory_time(traffic);
-        b.add(Stage::Scoring, compute.max(memory));
+        let kernel = compute.max(memory);
+        b.add(Stage::Scoring, kernel);
 
         // Launch + driver costs.
+        let launches = d.kernel_launch * p.kernels_per_call as f64;
         b.add(
             Stage::SoftwareOverhead,
-            d.kernel_launch * p.kernels_per_call as f64 + SimDuration::from_micros(200.0),
+            launches + SimDuration::from_micros(200.0),
         );
+
+        if tracer.is_enabled() {
+            let name = <Self as ScoringBackend>::name(self);
+            // Spans are *recorded* in the breakdown's add order (result d2h
+            // before the kernel span), but *placed* on the timeline in
+            // execution order: cuDF, transfers, kernel, result transfer,
+            // driver teardown.
+            let t = tracer
+                .span("cudf conversion", start)
+                .stage(Stage::DataPreprocessing)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("input_bytes", input_bytes.to_string())
+                .finish_after(cudf);
+            let t = tracer
+                .span("model h2d", t)
+                .stage(Stage::InputTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("bytes", model_bytes.to_string())
+                .finish_after(model_h2d);
+            let t_kernel = tracer
+                .span("records h2d", t)
+                .stage(Stage::InputTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("bytes", input_bytes.to_string())
+                .finish_after(records_h2d);
+            let t_results = tracer
+                .span("results d2h", t_kernel + kernel)
+                .stage(Stage::ResultTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .finish_after(results_d2h);
+            tracer
+                .span("fil inference kernel", t_kernel)
+                .stage(Stage::Scoring)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta(
+                    "bound",
+                    if memory > compute {
+                        "memory"
+                    } else {
+                        "compute"
+                    },
+                )
+                .meta("warp_efficiency", format!("{eff:.3}"))
+                .finish_after(kernel);
+            tracer
+                .span("kernel launches", t_results)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(name, "host")
+                .meta("kernels", p.kernels_per_call.to_string())
+                .finish_after(launches);
+            tracer
+                .span("driver overhead", t_results + launches)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(name, "host")
+                .finish_after(SimDuration::from_micros(200.0));
+            // Detail: the individual launches inside the launch span.
+            let mut tl = t_results;
+            for k in 0..(p.kernels_per_call as usize).min(MAX_LAUNCH_LANES) {
+                tl = tracer
+                    .span(format!("launch {k}"), tl)
+                    .track(name, "launches")
+                    .finish_after(d.kernel_launch);
+            }
+        }
         b
     }
 }
@@ -186,10 +272,8 @@ mod tests {
 
     #[test]
     fn multiclass_rejected_like_the_paper() {
-        let iris_model = RandomForest::synthetic_full(
-            &ForestConfig::classification(4, 4, 3).with_depth(4),
-            1,
-        );
+        let iris_model =
+            RandomForest::synthetic_full(&ForestConfig::classification(4, 4, 3).with_depth(4), 1);
         let stats = ModelStats::of(&iris_model);
         let err = RapidsFil::p100().supports(&stats).unwrap_err();
         assert!(matches!(err, BackendError::Unsupported { .. }));
@@ -221,6 +305,46 @@ mod tests {
         let big = ModelStats::of(&binary_forest(128, 10));
         assert!(fil.estimate(&big, 1_000_000).total() > fil.estimate(&small, 1_000_000).total());
         assert!(fil.estimate(&big, 1_000_000).total() > fil.estimate(&big, 1_000).total());
+    }
+
+    #[test]
+    fn traced_estimate_reconstructs_exactly() {
+        let fil = RapidsFil::p100();
+        for (s, n) in [
+            (ModelStats::of(&binary_forest(1, 6)), 1u64),
+            (ModelStats::of(&binary_forest(128, 10)), 1_000_000),
+        ] {
+            let tracer = Tracer::new();
+            let traced = fil.estimate_traced(&s, n, &tracer, SimInstant::ZERO);
+            assert_eq!(traced, fil.estimate(&s, n));
+            let trace = tracer.take();
+            assert_eq!(trace.breakdown(Scope::Offload), traced);
+        }
+    }
+
+    #[test]
+    fn traced_result_transfer_placed_after_kernel() {
+        // Recording order preserves the breakdown's stage order
+        // (ResultTransfer before Scoring), but the timeline places the
+        // result copy after the kernel finishes.
+        let fil = RapidsFil::p100();
+        let tracer = Tracer::new();
+        let s = ModelStats::of(&binary_forest(16, 8));
+        fil.estimate_traced(&s, 50_000, &tracer, SimInstant::ZERO);
+        let trace = tracer.take();
+        let events = trace.events();
+        let kernel = events
+            .iter()
+            .find(|e| e.name == "fil inference kernel")
+            .unwrap();
+        let results = events.iter().find(|e| e.name == "results d2h").unwrap();
+        assert_eq!(results.start, kernel.end());
+        let result_pos = events.iter().position(|e| e.name == "results d2h").unwrap();
+        let kernel_pos = events
+            .iter()
+            .position(|e| e.name == "fil inference kernel")
+            .unwrap();
+        assert!(result_pos < kernel_pos, "recording order follows add order");
     }
 
     #[test]

@@ -15,12 +15,12 @@
 use serde::{Deserialize, Serialize};
 
 use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
-use mlscore_forest::{
-    DecisionTree, LeafValue, ModelStats, Node, Predictions, RandomForest, Task,
-};
-use mlscore_sim::{SimDuration, Stage, TimingBreakdown};
+use mlscore_forest::{DecisionTree, LeafValue, ModelStats, Node, Predictions, RandomForest, Task};
+use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::device::GpuDevice;
+use crate::MAX_LAUNCH_LANES;
 
 /// Timing-model constants for the Hummingbird strategy.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -184,6 +184,16 @@ impl ScoringBackend for HummingbirdGpu {
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
+        self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    fn estimate_traced(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
         let d = &self.device;
         let p = &self.params;
         let mut b = TimingBreakdown::new();
@@ -192,16 +202,17 @@ impl ScoringBackend for HummingbirdGpu {
         // left, right, value) plus records in, results back.
         let model_bytes = (stats.total_nodes * 20) as u64;
         let input_bytes = n_records * stats.row_bytes() as u64;
-        b.add(
-            Stage::InputTransfer,
-            d.link.transfer(model_bytes) + d.link.transfer(input_bytes),
-        );
-        b.add(Stage::ResultTransfer, d.link.transfer(n_records * 4));
+        let model_h2d = d.link.transfer(model_bytes);
+        let records_h2d = d.link.transfer(input_bytes);
+        b.add(Stage::InputTransfer, model_h2d + records_h2d);
+        let results_d2h = d.link.transfer(n_records * 4);
+        b.add(Stage::ResultTransfer, results_d2h);
 
         // Kernel: fixed work per record per tree — the full depth is always
         // walked (perfect-tree traversal), or the full node set evaluated
         // (GEMM) for shallow trees.
-        let per_tree_visits = if stats.max_depth <= p.gemm_max_depth {
+        let gemm = stats.max_depth <= p.gemm_max_depth;
+        let per_tree_visits = if gemm {
             // GEMM evaluates every node once.
             (stats.total_nodes as f64 / stats.n_trees as f64).max(1.0)
         } else {
@@ -214,12 +225,80 @@ impl ScoringBackend for HummingbirdGpu {
         let traffic =
             visits * 16.0 * p.traffic_factor * miss + (input_bytes + n_records * 4) as f64;
         let memory = d.memory_time(traffic);
-        b.add(Stage::Scoring, compute.max(memory));
+        let kernel = compute.max(memory);
+        b.add(Stage::Scoring, kernel);
 
-        b.add(
-            Stage::SoftwareOverhead,
-            p.framework_overhead + d.kernel_launch * (stats.max_depth as f64 + 2.0),
-        );
+        let n_launches = stats.max_depth as f64 + 2.0;
+        let launches = d.kernel_launch * n_launches;
+        b.add(Stage::SoftwareOverhead, p.framework_overhead + launches);
+
+        if tracer.is_enabled() {
+            let name = <Self as ScoringBackend>::name(self);
+            // Recorded in add order (result d2h before the kernel), placed
+            // in execution order on the timeline.
+            let t = tracer
+                .span("model tensors h2d", start)
+                .stage(Stage::InputTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("bytes", model_bytes.to_string())
+                .finish_after(model_h2d);
+            let t_kernel = tracer
+                .span("records h2d", t)
+                .stage(Stage::InputTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta("bytes", input_bytes.to_string())
+                .finish_after(records_h2d);
+            let t_results = tracer
+                .span("results d2h", t_kernel + kernel)
+                .stage(Stage::ResultTransfer)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .finish_after(results_d2h);
+            tracer
+                .span(
+                    if gemm {
+                        "gemm kernel"
+                    } else {
+                        "tensor traversal kernel"
+                    },
+                    t_kernel,
+                )
+                .stage(Stage::Scoring)
+                .scope(Scope::Offload)
+                .track(name, "offload")
+                .meta(
+                    "bound",
+                    if memory > compute {
+                        "memory"
+                    } else {
+                        "compute"
+                    },
+                )
+                .finish_after(kernel);
+            let t_fw = tracer
+                .span("framework dispatch", t_results)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(name, "host")
+                .finish_after(p.framework_overhead);
+            tracer
+                .span("kernel launches", t_fw)
+                .stage(Stage::SoftwareOverhead)
+                .scope(Scope::Offload)
+                .track(name, "host")
+                .meta("kernels", format!("{n_launches}"))
+                .finish_after(launches);
+            // Detail: one span per launch, capped.
+            let mut tl = t_fw;
+            for k in 0..(n_launches as usize).min(MAX_LAUNCH_LANES) {
+                tl = tracer
+                    .span(format!("launch {k}"), tl)
+                    .track(name, "launches")
+                    .finish_after(d.kernel_launch);
+            }
+        }
         b
     }
 }
@@ -232,10 +311,8 @@ mod tests {
 
     #[test]
     fn gemm_semantics_match_traversal_full_trees() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(10, 4, 3).with_depth(7),
-            21,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(10, 4, 3).with_depth(7), 21);
         let data = Dataset::iris(150, 5).normalized();
         let req = ScoringRequest::new(&forest, data.frame()).unwrap();
         let preds = HummingbirdGpu::p100().score(&req).unwrap();
@@ -257,8 +334,7 @@ mod tests {
 
     #[test]
     fn regression_supported_and_correct() {
-        let forest =
-            RandomForest::synthetic_full(&ForestConfig::regression(5, 3).with_depth(4), 6);
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(5, 3).with_depth(4), 6);
         let frame = mlscore_data::TabularFrame::from_rows(
             (0..45).map(|i| (i as f32 * 0.73) % 1.0).collect(),
             3,
@@ -271,10 +347,8 @@ mod tests {
 
     #[test]
     fn multiclass_supported_unlike_rapids() {
-        let iris_model = RandomForest::synthetic_full(
-            &ForestConfig::classification(4, 4, 3).with_depth(4),
-            1,
-        );
+        let iris_model =
+            RandomForest::synthetic_full(&ForestConfig::classification(4, 4, 3).with_depth(4), 1);
         assert!(HummingbirdGpu::p100()
             .supports(&ModelStats::of(&iris_model))
             .is_ok());
@@ -282,10 +356,8 @@ mod tests {
 
     #[test]
     fn no_cudf_floor_at_small_batches() {
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 28, 2).with_depth(6),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 28, 2).with_depth(6), 1);
         let stats = ModelStats::of(&forest);
         let hb = HummingbirdGpu::p100().estimate(&stats, 1).total();
         let fil = crate::fil::RapidsFil::p100().estimate(&stats, 1).total();
@@ -306,6 +378,42 @@ mod tests {
         let fil = crate::fil::RapidsFil::p100();
         assert!(hb.estimate(&stats, 10_000).total() < fil.estimate(&stats, 10_000).total());
         assert!(hb.estimate(&stats, 1_000_000).total() > fil.estimate(&stats, 1_000_000).total());
+    }
+
+    #[test]
+    fn traced_estimate_reconstructs_exactly() {
+        let hb = HummingbirdGpu::p100();
+        let shallow = ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(32, 4, 2).with_depth(3),
+            2,
+        ));
+        let deep = ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(128, 28, 2).with_depth(10),
+            1,
+        ));
+        for (s, n) in [(shallow, 1u64), (deep, 1_000_000)] {
+            let tracer = Tracer::new();
+            let traced = hb.estimate_traced(&s, n, &tracer, SimInstant::ZERO);
+            assert_eq!(traced, hb.estimate(&s, n));
+            let trace = tracer.take();
+            assert_eq!(trace.breakdown(Scope::Offload), traced);
+        }
+    }
+
+    #[test]
+    fn traced_kernel_named_by_strategy() {
+        let hb = HummingbirdGpu::p100();
+        let shallow = ModelStats::of(&RandomForest::synthetic_full(
+            &ForestConfig::classification(32, 4, 2).with_depth(3),
+            2,
+        ));
+        let tracer = Tracer::new();
+        hb.estimate_traced(&shallow, 100, &tracer, SimInstant::ZERO);
+        assert!(tracer
+            .take()
+            .events()
+            .iter()
+            .any(|e| e.name == "gemm kernel"));
     }
 
     #[test]

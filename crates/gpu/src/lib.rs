@@ -26,3 +26,7 @@ pub use device::GpuDevice;
 pub use divergence::{measured_divergence, warp_efficiency};
 pub use fil::{FilCostParams, RapidsFil};
 pub use hummingbird::{HummingbirdCostParams, HummingbirdGpu};
+
+/// Cap on per-launch detail spans in traced estimates, so deep models do
+/// not flood the trace with one span per kernel launch.
+pub(crate) const MAX_LAUNCH_LANES: usize = 8;

@@ -112,9 +112,7 @@ impl PcieLink {
 
     /// Raw link bandwidth (before protocol derating).
     pub fn raw_bandwidth(&self) -> Bandwidth {
-        Bandwidth::from_bytes_per_sec(
-            self.generation.lane_bytes_per_sec() * self.lanes as f64,
-        )
+        Bandwidth::from_bytes_per_sec(self.generation.lane_bytes_per_sec() * self.lanes as f64)
     }
 
     /// Effective streaming bandwidth seen by large DMAs.

@@ -157,7 +157,10 @@ mod tests {
             fn estimate(&self, _stats: &ModelStats, n_records: u64) -> TimingBreakdown {
                 let mut b = TimingBreakdown::new();
                 b.add(Stage::SoftwareOverhead, SimDuration::from_millis(2.0));
-                b.add(Stage::Scoring, SimDuration::from_nanos(10.0) * n_records as f64);
+                b.add(
+                    Stage::Scoring,
+                    SimDuration::from_nanos(10.0) * n_records as f64,
+                );
                 b
             }
         }
@@ -224,7 +227,10 @@ mod tests {
         let m64 = run(64);
         let m128 = run(128);
         let ratio = m128.ratio(m64);
-        assert!((1.8..2.2).contains(&ratio), "serialized scaling ratio {ratio}");
+        assert!(
+            (1.8..2.2).contains(&ratio),
+            "serialized scaling ratio {ratio}"
+        );
     }
 
     #[test]

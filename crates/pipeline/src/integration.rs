@@ -90,9 +90,8 @@ mod tests {
         let mut prev: Option<SimDuration> = None;
         for mode in IntegrationMode::all() {
             let p = mode.params();
-            let cost = p.python_invocation
-                + p.marshal_time(rows, bytes)
-                + p.marshal_results_time(rows);
+            let cost =
+                p.python_invocation + p.marshal_time(rows, bytes) + p.marshal_results_time(rows);
             if let Some(prev) = prev {
                 assert!(
                     cost < prev,

@@ -3,7 +3,8 @@
 use mlscore_backend::{ScoringBackend, ScoringRequest};
 use mlscore_data::TabularFrame;
 use mlscore_forest::{ModelBundle, ModelStats, Predictions};
-use mlscore_sim::{Stage, TimingBreakdown};
+use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
+use mlscore_telemetry::{Scope, Tracer};
 
 use crate::error::PipelineError;
 use crate::params::PipelineParams;
@@ -70,14 +71,48 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         bundle: &ModelBundle,
         frame: &TabularFrame,
     ) -> Result<QueryRun, PipelineError> {
+        self.execute_traced(bundle, frame, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    /// Like [`QueryPipeline::execute`], but also records the end-to-end
+    /// timeline on `tracer`: one [`Scope::Query`] span per Fig. 11 stage on
+    /// the pipeline's query lane, with the backend's [`Scope::Offload`]
+    /// spans nested inside the `Scoring` span's interval. Folding the
+    /// recorded `Query` spans reproduces `breakdown` exactly; folding the
+    /// `Offload` spans reproduces `scoring_breakdown` exactly.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`QueryPipeline::execute`].
+    pub fn execute_traced(
+        &self,
+        bundle: &ModelBundle,
+        frame: &TabularFrame,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<QueryRun, PipelineError> {
         let forest = bundle.deserialize()?;
         let stats = ModelStats::of(&forest);
         self.backend.supports(&stats)?;
         let request = ScoringRequest::new(&forest, frame)?;
         let predictions = self.backend.score(&request)?;
-        let scoring_breakdown = self.backend.estimate(&stats, frame.n_rows() as u64);
-        let breakdown =
-            self.assemble(&stats, bundle.len() as u64, frame, &scoring_breakdown);
+        let model_bytes = bundle.len() as u64;
+        let n_records = frame.n_rows() as u64;
+        let t_scoring = self.scoring_start(&stats, model_bytes, n_records, start);
+        let scoring_breakdown = self
+            .backend
+            .estimate_traced(&stats, n_records, tracer, t_scoring);
+        let breakdown = self.assemble_sized(&stats, model_bytes, n_records, &scoring_breakdown);
+        if tracer.is_enabled() {
+            self.record_query_spans(
+                tracer,
+                start,
+                &stats,
+                model_bytes,
+                n_records,
+                &scoring_breakdown,
+            );
+        }
         Ok(QueryRun {
             predictions,
             breakdown,
@@ -93,18 +128,117 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         model_bytes: u64,
         n_records: u64,
     ) -> TimingBreakdown {
-        let scoring = self.backend.estimate(stats, n_records);
-        self.assemble_sized(stats, model_bytes, n_records, &scoring)
+        self.estimate_traced(
+            stats,
+            model_bytes,
+            n_records,
+            &Tracer::disabled(),
+            SimInstant::ZERO,
+        )
     }
 
-    fn assemble(
+    /// Like [`QueryPipeline::estimate`], but records the same spans as
+    /// [`QueryPipeline::execute_traced`].
+    pub fn estimate_traced(
         &self,
         stats: &ModelStats,
         model_bytes: u64,
-        frame: &TabularFrame,
-        scoring: &TimingBreakdown,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
     ) -> TimingBreakdown {
-        self.assemble_sized(stats, model_bytes, frame.n_rows() as u64, scoring)
+        let t_scoring = self.scoring_start(stats, model_bytes, n_records, start);
+        let scoring = self
+            .backend
+            .estimate_traced(stats, n_records, tracer, t_scoring);
+        let b = self.assemble_sized(stats, model_bytes, n_records, &scoring);
+        if tracer.is_enabled() {
+            self.record_query_spans(tracer, start, stats, model_bytes, n_records, &scoring);
+        }
+        b
+    }
+
+    /// The simulated instant at which the backend scoring call begins:
+    /// after Python invocation, inbound marshalling, and both
+    /// pre-processing stages. The chained additions here mirror the span
+    /// chain in `record_query_spans`, so the two stay bit-identical.
+    fn scoring_start(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        start: SimInstant,
+    ) -> SimInstant {
+        let p = &self.params;
+        let data_bytes = n_records * stats.row_bytes() as u64;
+        start
+            + p.python_invocation
+            + p.marshal_time(n_records, data_bytes + model_bytes)
+            + p.model_preprocess_time(model_bytes)
+            + p.data_preprocess_per_byte * data_bytes as f64
+    }
+
+    /// Records one `Query` span per Fig. 11 stage. The outbound marshalling
+    /// span is recorded *after* the scoring span (it happens later on the
+    /// timeline), which still folds `DataTransfer` in the same
+    /// inbound-then-outbound order as `assemble_sized`'s single add.
+    fn record_query_spans(
+        &self,
+        tracer: &Tracer,
+        start: SimInstant,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        scoring: &TimingBreakdown,
+    ) {
+        let p = &self.params;
+        let data_bytes = n_records * stats.row_bytes() as u64;
+        let t = tracer
+            .span("python invocation", start)
+            .stage(Stage::PythonInvocation)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .finish_after(p.python_invocation);
+        let t = tracer
+            .span("marshal model + records", t)
+            .stage(Stage::DataTransfer)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .meta("bytes", (data_bytes + model_bytes).to_string())
+            .finish_after(p.marshal_time(n_records, data_bytes + model_bytes));
+        let t = tracer
+            .span("model deserialization", t)
+            .stage(Stage::ModelPreprocessing)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .meta("model_bytes", model_bytes.to_string())
+            .finish_after(p.model_preprocess_time(model_bytes));
+        let t = tracer
+            .span("data preprocessing", t)
+            .stage(Stage::DataPreprocessing)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .finish_after(p.data_preprocess_per_byte * data_bytes as f64);
+        let t = tracer
+            .span("scoring", t)
+            .stage(Stage::Scoring)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .meta("backend", self.backend.name())
+            .meta("records", n_records.to_string())
+            .finish_after(scoring.total());
+        let t = tracer
+            .span("marshal results", t)
+            .stage(Stage::DataTransfer)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .finish_after(p.marshal_results_time(n_records));
+        tracer
+            .span("post-processing", t)
+            .stage(Stage::PostProcessing)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .finish_after(p.postprocess_per_record * n_records as f64);
     }
 
     fn assemble_sized(
@@ -122,10 +256,12 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         // prediction per record (4 bytes each).
         b.add(
             Stage::DataTransfer,
-            p.marshal_time(n_records, data_bytes + model_bytes)
-                + p.marshal_results_time(n_records),
+            p.marshal_time(n_records, data_bytes + model_bytes) + p.marshal_results_time(n_records),
         );
-        b.add(Stage::ModelPreprocessing, p.model_preprocess_time(model_bytes));
+        b.add(
+            Stage::ModelPreprocessing,
+            p.model_preprocess_time(model_bytes),
+        );
         b.add(
             Stage::DataPreprocessing,
             p.data_preprocess_per_byte * data_bytes as f64,
@@ -160,7 +296,10 @@ mod tests {
         let (bundle, data, forest) = setup(10, 6);
         let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
         let run = pipeline.execute(&bundle, data.frame()).unwrap();
-        assert_eq!(run.predictions, forest.predict_batch(data.frame().as_slice()));
+        assert_eq!(
+            run.predictions,
+            forest.predict_batch(data.frame().as_slice())
+        );
     }
 
     #[test]
@@ -181,10 +320,8 @@ mod tests {
     fn small_queries_are_dominated_by_python_invocation() {
         // Fig. 11: for one record and a one-tree model, Python invocation
         // and model pre-processing dominate.
-        let forest = RandomForest::synthetic_full(
-            &ForestConfig::classification(1, 4, 3).with_depth(6),
-            1,
-        );
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 3).with_depth(6), 1);
         let stats = ModelStats::of(&forest);
         let bundle = ModelBundle::serialize(&forest);
         let pipeline = QueryPipeline::new(OnnxCpu::single_thread());
@@ -212,6 +349,70 @@ mod tests {
             pipeline.execute(&bundle, &wrong),
             Err(PipelineError::Backend(_))
         ));
+    }
+
+    #[test]
+    fn traced_execute_reconstructs_both_scopes() {
+        let (bundle, data, _) = setup(6, 5);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
+        let tracer = Tracer::new();
+        let run = pipeline
+            .execute_traced(&bundle, data.frame(), &tracer, SimInstant::ZERO)
+            .unwrap();
+        assert_eq!(run, pipeline.execute(&bundle, data.frame()).unwrap());
+        let trace = tracer.take();
+        assert_eq!(trace.breakdown(Scope::Query), run.breakdown);
+        assert_eq!(trace.breakdown(Scope::Offload), run.scoring_breakdown);
+    }
+
+    #[test]
+    fn traced_offload_spans_nest_inside_scoring_span() {
+        let (bundle, data, _) = setup(6, 5);
+        let pipeline = QueryPipeline::new(OnnxCpu::paper_52th());
+        let tracer = Tracer::new();
+        pipeline
+            .execute_traced(&bundle, data.frame(), &tracer, SimInstant::ZERO)
+            .unwrap();
+        let trace = tracer.take();
+        let scoring = trace
+            .events()
+            .iter()
+            .find(|e| e.scope == Scope::Query && e.name == "scoring")
+            .unwrap();
+        // Bit-exactness is promised for breakdown folds, not instants: the
+        // chained span ends can drift from `start + total()` by an ulp, so
+        // nesting is asserted to a 1 ns tolerance.
+        let slack = mlscore_sim::SimDuration::from_nanos(1.0);
+        for ev in trace.events() {
+            if ev.scope == Scope::Offload {
+                assert!(
+                    ev.start + slack >= scoring.start,
+                    "{} starts early",
+                    ev.name
+                );
+                assert!(ev.end() <= scoring.end() + slack, "{} ends late", ev.name);
+            }
+        }
+    }
+
+    #[test]
+    fn traced_estimate_matches_untraced() {
+        let (bundle, _, forest) = setup(4, 6);
+        let stats = ModelStats::of(&forest);
+        let pipeline = QueryPipeline::new(SklearnCpu::paper_default());
+        let tracer = Tracer::new();
+        let traced = pipeline.estimate_traced(
+            &stats,
+            bundle.len() as u64,
+            1_000_000,
+            &tracer,
+            SimInstant::ZERO,
+        );
+        assert_eq!(
+            traced,
+            pipeline.estimate(&stats, bundle.len() as u64, 1_000_000)
+        );
+        assert_eq!(tracer.take().breakdown(Scope::Query), traced);
     }
 
     #[test]

@@ -211,7 +211,11 @@ mod tests {
         let mut seen = std::collections::HashSet::new();
         for _ in 0..backends.len() {
             let c = sched.choose(&s, 1_000, &backends).unwrap();
-            assert!(seen.insert(c.index), "revisited {} during exploration", c.name);
+            assert!(
+                seen.insert(c.index),
+                "revisited {} during exploration",
+                c.name
+            );
             let t = backends[c.index].estimate(&s, 1_000).total();
             sched.observe(&s, c.index, 1_000, t);
         }
@@ -276,6 +280,10 @@ mod tests {
         let heavy_pick = sched.choose(&heavy, 1_000_000, &backends).unwrap();
         let tiny_pick = sched.choose(&tiny, 10, &backends).unwrap();
         assert_eq!(heavy_pick.name, "FPGA");
-        assert!(tiny_pick.name.starts_with("CPU"), "tiny pick {}", tiny_pick.name);
+        assert!(
+            tiny_pick.name.starts_with("CPU"),
+            "tiny pick {}",
+            tiny_pick.name
+        );
     }
 }

@@ -18,8 +18,6 @@ pub mod regret;
 pub mod trace;
 
 pub use adaptive::{AdaptiveScheduler, ModelClass};
-pub use policy::{
-    paper_backends, AffineFitPolicy, Choice, HeuristicPolicy, OraclePolicy, Policy,
-};
+pub use policy::{paper_backends, AffineFitPolicy, Choice, HeuristicPolicy, OraclePolicy, Policy};
 pub use regret::{evaluate_policy, RegretReport};
-pub use trace::{replay, replay_adaptive, QueryTrace, TraceOutcome, TraceQuery};
+pub use trace::{replay, replay_adaptive, replay_traced, QueryTrace, TraceOutcome, TraceQuery};

@@ -67,7 +67,13 @@ impl Policy for OraclePolicy {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.supports(stats).is_ok())
-            .map(|(i, b)| (i, b.name().to_string(), b.estimate(stats, n_records).total()))
+            .map(|(i, b)| {
+                (
+                    i,
+                    b.name().to_string(),
+                    b.estimate(stats, n_records).total(),
+                )
+            })
             .min_by(|a, b| a.2.cmp(&b.2))
             .map(|(index, name, predicted)| Choice {
                 index,
@@ -109,7 +115,13 @@ impl HeuristicPolicy {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.supports(stats).is_ok() && kind(b.name()))
-            .map(|(i, b)| (i, b.name().to_string(), b.estimate(stats, n_records).total()))
+            .map(|(i, b)| {
+                (
+                    i,
+                    b.name().to_string(),
+                    b.estimate(stats, n_records).total(),
+                )
+            })
             .min_by(|a, b| a.2.cmp(&b.2))
     }
 }
@@ -187,7 +199,11 @@ impl Policy for AffineFitPolicy {
                 let t1 = b.estimate(stats, self.probe_large).total().as_secs();
                 let slope = (t1 - t0) / (self.probe_large - self.probe_small) as f64;
                 let predicted = t0 + slope * (n_records.saturating_sub(self.probe_small)) as f64;
-                (i, b.name().to_string(), SimDuration::from_secs(predicted.max(0.0)))
+                (
+                    i,
+                    b.name().to_string(),
+                    SimDuration::from_secs(predicted.max(0.0)),
+                )
             })
             .min_by(|a, b| a.2.cmp(&b.2))
             .map(|(index, name, predicted)| Choice {
@@ -250,7 +266,9 @@ mod tests {
         let c = h.choose(&stats(1, 10, 4, 3), 1_000_000, &backends).unwrap();
         assert!(c.name.starts_with("GPU"), "chose {}", c.name);
         // Large batch, complex model: FPGA.
-        let c = h.choose(&stats(128, 10, 28, 2), 1_000_000, &backends).unwrap();
+        let c = h
+            .choose(&stats(128, 10, 28, 2), 1_000_000, &backends)
+            .unwrap();
         assert_eq!(c.name, "FPGA");
     }
 

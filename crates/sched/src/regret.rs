@@ -85,9 +85,7 @@ mod tests {
 
     fn grid() -> Vec<(ModelStats, u64)> {
         let mut g = Vec::new();
-        for &(trees, features, classes) in
-            &[(1usize, 4usize, 3u32), (32, 4, 3), (128, 28, 2)]
-        {
+        for &(trees, features, classes) in &[(1usize, 4usize, 3u32), (32, 4, 3), (128, 28, 2)] {
             let stats = ModelStats::of(&RandomForest::synthetic_full(
                 &ForestConfig::classification(trees, features, classes).with_depth(10),
                 5,
@@ -146,7 +144,13 @@ mod tests {
                     .iter()
                     .enumerate()
                     .filter(|(_, b)| b.name().starts_with("CPU") && b.supports(stats).is_ok())
-                    .map(|(i, b)| (i, b.name().to_string(), b.estimate(stats, n_records).total()))
+                    .map(|(i, b)| {
+                        (
+                            i,
+                            b.name().to_string(),
+                            b.estimate(stats, n_records).total(),
+                        )
+                    })
                     .min_by(|a, b| a.2.cmp(&b.2))
                     .map(|(index, name, predicted)| crate::policy::Choice {
                         index,

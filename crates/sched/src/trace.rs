@@ -15,7 +15,8 @@ use rand::{Rng, SeedableRng};
 use mlscore_backend::ScoringBackend;
 use mlscore_data::DatasetSpec;
 use mlscore_forest::{ForestConfig, ModelStats, RandomForest};
-use mlscore_sim::SimDuration;
+use mlscore_sim::{SimDuration, SimInstant};
+use mlscore_telemetry::{Histogram, Tracer};
 
 use crate::adaptive::AdaptiveScheduler;
 use crate::policy::Policy;
@@ -107,18 +108,27 @@ pub struct TraceOutcome {
 }
 
 impl TraceOutcome {
-    /// The `p`-th latency percentile (`0 < p <= 100`), nearest-rank.
+    /// The latency distribution folded into the shared telemetry
+    /// [`Histogram`] — the same type `repro scheduler` renders and the
+    /// metrics registry aggregates.
+    pub fn latency_histogram(&self) -> Histogram {
+        let mut h = Histogram::new();
+        for &latency in &self.latencies {
+            h.record(latency);
+        }
+        h
+    }
+
+    /// The `p`-th latency percentile (`0 < p <= 100`), from the
+    /// log-bucketed [`Histogram`] (nearest-rank bucket upper bound, clamped
+    /// to the observed min/max).
     ///
     /// # Panics
     ///
     /// Panics on an empty outcome or `p` outside `(0, 100]`.
     pub fn percentile(&self, p: f64) -> SimDuration {
-        assert!(!self.latencies.is_empty(), "empty outcome");
         assert!(p > 0.0 && p <= 100.0, "percentile out of range");
-        let mut sorted = self.latencies.clone();
-        sorted.sort();
-        let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
-        sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+        self.latency_histogram().quantile(p / 100.0)
     }
 }
 
@@ -133,14 +143,43 @@ pub fn replay(
     trace: &QueryTrace,
     backends: &[Box<dyn ScoringBackend>],
 ) -> TraceOutcome {
+    replay_traced(policy, trace, backends, &Tracer::disabled())
+}
+
+/// Like [`replay`], but records one [`Scope::Detail`] span per query on
+/// `tracer`: queries run back to back from the epoch (the makespan
+/// timeline), each on the lane of the backend that served it, annotated
+/// with the policy, backend, and batch size.
+///
+/// [`Scope::Detail`]: mlscore_telemetry::Scope::Detail
+///
+/// # Panics
+///
+/// Panics if some query has no supporting backend.
+pub fn replay_traced(
+    policy: &dyn Policy,
+    trace: &QueryTrace,
+    backends: &[Box<dyn ScoringBackend>],
+    tracer: &Tracer,
+) -> TraceOutcome {
     let mut total = SimDuration::ZERO;
     let mut latencies = Vec::with_capacity(trace.len());
     let mut picks: BTreeMap<String, usize> = BTreeMap::new();
-    for q in trace.queries() {
+    let mut cursor = SimInstant::ZERO;
+    for (i, q) in trace.queries().iter().enumerate() {
         let choice = policy
             .choose(&q.stats, q.n_records, backends)
             .expect("some backend must support every trace query");
-        let latency = backends[choice.index].estimate(&q.stats, q.n_records).total();
+        let latency = backends[choice.index]
+            .estimate(&q.stats, q.n_records)
+            .total();
+        cursor = tracer
+            .span(format!("query {i}"), cursor)
+            .track("scheduler", choice.name.as_str())
+            .meta("policy", policy.name())
+            .meta("backend", choice.name.as_str())
+            .meta("records", q.n_records.to_string())
+            .finish_after(latency);
         total += latency;
         latencies.push(latency);
         *picks.entry(choice.name).or_default() += 1;
@@ -167,7 +206,9 @@ pub fn replay_adaptive(
         let choice = scheduler
             .choose(&q.stats, q.n_records, backends)
             .expect("some backend must support every trace query");
-        let latency = backends[choice.index].estimate(&q.stats, q.n_records).total();
+        let latency = backends[choice.index]
+            .estimate(&q.stats, q.n_records)
+            .total();
         scheduler.observe(&q.stats, choice.index, q.n_records, latency);
         total += latency;
         latencies.push(latency);
@@ -196,7 +237,10 @@ mod tests {
         // Batch sizes span several orders of magnitude.
         let min = a.queries().iter().map(|q| q.n_records).min().unwrap();
         let max = a.queries().iter().map(|q| q.n_records).max().unwrap();
-        assert!(max / min.max(1) > 1_000, "trace not heavy-tailed: {min}..{max}");
+        assert!(
+            max / min.max(1) > 1_000,
+            "trace not heavy-tailed: {min}..{max}"
+        );
     }
 
     #[test]
@@ -241,9 +285,7 @@ mod tests {
         let backends = paper_backends();
         // Repeat the same short mix many times so the learner converges.
         let base = QueryTrace::synthetic(10, 7);
-        let repeated = QueryTrace::new(
-            (0..12).flat_map(|_| base.queries().to_vec()).collect(),
-        );
+        let repeated = QueryTrace::new((0..12).flat_map(|_| base.queries().to_vec()).collect());
         let oracle = replay(&OraclePolicy, &repeated, &backends);
         let mut sched = AdaptiveScheduler::new(0.4);
         // First pass pays the exploration bill (every backend gets probed,
@@ -256,6 +298,42 @@ mod tests {
         let factor = learned.total.ratio(oracle.total);
         assert!(factor < 1.5, "learned pass {factor}x oracle");
         assert!(learned.total <= exploration.total);
+    }
+
+    #[test]
+    fn percentile_comes_from_the_shared_histogram() {
+        let backends = paper_backends();
+        let trace = QueryTrace::synthetic(50, 11);
+        let outcome = replay(&OraclePolicy, &trace, &backends);
+        let h = outcome.latency_histogram();
+        assert_eq!(h.count(), 50);
+        for p in [50.0, 95.0, 99.0, 100.0] {
+            assert_eq!(outcome.percentile(p), h.quantile(p / 100.0));
+        }
+        assert_eq!(outcome.percentile(100.0), h.max());
+    }
+
+    #[test]
+    fn traced_replay_records_one_span_per_query() {
+        let backends = paper_backends();
+        let trace = QueryTrace::synthetic(40, 3);
+        let tracer = Tracer::new();
+        let outcome = replay_traced(&OraclePolicy, &trace, &backends, &tracer);
+        assert_eq!(outcome, replay(&OraclePolicy, &trace, &backends));
+        let spans = tracer.take();
+        assert_eq!(spans.len(), 40);
+        // Back-to-back makespan timeline: each span starts where the
+        // previous one ended, and the folded duration is the total.
+        let events = spans.events();
+        let mut sum = SimDuration::ZERO;
+        for (i, ev) in events.iter().enumerate() {
+            if i > 0 {
+                assert_eq!(ev.start, events[i - 1].end());
+            }
+            sum += ev.dur;
+            assert_eq!(ev.metadata[0], ("policy".to_string(), "oracle".to_string()));
+        }
+        assert_eq!(sum, outcome.total);
     }
 
     #[test]

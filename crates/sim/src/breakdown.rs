@@ -17,9 +17,7 @@ use crate::time::SimDuration;
 /// decomposition), Fig. 7 (FPGA scoring-time components), and Fig. 11
 /// (end-to-end query components). Each stage belongs to a [`StageClass`]
 /// mapping it onto the paper's `O` / `L` / `C` taxonomy.
-#[derive(
-    Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize,
-)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 #[non_exhaustive]
 pub enum Stage {
     /// Transferring the model (and any non-overlapped input data) to the

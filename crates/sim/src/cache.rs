@@ -64,7 +64,10 @@ impl CacheHierarchy {
     ///
     /// Panics if `levels` is empty or capacities are not strictly increasing.
     pub fn new(levels: Vec<CacheLevel>, memory_access: SimDuration) -> Self {
-        assert!(!levels.is_empty(), "cache hierarchy needs at least one level");
+        assert!(
+            !levels.is_empty(),
+            "cache hierarchy needs at least one level"
+        );
         for pair in levels.windows(2) {
             assert!(
                 pair[0].capacity_bytes < pair[1].capacity_bytes,

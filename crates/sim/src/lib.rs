@@ -30,4 +30,4 @@ pub mod time;
 pub use breakdown::{Stage, StageClass, TimingBreakdown};
 pub use cache::{CacheHierarchy, CacheLevel};
 pub use rate::{transfer_time, Bandwidth, ClockRate};
-pub use time::SimDuration;
+pub use time::{SimDuration, SimInstant};

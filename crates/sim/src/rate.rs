@@ -176,7 +176,10 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        assert_eq!(format!("{}", Bandwidth::from_gb_per_sec(12.0)), "12.00 GB/s");
+        assert_eq!(
+            format!("{}", Bandwidth::from_gb_per_sec(12.0)),
+            "12.00 GB/s"
+        );
         assert_eq!(format!("{}", ClockRate::from_mhz(250.0)), "250 MHz");
     }
 }

@@ -1,4 +1,4 @@
-//! The [`SimDuration`] simulated-time type.
+//! The [`SimDuration`] and [`SimInstant`] simulated-time types.
 
 use std::fmt;
 use std::iter::Sum;
@@ -187,6 +187,98 @@ impl Sum for SimDuration {
     }
 }
 
+/// A point on the simulated timeline, stored as `f64` seconds since the
+/// simulation epoch (the start of the modelled query).
+///
+/// `SimInstant` is to [`SimDuration`] what `std::time::Instant` is to
+/// `std::time::Duration`: adding a duration advances an instant, and
+/// subtracting two instants yields the duration between them. Cost models
+/// thread an instant through their stage arithmetic so span tracing can
+/// place each stage on an absolute timeline.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sim::{SimDuration, SimInstant};
+///
+/// let t0 = SimInstant::ZERO;
+/// let t1 = t0 + SimDuration::from_micros(250.0);
+/// assert_eq!(t1 - t0, SimDuration::from_micros(250.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct SimInstant(f64);
+
+impl SimInstant {
+    /// The simulation epoch.
+    pub const ZERO: SimInstant = SimInstant(0.0);
+
+    /// Creates an instant `secs` seconds after the epoch.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `secs` is finite and non-negative.
+    pub fn from_secs(secs: f64) -> Self {
+        debug_assert!(secs.is_finite() && secs >= 0.0, "invalid instant: {secs}");
+        SimInstant(secs)
+    }
+
+    /// Seconds since the simulation epoch.
+    pub fn as_secs(self) -> f64 {
+        self.0
+    }
+
+    /// Microseconds since the simulation epoch (Perfetto's `ts` unit).
+    pub fn as_micros(self) -> f64 {
+        self.0 * 1e6
+    }
+
+    /// The duration from `earlier` to `self`, saturating to zero if
+    /// `earlier` is actually later.
+    pub fn duration_since(self, earlier: SimInstant) -> SimDuration {
+        SimDuration((self.0 - earlier.0).max(0.0))
+    }
+}
+
+impl Eq for SimInstant {}
+
+impl PartialOrd for SimInstant {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SimInstant {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+impl Add<SimDuration> for SimInstant {
+    type Output = SimInstant;
+    fn add(self, rhs: SimDuration) -> SimInstant {
+        SimInstant(self.0 + rhs.as_secs())
+    }
+}
+
+impl AddAssign<SimDuration> for SimInstant {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.0 += rhs.as_secs();
+    }
+}
+
+impl Sub<SimInstant> for SimInstant {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimInstant) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl fmt::Display for SimInstant {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t+{}", SimDuration(self.0))
+    }
+}
+
 impl fmt::Display for SimDuration {
     /// Renders with an auto-selected unit: `ns`, `µs`, `ms`, or `s`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -270,5 +362,31 @@ mod tests {
     fn sum_over_iterator() {
         let total: SimDuration = (0..4).map(|_| SimDuration::from_micros(25.0)).sum();
         assert_eq!(total, SimDuration::from_micros(100.0));
+    }
+
+    #[test]
+    fn instant_advances_by_duration() {
+        let t0 = SimInstant::ZERO;
+        let t1 = t0 + SimDuration::from_millis(2.0);
+        let mut t2 = t1;
+        t2 += SimDuration::from_millis(3.0);
+        assert_eq!(t1 - t0, SimDuration::from_millis(2.0));
+        assert_eq!(t2 - t0, SimDuration::from_millis(5.0));
+        assert!(t0 < t1 && t1 < t2);
+    }
+
+    #[test]
+    fn instant_duration_since_saturates() {
+        let early = SimInstant::from_secs(1.0);
+        let late = SimInstant::from_secs(3.0);
+        assert_eq!(late.duration_since(early), SimDuration::from_secs(2.0));
+        assert_eq!(early.duration_since(late), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn instant_display_and_micros() {
+        let t = SimInstant::from_secs(0.001);
+        assert_eq!(t.as_micros(), 1000.0);
+        assert_eq!(format!("{t}"), "t+1.000ms");
     }
 }

@@ -1,0 +1,78 @@
+//! Flamegraph "folded stacks" export.
+//!
+//! Produces the semicolon-delimited text format consumed by
+//! `flamegraph.pl` / `inferno`: one line per distinct stack with an
+//! integer weight. The synthetic stack for a span is
+//! `process;lane;name`, and the weight is the span's duration in whole
+//! nanoseconds, so relative frame widths reproduce the simulated time
+//! split.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::span::Trace;
+
+/// Renders the trace as folded stacks, one `stack weight` pair per line.
+///
+/// Equal stacks are merged by summing their weights. Lines are sorted
+/// lexicographically, so output is deterministic.
+pub fn to_folded(trace: &Trace) -> String {
+    let mut stacks: BTreeMap<String, u128> = BTreeMap::new();
+    for ev in trace.events() {
+        let stack = format!(
+            "{};{};{}",
+            sanitize(&ev.track.process),
+            sanitize(&ev.track.lane),
+            sanitize(&ev.name),
+        );
+        *stacks.entry(stack).or_insert(0) += ev.dur.as_nanos().round() as u128;
+    }
+    let mut out = String::new();
+    for (stack, weight) in stacks {
+        let _ = writeln!(out, "{stack} {weight}");
+    }
+    out
+}
+
+/// Folded format delimiters cannot appear inside frame names.
+fn sanitize(name: &str) -> String {
+    name.replace([';', ' ', '\n'], "_")
+}
+
+#[cfg(test)]
+mod tests {
+    use mlscore_sim::{SimDuration, SimInstant};
+
+    use super::*;
+    use crate::span::{Scope, SpanEvent, Track};
+
+    fn ev(process: &str, lane: &str, name: &str, dur_ns: f64) -> SpanEvent {
+        SpanEvent {
+            name: name.into(),
+            stage: None,
+            scope: Scope::Detail,
+            start: SimInstant::ZERO,
+            dur: SimDuration::from_nanos(dur_ns),
+            track: Track::new(process, lane),
+            metadata: vec![],
+        }
+    }
+
+    #[test]
+    fn merges_equal_stacks_and_sorts() {
+        let trace = Trace::from_events(vec![
+            ev("fpga", "pass0", "compute", 100.0),
+            ev("fpga", "pass0", "compute", 50.0),
+            ev("cpu", "w0", "chunk", 10.0),
+        ]);
+        let folded = to_folded(&trace);
+        assert_eq!(folded, "cpu;w0;chunk 10\nfpga;pass0;compute 150\n");
+    }
+
+    #[test]
+    fn sanitizes_delimiters() {
+        let trace = Trace::from_events(vec![ev("a b", "l;ne", "na me", 1.0)]);
+        let folded = to_folded(&trace);
+        assert_eq!(folded, "a_b;l_ne;na_me 1\n");
+    }
+}

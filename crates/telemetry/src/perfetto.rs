@@ -1,0 +1,209 @@
+//! Chrome/Perfetto `trace_event` JSON export.
+//!
+//! Emits the [legacy trace-event format] that both `chrome://tracing` and
+//! [ui.perfetto.dev] load directly: a `traceEvents` array of `"X"`
+//! (complete) events with microsecond `ts`/`dur`, plus `"M"` metadata
+//! events naming processes and threads. The mapping from simulated
+//! execution to the track hierarchy:
+//!
+//! - **process (`pid`)** — one per [`Track::process`], i.e. per backend
+//!   ("pipeline", "fpga", "gpu-fil", "cpu-sklearn", ...);
+//! - **thread (`tid`)** — one per [`Track::lane`] within its process: the
+//!   query lane, each FPGA engine pass, each PCIe stream, each CPU worker.
+//!   Spans on different lanes render as parallel rows, which is what makes
+//!   FPGA multi-pass overlap and streamed PCIe transfers visible.
+//!
+//! [legacy trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
+//! [ui.perfetto.dev]: https://ui.perfetto.dev
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+use crate::json::write_escaped;
+use crate::span::{SpanEvent, Trace};
+
+/// Serializes a trace to Perfetto-compatible `trace_event` JSON.
+///
+/// Event order, pid/tid assignment, and metadata are deterministic: ids are
+/// dense integers in order of first appearance, and span events appear in
+/// recording order.
+pub fn to_json(trace: &Trace) -> String {
+    let mut pids: BTreeMap<&str, u64> = BTreeMap::new();
+    let mut tids: BTreeMap<(&str, &str), u64> = BTreeMap::new();
+    // Assign ids by first appearance, not BTreeMap order.
+    for ev in trace.events() {
+        let process = ev.track.process.as_str();
+        let next_pid = pids.len() as u64 + 1;
+        pids.entry(process).or_insert(next_pid);
+        let next_tid = tids.len() as u64 + 1;
+        tids.entry((process, ev.track.lane.as_str()))
+            .or_insert(next_tid);
+    }
+
+    let mut out = String::from("{\"displayTimeUnit\":\"ns\",\"traceEvents\":[");
+    let mut first = true;
+
+    // Metadata events: name each process and thread.
+    let mut named: Vec<(&&str, &u64)> = pids.iter().collect();
+    named.sort_by_key(|(_, pid)| **pid);
+    for (process, pid) in named {
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":");
+        let _ = write!(out, "{pid}");
+        out.push_str(",\"args\":{\"name\":");
+        write_escaped(&mut out, process);
+        out.push_str("}}");
+    }
+    let mut lanes: Vec<(&(&str, &str), &u64)> = tids.iter().collect();
+    lanes.sort_by_key(|(_, tid)| **tid);
+    for ((process, lane), tid) in lanes {
+        push_sep(&mut out, &mut first);
+        out.push_str("{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":");
+        let _ = write!(out, "{}", pids[process]);
+        out.push_str(",\"tid\":");
+        let _ = write!(out, "{tid}");
+        out.push_str(",\"args\":{\"name\":");
+        write_escaped(&mut out, lane);
+        out.push_str("}}");
+    }
+
+    // Span events.
+    for ev in trace.events() {
+        push_sep(&mut out, &mut first);
+        write_span(&mut out, ev, &pids, &tids);
+    }
+
+    out.push_str("]}");
+    out
+}
+
+fn push_sep(out: &mut String, first: &mut bool) {
+    if *first {
+        *first = false;
+    } else {
+        out.push(',');
+    }
+}
+
+fn write_span(
+    out: &mut String,
+    ev: &SpanEvent,
+    pids: &BTreeMap<&str, u64>,
+    tids: &BTreeMap<(&str, &str), u64>,
+) {
+    let process = ev.track.process.as_str();
+    out.push_str("{\"ph\":\"X\",\"name\":");
+    write_escaped(out, &ev.name);
+    out.push_str(",\"cat\":");
+    write_escaped(out, &ev.scope.to_string());
+    let _ = write!(
+        out,
+        ",\"ts\":{},\"dur\":{},\"pid\":{},\"tid\":{}",
+        ev.start.as_micros(),
+        ev.dur.as_micros(),
+        pids[process],
+        tids[&(process, ev.track.lane.as_str())],
+    );
+    out.push_str(",\"args\":{");
+    let mut first_arg = true;
+    if let Some(stage) = ev.stage {
+        push_sep(out, &mut first_arg);
+        out.push_str("\"stage\":");
+        write_escaped(out, &stage.to_string());
+    }
+    for (k, v) in &ev.metadata {
+        push_sep(out, &mut first_arg);
+        write_escaped(out, k);
+        out.push(':');
+        write_escaped(out, v);
+    }
+    out.push_str("}}");
+}
+
+#[cfg(test)]
+mod tests {
+    use mlscore_sim::{SimDuration, SimInstant, Stage};
+
+    use super::*;
+    use crate::json::{parse, JsonValue};
+    use crate::span::{Scope, Track};
+
+    fn sample_trace() -> Trace {
+        Trace::from_events(vec![
+            SpanEvent {
+                name: "score".into(),
+                stage: Some(Stage::Scoring),
+                scope: Scope::Offload,
+                start: SimInstant::ZERO,
+                dur: SimDuration::from_micros(100.0),
+                track: Track::new("fpga", "pass0"),
+                metadata: vec![("pass".into(), "0".into())],
+            },
+            SpanEvent {
+                name: "stream \"weird\"\nname".into(),
+                stage: None,
+                scope: Scope::Detail,
+                start: SimInstant::from_secs(50e-6),
+                dur: SimDuration::from_micros(60.0),
+                track: Track::new("fpga", "pcie"),
+                metadata: vec![],
+            },
+        ])
+    }
+
+    #[test]
+    fn export_parses_and_has_expected_shape() {
+        let json = to_json(&sample_trace());
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // 1 process_name + 2 thread_name + 2 spans.
+        assert_eq!(events.len(), 5);
+
+        let spans: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("X"))
+            .collect();
+        assert_eq!(spans.len(), 2);
+        assert_eq!(spans[0].get("name").unwrap().as_str(), Some("score"));
+        assert_eq!(
+            spans[0].get("dur").unwrap().as_f64(),
+            Some(SimDuration::from_micros(100.0).as_micros()),
+        );
+        assert_eq!(
+            spans[0].get("args").unwrap().get("stage").unwrap().as_str(),
+            Some("scoring"),
+        );
+        // Same process, different lanes -> same pid, distinct tids.
+        assert_eq!(
+            spans[0].get("pid").unwrap().as_f64(),
+            spans[1].get("pid").unwrap().as_f64(),
+        );
+        assert_ne!(
+            spans[0].get("tid").unwrap().as_f64(),
+            spans[1].get("tid").unwrap().as_f64(),
+        );
+    }
+
+    #[test]
+    fn metadata_events_name_processes_and_threads() {
+        let json = to_json(&sample_trace());
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        let metas: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("M"))
+            .collect();
+        assert_eq!(metas.len(), 3);
+        assert_eq!(
+            metas[0].get("args").unwrap().get("name").unwrap().as_str(),
+            Some("fpga"),
+        );
+    }
+
+    #[test]
+    fn empty_trace_is_valid_json() {
+        let json = to_json(&Trace::new());
+        let doc = parse(&json).unwrap();
+        assert_eq!(doc.get("traceEvents").unwrap(), &JsonValue::Array(vec![]),);
+    }
+}

@@ -15,10 +15,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let data = Dataset::iris(5_000, 3).normalized();
 
     // 1. The paper's flagship model: 128 trees x depth 10 fits in one pass.
-    let model_128 = RandomForest::synthetic_full(
-        &ForestConfig::classification(128, 4, 3).with_depth(10),
-        9,
-    );
+    let model_128 =
+        RandomForest::synthetic_full(&ForestConfig::classification(128, 4, 3).with_depth(10), 9);
     let loaded = engine.load(&model_128)?;
     println!(
         "128-tree model: {} pass(es), model image {} KiB",
@@ -47,10 +45,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // 2. A 300-tree model needs three passes, as §III-B describes.
-    let model_300 = RandomForest::synthetic_full(
-        &ForestConfig::classification(300, 4, 3).with_depth(8),
-        4,
-    );
+    let model_300 =
+        RandomForest::synthetic_full(&ForestConfig::classification(300, 4, 3).with_depth(8), 4);
     let loaded = engine.load(&model_300)?;
     let run = engine.execute(&loaded, data.frame().as_slice());
     println!(

@@ -44,7 +44,9 @@ fn main() {
                 let breakdown = b.estimate(&stats, n_records);
                 println!("{:<18} {:>14}", b.name(), breakdown.total().to_string());
                 if b.name().starts_with("CPU")
-                    && cpu_best.as_ref().is_none_or(|(_, t)| breakdown.total() < *t)
+                    && cpu_best
+                        .as_ref()
+                        .is_none_or(|(_, t)| breakdown.total() < *t)
                 {
                     cpu_best = Some((b.name().to_string(), breakdown.total()));
                 }

@@ -8,8 +8,8 @@
 //! ```
 
 use mlscore_sched::{
-    paper_backends, replay, replay_adaptive, AdaptiveScheduler, AffineFitPolicy,
-    HeuristicPolicy, OraclePolicy, Policy, QueryTrace,
+    paper_backends, replay, replay_adaptive, AdaptiveScheduler, AffineFitPolicy, HeuristicPolicy,
+    OraclePolicy, Policy, QueryTrace,
 };
 
 fn main() {

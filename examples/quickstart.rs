@@ -12,10 +12,8 @@ use mlscore_fpga::FpgaBackend;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The paper's heavyweight configuration: 128 trees, 10 levels, on
     // HIGGS-shaped data (28 features, binary labels).
-    let forest = RandomForest::synthetic_full(
-        &ForestConfig::classification(128, 28, 2).with_depth(10),
-        42,
-    );
+    let forest =
+        RandomForest::synthetic_full(&ForestConfig::classification(128, 28, 2).with_depth(10), 42);
     let data = Dataset::higgs(10_000, 7).normalized();
 
     let cpu = SklearnCpu::paper_default();
@@ -39,10 +37,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let cpu_t = cpu.estimate(&stats, n_records).total();
         let fpga_b = fpga.estimate(&stats, n_records);
         let fpga_t = fpga_b.total();
-        let verdict = if fpga_t < cpu_t { "offload" } else { "stay on CPU" };
-        println!(
-            "{n_records:>9} records: CPU {cpu_t:>12}  FPGA {fpga_t:>12}  -> {verdict}"
-        );
+        let verdict = if fpga_t < cpu_t {
+            "offload"
+        } else {
+            "stay on CPU"
+        };
+        println!("{n_records:>9} records: CPU {cpu_t:>12}  FPGA {fpga_t:>12}  -> {verdict}");
     }
 
     println!("\nFPGA breakdown at 1M records (the Fig. 7b decomposition):");

@@ -68,6 +68,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nend-to-end breakdown at 1M records, FPGA-offloaded scoring:");
     let stats = ModelStats::of(&forest);
     let pipeline = QueryPipeline::new(FpgaBackend::paper_default());
-    println!("{}", pipeline.estimate(&stats, bundle.len() as u64, 1_000_000));
+    println!(
+        "{}",
+        pipeline.estimate(&stats, bundle.len() as u64, 1_000_000)
+    );
     Ok(())
 }

@@ -16,6 +16,7 @@
 //! * [`mlscore_offload`] — PCIe and offload-overhead models.
 //! * [`mlscore_pipeline`] — the end-to-end T-SQL query pipeline.
 //! * [`mlscore_sched`] — backend-selection policies.
+//! * [`mlscore_telemetry`] — span tracing, metrics, Perfetto trace export.
 //! * [`mlscore_core`] — experiment harness and paper figure generators.
 
 #![forbid(unsafe_code)]
@@ -31,5 +32,6 @@ pub use mlscore_offload as offload;
 pub use mlscore_pipeline as pipeline;
 pub use mlscore_sched as sched;
 pub use mlscore_sim as sim;
+pub use mlscore_telemetry as telemetry;
 
 pub mod prelude;

@@ -51,11 +51,16 @@ fn trained_model_flows_through_every_backend() {
     ];
     for backend in backends {
         let name = backend.name().to_string();
-        let run = QueryPipeline::new(backend).execute(&bundle, test.frame()).unwrap();
+        let run = QueryPipeline::new(backend)
+            .execute(&bundle, test.frame())
+            .unwrap();
         assert_eq!(run.predictions, reference, "{name}");
         // Every Fig. 11 stage must be present.
         for stage in Stage::query_breakdown_order() {
-            assert!(!run.breakdown.get(stage).is_zero(), "{name}: missing {stage}");
+            assert!(
+                !run.breakdown.get(stage).is_zero(),
+                "{name}: missing {stage}"
+            );
         }
     }
 }
@@ -81,12 +86,7 @@ fn trained_higgs_binary_model_works_on_rapids() {
             ..Default::default()
         },
     )
-    .train_classifier(
-        train.frame().as_slice(),
-        28,
-        train.labels(),
-        2,
-    )
+    .train_classifier(train.frame().as_slice(), 28, train.labels(), 2)
     .unwrap();
     let preds = forest.predict_batch(test.frame().as_slice());
     let acc = accuracy(preds.as_classes().unwrap(), test.labels());
@@ -96,7 +96,10 @@ fn trained_higgs_binary_model_works_on_rapids() {
         let ones = test.labels().iter().filter(|&&c| c == 1).count();
         (ones.max(test.labels().len() - ones)) as f64 / test.labels().len() as f64
     };
-    assert!(acc > majority + 0.02, "accuracy {acc} vs majority {majority}");
+    assert!(
+        acc > majority + 0.02,
+        "accuracy {acc} vs majority {majority}"
+    );
 
     let bundle = ModelBundle::serialize(&forest);
     let run = QueryPipeline::new(RapidsFil::p100())

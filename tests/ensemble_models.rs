@@ -5,8 +5,7 @@
 use mlscore::prelude::*;
 use mlscore_data::train_test_split;
 use mlscore_forest::{
-    metrics::accuracy, FlatTree, ForestBuilder, GradientBoost, GradientBoostConfig,
-    TrainOptions,
+    metrics::accuracy, FlatTree, ForestBuilder, GradientBoost, GradientBoostConfig, TrainOptions,
 };
 
 #[test]
@@ -50,8 +49,14 @@ fn forest_and_gbdt_both_learn_higgs() {
         .map(|row| gbdt.predict_class(row))
         .collect();
     let gbdt_acc = accuracy(&gbdt_preds, test.labels());
-    assert!(forest_acc > majority, "forest {forest_acc} vs majority {majority}");
-    assert!(gbdt_acc > majority, "gbdt {gbdt_acc} vs majority {majority}");
+    assert!(
+        forest_acc > majority,
+        "forest {forest_acc} vs majority {majority}"
+    );
+    assert!(
+        gbdt_acc > majority,
+        "gbdt {gbdt_acc} vs majority {majority}"
+    );
 }
 
 #[test]
@@ -76,10 +81,7 @@ fn gbdt_stage_trees_flatten_like_forest_trees() {
         let flat = FlatTree::from_tree(tree, 10).unwrap();
         // Flat scoring of the stage agrees with tree scoring.
         for &v in &[0.1f32, 0.4, 0.9] {
-            assert_eq!(
-                flat.score(&[v]),
-                tree.predict(&[v]).as_value().unwrap()
-            );
+            assert_eq!(flat.score(&[v]), tree.predict(&[v]).as_value().unwrap());
         }
     }
 }

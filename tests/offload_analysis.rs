@@ -34,9 +34,8 @@ fn every_accelerator_decomposes_into_o_l_c() {
         );
         // O + L + C_A accounts for the entire offload-level breakdown
         // (up to float summation order).
-        let accounted = (costs.total()
-            + b.total_class(mlscore_sim::StageClass::Pipeline))
-        .as_secs();
+        let accounted =
+            (costs.total() + b.total_class(mlscore_sim::StageClass::Pipeline)).as_secs();
         let total = b.total().as_secs();
         assert!(
             (accounted - total).abs() <= 1e-12 * total.max(1e-30),

@@ -11,11 +11,9 @@ fn quantized_fidelity_across_paper_shapes() {
         (16, 10, 4, 3),
         (128, 10, 28, 2),
     ] {
-        let cfg =
-            ForestConfig::classification(n_trees, n_features, n_classes).with_depth(depth);
+        let cfg = ForestConfig::classification(n_trees, n_features, n_classes).with_depth(depth);
         let forest = RandomForest::synthetic_full(&cfg, 5);
-        let quant =
-            QuantizedForest::from_forest(&forest, QuantScheme::unit(n_features)).unwrap();
+        let quant = QuantizedForest::from_forest(&forest, QuantScheme::unit(n_features)).unwrap();
         let records: Vec<f32> = (0..800 * n_features)
             .map(|i| (i as f32 * 0.317) % 1.0)
             .collect();
@@ -79,11 +77,8 @@ fn data_driven_scheme_beats_unit_scheme_on_raw_features() {
     .train_classifier(data.frame().as_slice(), 4, data.labels(), 3)
     .unwrap();
 
-    let ranged = QuantizedForest::from_forest(
-        &trained,
-        QuantScheme::from_ranges(&mins, &maxs),
-    )
-    .unwrap();
+    let ranged =
+        QuantizedForest::from_forest(&trained, QuantScheme::from_ranges(&mins, &maxs)).unwrap();
     let unit = QuantizedForest::from_forest(&trained, QuantScheme::unit(4)).unwrap();
     let ranged_rate = ranged.mismatch_rate(&trained, data.frame().as_slice());
     let unit_rate = unit.mismatch_rate(&trained, data.frame().as_slice());

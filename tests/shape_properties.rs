@@ -47,7 +47,11 @@ fn speedup_grows_with_model_complexity() {
     // (128 trees, 10 levels).
     let h = headlines();
     assert!(h.iris_fpga_speedup > 5.0 * h.iris_small_fpga_speedup);
-    assert!(h.iris_small_fpga_speedup > 1.5, "small-model FPGA speedup {}", h.iris_small_fpga_speedup);
+    assert!(
+        h.iris_small_fpga_speedup > 1.5,
+        "small-model FPGA speedup {}",
+        h.iris_small_fpga_speedup
+    );
 }
 
 #[test]
@@ -58,7 +62,10 @@ fn gpu_wins_simple_models_fpga_wins_complex() {
     let simple = SweepPoint::evaluate(DatasetSpec::Iris, 1, 10, 1_000_000);
     let gpu = simple.best_gpu().expect("HB supports IRIS").total();
     let fpga = simple.result("FPGA").unwrap().total();
-    assert!(gpu < fpga, "GPU {gpu} should beat FPGA {fpga} on 1-tree IRIS");
+    assert!(
+        gpu < fpga,
+        "GPU {gpu} should beat FPGA {fpga} on 1-tree IRIS"
+    );
     for dataset in DatasetSpec::all() {
         let complex = SweepPoint::evaluate(dataset, 128, 10, 1_000_000);
         assert_eq!(complex.best().backend, "FPGA", "{dataset:?}");
@@ -68,7 +75,10 @@ fn gpu_wins_simple_models_fpga_wins_complex() {
 #[test]
 fn fpga_beats_gpu_by_paper_factor_on_heavy_models() {
     // §IV-C1: FPGA ~7x GPU for IRIS 128t and ~4.2x for HIGGS 128t at 1M.
-    for (dataset, lo, hi) in [(DatasetSpec::Iris, 2.0, 40.0), (DatasetSpec::Higgs, 2.0, 20.0)] {
+    for (dataset, lo, hi) in [
+        (DatasetSpec::Iris, 2.0, 40.0),
+        (DatasetSpec::Higgs, 2.0, 20.0),
+    ] {
         let p = SweepPoint::evaluate(dataset, 128, 10, 1_000_000);
         let ratio = p
             .best_gpu()
@@ -104,14 +114,30 @@ fn cpu_wins_small_batches_everywhere() {
 fn crossovers_fall_in_paper_bands_and_order() {
     let h = headlines();
     let iris1 = h.iris_crossover_1_tree.expect("IRIS 1t crossover exists");
-    let iris128 = h.iris_crossover_128_trees.expect("IRIS 128t crossover exists");
+    let iris128 = h
+        .iris_crossover_128_trees
+        .expect("IRIS 128t crossover exists");
     let higgs1 = h.higgs_crossover_1_tree.expect("HIGGS 1t crossover exists");
-    let higgs128 = h.higgs_crossover_128_trees.expect("HIGGS 128t crossover exists");
+    let higgs128 = h
+        .higgs_crossover_128_trees
+        .expect("HIGGS 128t crossover exists");
     // Paper: IRIS 10K / 1K; HIGGS 5K / 500. Allow an order of magnitude.
-    assert!((1_000..=100_000).contains(&iris1), "IRIS 1t crossover {iris1}");
-    assert!((100..=10_000).contains(&iris128), "IRIS 128t crossover {iris128}");
-    assert!((1_000..=100_000).contains(&higgs1), "HIGGS 1t crossover {higgs1}");
-    assert!((100..=10_000).contains(&higgs128), "HIGGS 128t crossover {higgs128}");
+    assert!(
+        (1_000..=100_000).contains(&iris1),
+        "IRIS 1t crossover {iris1}"
+    );
+    assert!(
+        (100..=10_000).contains(&iris128),
+        "IRIS 128t crossover {iris128}"
+    );
+    assert!(
+        (1_000..=100_000).contains(&higgs1),
+        "HIGGS 1t crossover {higgs1}"
+    );
+    assert!(
+        (100..=10_000).contains(&higgs128),
+        "HIGGS 128t crossover {higgs128}"
+    );
     // Orderings the paper emphasizes: more complex models cross earlier,
     // and HIGGS crosses no later than IRIS at equal complexity.
     assert!(iris128 < iris1);
@@ -205,8 +231,7 @@ fn fig7_input_transfer_grows_with_model_and_features() {
     let iris_1 = figures::fig7(DatasetSpec::Iris, 1, 10, 1);
     let iris_128 = figures::fig7(DatasetSpec::Iris, 128, 10, 1);
     assert!(
-        iris_128.breakdown.get(Stage::InputTransfer)
-            > iris_1.breakdown.get(Stage::InputTransfer)
+        iris_128.breakdown.get(Stage::InputTransfer) > iris_1.breakdown.get(Stage::InputTransfer)
     );
 }
 

@@ -1,0 +1,67 @@
+//! Minimal offline stand-in for the `crossbeam` crate.
+//!
+//! Only [`thread::scope`] is provided, implemented on top of
+//! `std::thread::scope` (stable since Rust 1.63, which made crossbeam's
+//! scoped threads largely redundant). One behavioral difference: a panicking
+//! child thread panics the scope call itself rather than surfacing as
+//! `Err`, so the `Ok` arm is the only one that returns.
+
+/// Scoped threads.
+pub mod thread {
+    /// The value passed to every spawned closure (crossbeam passes the scope
+    /// itself; the workspace's closures ignore it, so a marker suffices).
+    pub struct SpawnArg;
+
+    static SPAWN_ARG: SpawnArg = SpawnArg;
+
+    /// Wrapper over `std::thread::Scope` mirroring crossbeam's spawn shape.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread; the closure receives a [`SpawnArg`]
+        /// placeholder in the position crossbeam passes the scope.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&SpawnArg) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            self.inner.spawn(move || f(&SPAWN_ARG))
+        }
+    }
+
+    /// Runs `f` with a scope that joins all spawned threads before
+    /// returning, mirroring `crossbeam::thread::scope`.
+    ///
+    /// # Errors
+    ///
+    /// Never returns `Err` — a panicking child re-raises the panic from the
+    /// scope itself (std semantics) instead of returning it as a value.
+    #[allow(clippy::type_complexity)]
+    pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        Ok(std::thread::scope(|s| f(&Scope { inner: s })))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn scoped_threads_fill_disjoint_chunks() {
+        let mut out = vec![0usize; 10];
+        super::thread::scope(|scope| {
+            for (c, chunk) in out.chunks_mut(3).enumerate() {
+                scope.spawn(move |_| {
+                    for (i, slot) in chunk.iter_mut().enumerate() {
+                        *slot = c * 3 + i;
+                    }
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(out, (0..10).collect::<Vec<_>>());
+    }
+}

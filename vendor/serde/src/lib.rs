@@ -1,0 +1,16 @@
+//! Minimal offline stand-in for the `serde` crate.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its model types for
+//! downstream consumers, but never serializes through serde itself (exports
+//! are hand-rolled CSV/JSON). This stub keeps those derives compiling in an
+//! environment with no crates.io access: the derive macros expand to
+//! nothing, and the marker traits exist so explicit bounds would still
+//! resolve.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker trait mirroring `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker trait mirroring `serde::Deserialize`.
+pub trait Deserialize<'de> {}

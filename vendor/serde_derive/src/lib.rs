@@ -1,0 +1,19 @@
+//! No-op derive macros backing the vendored `serde` stub.
+//!
+//! `#[derive(Serialize, Deserialize)]` is accepted on any item and expands
+//! to nothing — the workspace never serializes through serde, it only keeps
+//! the annotations for source compatibility.
+
+use proc_macro::TokenStream;
+
+/// Accepts `#[derive(Serialize)]` and emits no code.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts `#[derive(Deserialize)]` and emits no code.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_item: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
