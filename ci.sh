@@ -15,4 +15,15 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== bench smoke (repro bench --quick) =="
+# Quick measured sweep into a scratch file: exercises the wall-clock
+# harness end to end and self-validates the JSON it writes.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    bench --quick --out target/BENCH_cpu_scoring.quick.json
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    bench --check target/BENCH_cpu_scoring.quick.json
+# The committed trajectory must stay parseable and non-empty.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    bench --check BENCH_cpu_scoring.json
+
 echo "ci: all checks passed"

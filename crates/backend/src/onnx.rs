@@ -1,15 +1,17 @@
 //! The ONNX-runtime-like CPU backend ("CPU_ONNX" / "CPU_ONNX_52th").
 //!
 //! Functionally, this engine first compiles the forest into the Fig. 4b
-//! flat layout and scores by walking the flat records — the same image the
-//! FPGA consumes. Its timing model captures the paper's observation that
-//! ONNX "is not currently optimized for batch scoring": the per-call
-//! overhead is small (it wins below ~5K records), but the per-record cost is
-//! higher than scikit-learn's batch path, so it loses at large batches.
+//! flat layout and scores it with the blocked lockstep kernel on the shared
+//! work-stealing [`ExecPool`] — the same image the FPGA consumes. Its
+//! timing model captures the paper's observation that ONNX "is not
+//! currently optimized for batch scoring": the per-call overhead is small
+//! (it wins below ~5K records), but the per-record cost is higher than
+//! scikit-learn's batch path, so it loses at large batches.
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_forest::{FlatForest, ModelStats, Predictions, Task};
+use mlscore_exec::{kernel, ExecPool, RunConfig};
+use mlscore_forest::{FlatForest, ModelStats, Predictions};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
@@ -117,6 +119,13 @@ impl OnnxCpu {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Executor configuration for one scoring call. ONNX parallelizes
+    /// across the ensemble's trees, so the worker count is additionally
+    /// capped at the tree count (a single-tree model runs one thread).
+    fn run_config(&self, n_trees: usize) -> RunConfig {
+        RunConfig::for_threads(self.threads.min(n_trees.max(1)))
+    }
 }
 
 impl ScoringBackend for OnnxCpu {
@@ -126,22 +135,32 @@ impl ScoringBackend for OnnxCpu {
 
     fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
         let forest = request.forest();
-        let frame = request.frame();
         let flat = FlatForest::from_forest(forest, forest.max_depth())?;
-        let n_rows = frame.n_rows();
-        let threads = self.threads.min(n_rows.max(1)).min(forest.n_trees().max(1));
-        match forest.task() {
-            Task::Classification { .. } => {
-                let mut out = vec![0u32; n_rows];
-                score_flat(threads, &mut out, |i| flat.score_one(frame.row(i)) as u32);
-                Ok(Predictions::Classes(out))
-            }
-            Task::Regression => {
-                let mut out = vec![0f32; n_rows];
-                score_flat(threads, &mut out, |i| flat.score_one(frame.row(i)));
-                Ok(Predictions::Values(out))
-            }
-        }
+        let (preds, _) = kernel::score_flat_batch(
+            &flat,
+            request.frame(),
+            ExecPool::global(),
+            &self.run_config(forest.n_trees()),
+        );
+        Ok(preds)
+    }
+
+    fn score_traced(
+        &self,
+        request: &ScoringRequest<'_>,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        let forest = request.forest();
+        let flat = FlatForest::from_forest(forest, forest.max_depth())?;
+        let (preds, report) = kernel::score_flat_batch(
+            &flat,
+            request.frame(),
+            ExecPool::global(),
+            &self.run_config(forest.n_trees()),
+        );
+        report.record_spans(tracer, start, self.name());
+        Ok(preds)
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
@@ -197,31 +216,6 @@ impl ScoringBackend for OnnxCpu {
             .finish_after(compute);
         b
     }
-}
-
-fn score_flat<T: Send>(threads: usize, out: &mut [T], f: impl Fn(usize) -> T + Sync) {
-    if out.is_empty() {
-        return;
-    }
-    if threads <= 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
-        return;
-    }
-    let chunk = out.len().div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                let base = c * chunk;
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = f(base + j);
-                }
-            });
-        }
-    })
-    .expect("scoring worker panicked");
 }
 
 #[cfg(test)]

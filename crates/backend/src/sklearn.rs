@@ -1,16 +1,18 @@
 //! The scikit-learn-like CPU backend ("CPU_SKLearn").
 //!
-//! Functionally, a multi-threaded direct tree traversal over row chunks
-//! (crossbeam scoped threads). The timing model mirrors what the paper
-//! measured for scikit-learn batch scoring: a ~1 ms per-call overhead (the
-//! Python-side dispatch that makes sklearn lose to ONNX below a few thousand
-//! records), a fixed per-record cost (vote aggregation, output assembly),
-//! and a per-node-visit cost from the cache model, divided by the effective
+//! Functionally, a blocked multi-threaded tree traversal on the shared
+//! work-stealing [`ExecPool`] (spawned once per process, reused across
+//! calls). The timing model mirrors what the paper measured for
+//! scikit-learn batch scoring: a ~1 ms per-call overhead (the Python-side
+//! dispatch that makes sklearn lose to ONNX below a few thousand records),
+//! a fixed per-record cost (vote aggregation, output assembly), and a
+//! per-node-visit cost from the cache model, divided by the effective
 //! thread parallelism.
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_forest::{ModelStats, Predictions, Task};
+use mlscore_exec::{kernel, ExecPool, RunConfig};
+use mlscore_forest::{ModelStats, Predictions};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
@@ -109,6 +111,11 @@ impl SklearnCpu {
     pub fn threads(&self) -> usize {
         self.threads
     }
+
+    /// Executor configuration for one scoring call.
+    fn run_config(&self) -> RunConfig {
+        RunConfig::for_threads(self.threads)
+    }
 }
 
 impl ScoringBackend for SklearnCpu {
@@ -117,32 +124,29 @@ impl ScoringBackend for SklearnCpu {
     }
 
     fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let forest = request.forest();
-        let frame = request.frame();
-        let n_rows = frame.n_rows();
-        let threads = self.threads.min(n_rows.max(1));
-        match forest.task() {
-            Task::Classification { .. } => {
-                let mut out = vec![0u32; n_rows];
-                score_chunks(threads, n_rows, &mut out, |i| {
-                    forest
-                        .predict_one(frame.row(i))
-                        .as_class()
-                        .expect("classification forest yields classes")
-                });
-                Ok(Predictions::Classes(out))
-            }
-            Task::Regression => {
-                let mut out = vec![0f32; n_rows];
-                score_chunks(threads, n_rows, &mut out, |i| {
-                    forest
-                        .predict_one(frame.row(i))
-                        .as_value()
-                        .expect("regression forest yields values")
-                });
-                Ok(Predictions::Values(out))
-            }
-        }
+        let (preds, _) = kernel::score_forest_batch(
+            request.forest(),
+            request.frame(),
+            ExecPool::global(),
+            &self.run_config(),
+        );
+        Ok(preds)
+    }
+
+    fn score_traced(
+        &self,
+        request: &ScoringRequest<'_>,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        let (preds, report) = kernel::score_forest_batch(
+            request.forest(),
+            request.frame(),
+            ExecPool::global(),
+            &self.run_config(),
+        );
+        report.record_spans(tracer, start, self.name());
+        Ok(preds)
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
@@ -201,38 +205,6 @@ impl ScoringBackend for SklearnCpu {
 
 /// Cap on per-worker detail lanes so a 52-thread trace stays readable.
 const MAX_WORKER_LANES: usize = 8;
-
-/// Runs `f(i)` for every row index, splitting rows across `threads` chunks
-/// with crossbeam scoped threads, writing into `out`.
-fn score_chunks<T: Send>(
-    threads: usize,
-    n_rows: usize,
-    out: &mut [T],
-    f: impl Fn(usize) -> T + Sync,
-) {
-    if n_rows == 0 {
-        return;
-    }
-    if threads <= 1 {
-        for (i, slot) in out.iter_mut().enumerate() {
-            *slot = f(i);
-        }
-        return;
-    }
-    let chunk = n_rows.div_ceil(threads);
-    crossbeam::thread::scope(|scope| {
-        for (c, slice) in out.chunks_mut(chunk).enumerate() {
-            let f = &f;
-            scope.spawn(move |_| {
-                let base = c * chunk;
-                for (j, slot) in slice.iter_mut().enumerate() {
-                    *slot = f(base + j);
-                }
-            });
-        }
-    })
-    .expect("scoring worker panicked");
-}
 
 #[cfg(test)]
 mod tests {
@@ -329,6 +301,25 @@ mod tests {
         assert_eq!(trace.breakdown(Scope::Offload), traced);
         // 2 offload spans + 4 worker detail lanes.
         assert_eq!(trace.len(), 6);
+    }
+
+    #[test]
+    fn score_traced_records_worker_detail_spans() {
+        use mlscore_sim::SimInstant;
+        use mlscore_telemetry::{Scope, Tracer};
+        let (forest, data) = iris_setup();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        let backend = SklearnCpu::with_threads(4);
+        let tracer = Tracer::new();
+        let preds = backend
+            .score_traced(&req, &tracer, SimInstant::ZERO)
+            .unwrap();
+        assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+        let trace = tracer.take();
+        assert!(!trace.is_empty(), "expected worker spans");
+        assert!(trace.events().iter().all(|e| e.scope == Scope::Detail));
+        // Detail spans never perturb the modelled breakdown folds.
+        assert!(trace.breakdown(Scope::Offload).total().as_secs() == 0.0);
     }
 
     #[test]

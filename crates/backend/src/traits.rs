@@ -42,6 +42,30 @@ pub trait ScoringBackend {
     /// run, or a wrapped model error.
     fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError>;
 
+    /// Functionally scores the batch while recording *measured* wall-clock
+    /// execution detail on `tracer`.
+    ///
+    /// CPU backends that execute on the shared
+    /// [`ExecPool`](mlscore_exec::ExecPool) record one
+    /// [`Scope::Detail`] span per pool worker, anchored at `start` on the
+    /// simulated timeline (1 ns measured ↦ 1 ns simulated), so a Perfetto
+    /// trace shows the pool's real occupancy. Detail spans are ignored by
+    /// breakdown folds, so modelled accounting is unaffected. The default
+    /// implementation just forwards to [`ScoringBackend::score`].
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`ScoringBackend::score`] fails.
+    fn score_traced(
+        &self,
+        request: &ScoringRequest<'_>,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        let _ = (tracer, start);
+        self.score(request)
+    }
+
     /// Estimates the *overall model scoring time* breakdown (the Fig. 7
     /// quantity: everything from invoking the scoring call to having results
     /// in host memory) for scoring `n_records` with a model of the given
@@ -96,6 +120,15 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
 
     fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
         (**self).score(request)
+    }
+
+    fn score_traced(
+        &self,
+        request: &ScoringRequest<'_>,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        (**self).score_traced(request, tracer, start)
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {

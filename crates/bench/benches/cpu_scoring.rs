@@ -3,8 +3,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use mlscore_backend::{OnnxCpu, ScoringBackend, ScoringRequest, SklearnCpu};
+use mlscore_bench::cpu_bench::naive_predict;
 use mlscore_data::Dataset;
-use mlscore_forest::{ForestConfig, RandomForest};
+use mlscore_exec::{kernel, ExecPool, RunConfig};
+use mlscore_forest::{FlatForest, ForestConfig, RandomForest};
 use mlscore_fpga::FpgaBackend;
 use mlscore_gpu::HummingbirdGpu;
 
@@ -28,6 +30,27 @@ fn bench(c: &mut Criterion) {
     for (name, backend) in &backends {
         g.bench_with_input(BenchmarkId::from_parameter(name), backend, |b, backend| {
             b.iter(|| backend.score(&request).unwrap())
+        });
+    }
+    g.finish();
+
+    // The executor kernels against the seed's naive per-record path, on the
+    // same model/frame — the criterion view of the `repro bench` sweep.
+    let flat = FlatForest::from_forest(&forest, forest.max_depth()).unwrap();
+    let mut g = c.benchmark_group("blocked_kernel");
+    g.sample_size(10);
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("naive_per_record", |b| {
+        b.iter(|| naive_predict(&forest, data.frame().as_slice()))
+    });
+    for threads in [1usize, 4] {
+        let pool = ExecPool::new(threads);
+        let cfg = RunConfig::for_threads(threads);
+        g.bench_function(format!("flat_lockstep_{threads}t"), |b| {
+            b.iter(|| kernel::score_flat_batch(&flat, data.frame(), &pool, &cfg))
+        });
+        g.bench_function(format!("forest_blocked_{threads}t"), |b| {
+            b.iter(|| kernel::score_forest_batch(&forest, data.frame(), &pool, &cfg))
         });
     }
     g.finish();

@@ -253,6 +253,79 @@ fn trace(args: &[String]) {
     }
 }
 
+/// `repro bench [--quick] [--out FILE] [--check FILE]`
+///
+/// Runs the measured CPU scoring sweep ([`mlscore_bench::cpu_bench`]) and
+/// writes `BENCH_cpu_scoring.json`, or — with `--check` — validates an
+/// existing report file (the CI smoke gate).
+fn bench(args: &[String]) {
+    use mlscore_bench::cpu_bench::{self, BenchOptions, CaseResult};
+
+    let mut quick = false;
+    let mut out_path = "BENCH_cpu_scoring.json".to_string();
+    let mut check: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => check = Some(path.clone()),
+                None => {
+                    eprintln!("--check needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown bench flag '{other}'");
+                eprintln!("usage: repro bench [--quick] [--out FILE] [--check FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match cpu_bench::validate(&text) {
+            Ok(n) => println!("{path}: valid benchmark report, {n} case(s)"),
+            Err(e) => {
+                eprintln!("{path}: invalid benchmark report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    let opts = BenchOptions { quick };
+    println!(
+        "== Measured CPU scoring sweep ({} mode) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let cases = cpu_bench::run(&opts);
+    let json = cpu_bench::to_json(&cases, &opts);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    let worst = cases
+        .iter()
+        .map(CaseResult::best_speedup)
+        .fold(f64::INFINITY, f64::min);
+    println!(
+        "wrote {out_path}: {} cases, worst best-thread speedup {worst:.2}x vs the naive seed path",
+        cases.len()
+    );
+}
+
 fn usage() -> String {
     "usage: repro [target]\n\
      targets:\n\
@@ -270,6 +343,10 @@ fn usage() -> String {
                         export a Perfetto trace of one simulated query\n\
                         (defaults: higgs 128 1m fpga; records accept k/m suffixes;\n\
                          backends: cpu sklearn onnx1 gpu gpu-rapids fpga)\n\
+       bench [--quick] [--out FILE] [--check FILE]\n\
+                        measure real CPU kernel throughput (naive seed path vs\n\
+                        blocked executor) and write BENCH_cpu_scoring.json;\n\
+                        --check validates an existing report instead\n\
        csv [dir]        write every figure as CSV (default dir: figures_out)\n\
        help             this message"
         .to_string()
@@ -289,6 +366,7 @@ fn main() {
         "headlines" => headlines(),
         "scheduler" => scheduler(),
         "trace" => trace(&args[2..]),
+        "bench" => bench(&args[2..]),
         "csv" => {
             let dir = args
                 .get(2)

@@ -1,0 +1,410 @@
+//! Wall-clock CPU scoring benchmark trajectory (`repro bench`).
+//!
+//! Unlike the figure benches, which replay the *modelled* timing, this
+//! harness measures the library's real execution engines with
+//! `std::time::Instant` and writes the results to `BENCH_cpu_scoring.json`
+//! so every future PR has a throughput trajectory to beat.
+//!
+//! The sweep covers {iris, higgs-like} × {8, 128 trees} × {10k, 100k
+//! records} × {1, 4, host threads}, comparing two executions of the same
+//! model over the same frame:
+//!
+//! * **naive** — the growth seed's per-record path: record-major
+//!   pointer-tree traversal with a fresh `vec![0u32; n_classes]` vote
+//!   buffer allocated for every record.
+//! * **blocked** — the [`mlscore_exec`] kernels on a work-stealing
+//!   [`ExecPool`]: the lockstep flat-layout kernel
+//!   ([`kernel::score_flat_batch`]) and the blocked pointer-tree kernel
+//!   ([`kernel::score_forest_batch`]), both tiling records × trees with
+//!   per-thread reusable scratch.
+//!
+//! Every blocked measurement is asserted bit-exact against the naive
+//! reference before its throughput is reported. The emitted JSON is
+//! round-tripped through [`mlscore_telemetry::json::parse`] before it is
+//! handed back, so a malformed report can never be written to disk.
+
+use std::time::{Duration, Instant};
+
+use mlscore_data::Dataset;
+use mlscore_exec::{kernel, pool::default_threads, ExecPool, RunConfig};
+use mlscore_forest::{FlatForest, ForestConfig, Predictions, RandomForest, Task};
+use mlscore_telemetry::json::{self, write_escaped, JsonValue};
+
+/// Tree depth used throughout the sweep (the paper's evaluation depth).
+pub const SWEEP_DEPTH: usize = 10;
+
+/// Options for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchOptions {
+    /// Shrink record counts and iteration counts to a CI smoke run.
+    pub quick: bool,
+}
+
+impl BenchOptions {
+    /// Record counts for the sweep.
+    fn record_counts(&self) -> [usize; 2] {
+        if self.quick {
+            [500, 2_000]
+        } else {
+            [10_000, 100_000]
+        }
+    }
+
+    /// Timed iterations per measurement (the minimum is kept).
+    fn iters(&self) -> usize {
+        if self.quick {
+            1
+        } else {
+            3
+        }
+    }
+}
+
+/// Blocked-kernel throughput at one worker count.
+#[derive(Debug, Clone, Copy)]
+pub struct ThreadRun {
+    /// Worker count the executor ran with.
+    pub threads: usize,
+    /// Lockstep flat-layout kernel throughput, records/second.
+    pub flat_rps: f64,
+    /// Blocked pointer-tree kernel throughput, records/second.
+    pub forest_rps: f64,
+    /// Best blocked kernel over the naive seed path:
+    /// `max(flat_rps, forest_rps) / naive_rps`.
+    pub speedup: f64,
+    /// Whether both kernels reproduced the naive predictions exactly.
+    pub bit_exact: bool,
+}
+
+/// One (dataset, forest size, record count) cell of the sweep.
+#[derive(Debug, Clone)]
+pub struct CaseResult {
+    /// Dataset name (`"iris"` / `"higgs"`).
+    pub dataset: String,
+    /// Trees in the forest.
+    pub trees: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Records scored per call.
+    pub records: usize,
+    /// Seed-style per-record path throughput, records/second.
+    pub naive_rps: f64,
+    /// Blocked-kernel results, one per thread count.
+    pub runs: Vec<ThreadRun>,
+}
+
+impl CaseResult {
+    /// The best blocked speedup over the naive path across thread counts.
+    pub fn best_speedup(&self) -> f64 {
+        self.runs.iter().map(|r| r.speedup).fold(0.0, f64::max)
+    }
+}
+
+/// The seed's scoring path, reproduced verbatim as the baseline: for every
+/// record, allocate a fresh vote buffer and walk every pointer tree.
+pub fn naive_predict(forest: &RandomForest, records: &[f32]) -> Predictions {
+    let n_features = forest.n_features();
+    assert_eq!(records.len() % n_features, 0);
+    let rows = records.chunks_exact(n_features);
+    match forest.task() {
+        Task::Classification { n_classes } => {
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                // One heap allocation per record — the cost the executor's
+                // reusable scratch removes.
+                let mut votes = vec![0u32; n_classes as usize];
+                for tree in forest.trees() {
+                    if let Some(c) = tree.predict(row).as_class() {
+                        votes[c as usize] += 1;
+                    }
+                }
+                out.push(RandomForest::majority(&votes));
+            }
+            Predictions::Classes(out)
+        }
+        Task::Regression => {
+            let n_trees = forest.n_trees() as f32;
+            let mut out = Vec::with_capacity(rows.len());
+            for row in rows {
+                let sum: f32 = forest
+                    .trees()
+                    .iter()
+                    .map(|t| t.predict(row).as_value().expect("regression leaf"))
+                    .sum();
+                out.push(sum / n_trees);
+            }
+            Predictions::Values(out)
+        }
+    }
+}
+
+/// Runs `f` once as warmup, then `iters` timed passes, keeping the
+/// fastest. Returns records/second.
+fn measure_rps(records: usize, iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..iters.max(1) {
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    records as f64 / best.as_secs_f64().max(1e-12)
+}
+
+/// Thread counts for the sweep: `{1, 4, host}` with duplicates removed.
+fn thread_sweep() -> Vec<usize> {
+    let mut counts = vec![1, 4, default_threads()];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
+
+/// Measures one sweep cell.
+fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> CaseResult {
+    let (data, n_features, n_classes) = match name {
+        "iris" => (Dataset::iris(records, 3).normalized(), 4, 3),
+        _ => (Dataset::higgs(records, 3).normalized(), 28, 2),
+    };
+    let forest = RandomForest::synthetic_full(
+        &ForestConfig::classification(trees, n_features, n_classes).with_depth(SWEEP_DEPTH),
+        7,
+    );
+    let flat = FlatForest::from_forest(&forest, forest.max_depth()).expect("flat encoding");
+    let frame = data.frame();
+    let iters = opts.iters();
+
+    let reference = naive_predict(&forest, frame.as_slice());
+    let naive_rps = measure_rps(records, iters, || {
+        let preds = naive_predict(&forest, frame.as_slice());
+        std::hint::black_box(&preds);
+    });
+
+    let mut runs = Vec::new();
+    for threads in thread_sweep() {
+        // A dedicated pool sized to the requested width, so the sharding is
+        // real even when the host has fewer cores than the sweep point.
+        let pool = ExecPool::new(threads);
+        let cfg = RunConfig::for_threads(threads);
+        let (flat_preds, _) = kernel::score_flat_batch(&flat, frame, &pool, &cfg);
+        let (forest_preds, _) = kernel::score_forest_batch(&forest, frame, &pool, &cfg);
+        let bit_exact = flat_preds == reference && forest_preds == reference;
+        let flat_rps = measure_rps(records, iters, || {
+            let out = kernel::score_flat_batch(&flat, frame, &pool, &cfg);
+            std::hint::black_box(&out);
+        });
+        let forest_rps = measure_rps(records, iters, || {
+            let out = kernel::score_forest_batch(&forest, frame, &pool, &cfg);
+            std::hint::black_box(&out);
+        });
+        runs.push(ThreadRun {
+            threads,
+            flat_rps,
+            forest_rps,
+            speedup: flat_rps.max(forest_rps) / naive_rps,
+            bit_exact,
+        });
+    }
+
+    CaseResult {
+        dataset: name.to_string(),
+        trees,
+        depth: SWEEP_DEPTH,
+        records,
+        naive_rps,
+        runs,
+    }
+}
+
+/// Runs the full sweep, printing one progress line per cell.
+pub fn run(opts: &BenchOptions) -> Vec<CaseResult> {
+    let mut cases = Vec::new();
+    for dataset in ["iris", "higgs"] {
+        for trees in [8usize, 128] {
+            for records in opts.record_counts() {
+                let case = run_case(dataset, trees, records, opts);
+                let best = case
+                    .runs
+                    .iter()
+                    .max_by(|a, b| a.speedup.total_cmp(&b.speedup))
+                    .expect("at least one thread count");
+                println!(
+                    "{:>5} x{:<3} trees, {:>6} records | naive {:>10.0} rec/s | \
+                     blocked {:>10.0} rec/s ({}th, {:.2}x){}",
+                    case.dataset,
+                    case.trees,
+                    case.records,
+                    case.naive_rps,
+                    best.flat_rps.max(best.forest_rps),
+                    best.threads,
+                    best.speedup,
+                    if case.runs.iter().all(|r| r.bit_exact) {
+                        ""
+                    } else {
+                        "  MISMATCH"
+                    }
+                );
+                cases.push(case);
+            }
+        }
+    }
+    cases
+}
+
+/// Pushes `v` as a JSON number with enough precision for throughputs.
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// Serializes sweep results to the `BENCH_cpu_scoring.json` document.
+///
+/// The output is validated with [`validate`] before being returned.
+///
+/// # Panics
+///
+/// Panics if the writer produced a document the shared JSON parser
+/// rejects — that would be a bug in this module, not a runtime condition.
+pub fn to_json(cases: &[CaseResult], opts: &BenchOptions) -> String {
+    let cfg = RunConfig::default();
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mlscore/bench-cpu-scoring/v1\",\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"host_threads\": {},\n", default_threads()));
+    out.push_str(&format!("  \"record_block\": {},\n", cfg.record_block));
+    out.push_str(&format!("  \"tree_block\": {},\n", cfg.tree_block));
+    out.push_str(&format!("  \"lanes\": {},\n", kernel::LANES));
+    out.push_str("  \"cases\": [");
+    for (i, case) in cases.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"dataset\": ");
+        write_escaped(&mut out, &case.dataset);
+        out.push_str(&format!(
+            ", \"trees\": {}, \"depth\": {}, \"records\": {},\n     \"naive_records_per_sec\": ",
+            case.trees, case.depth, case.records
+        ));
+        push_num(&mut out, case.naive_rps);
+        out.push_str(",\n     \"runs\": [");
+        for (j, run) in case.runs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\n       {{\"threads\": {}, ", run.threads));
+            out.push_str("\"flat_records_per_sec\": ");
+            push_num(&mut out, run.flat_rps);
+            out.push_str(", \"forest_records_per_sec\": ");
+            push_num(&mut out, run.forest_rps);
+            out.push_str(", \"speedup_vs_naive\": ");
+            push_num(&mut out, run.speedup);
+            out.push_str(&format!(", \"bit_exact\": {}}}", run.bit_exact));
+        }
+        out.push_str("\n     ]}");
+    }
+    out.push_str("\n  ]\n}\n");
+    validate(&out).expect("harness emitted invalid JSON");
+    out
+}
+
+/// Checks that `text` is a well-formed, non-empty benchmark report.
+///
+/// Used both as the harness's own self-check and by `repro bench --check`
+/// (the CI smoke gate) against a file on disk. Returns the case count.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mlscore/bench-cpu-scoring/v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"cases\" array")?;
+    if cases.is_empty() {
+        return Err("\"cases\" is empty".to_string());
+    }
+    for (i, case) in cases.iter().enumerate() {
+        for key in ["trees", "records", "naive_records_per_sec"] {
+            if case.get(key).and_then(JsonValue::as_f64).is_none() {
+                return Err(format!("case {i}: missing numeric \"{key}\""));
+            }
+        }
+        let runs = case
+            .get("runs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("case {i}: missing \"runs\" array"))?;
+        if runs.is_empty() {
+            return Err(format!("case {i}: \"runs\" is empty"));
+        }
+        for (j, run) in runs.iter().enumerate() {
+            if run.get("flat_records_per_sec").is_none() {
+                return Err(format!("case {i} run {j}: missing throughput"));
+            }
+            if run.get("bit_exact") != Some(&JsonValue::Bool(true)) {
+                return Err(format!("case {i} run {j}: not bit-exact"));
+            }
+        }
+    }
+    Ok(cases.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn naive_predict_matches_reference_batch() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(12, 4, 3).with_depth(7), 21);
+        let data = Dataset::iris(97, 5).normalized();
+        assert_eq!(
+            naive_predict(&forest, data.frame().as_slice()),
+            forest.predict_batch(data.frame().as_slice())
+        );
+
+        let reg = RandomForest::synthetic_full(&ForestConfig::regression(5, 6).with_depth(5), 3);
+        let frame =
+            mlscore_data::TabularFrame::from_rows((0..60).map(|i| i as f32 * 0.13).collect(), 6)
+                .unwrap();
+        let naive = naive_predict(&reg, frame.as_slice());
+        let reference = reg.predict_batch(frame.as_slice());
+        let (a, b) = (naive.as_values().unwrap(), reference.as_values().unwrap());
+        assert!(a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits()));
+    }
+
+    #[test]
+    fn quick_cell_is_bit_exact_and_serializes() {
+        let opts = BenchOptions { quick: true };
+        let case = run_case("iris", 8, 200, &opts);
+        assert!(case.runs.iter().all(|r| r.bit_exact));
+        assert!(case.naive_rps > 0.0);
+        let json = to_json(std::slice::from_ref(&case), &opts);
+        assert_eq!(validate(&json), Ok(1));
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_empty() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"schema\": \"wrong\"}").is_err());
+        assert!(validate("{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"cases\": []}").is_err());
+    }
+
+    #[test]
+    fn thread_sweep_is_deduped_and_sorted() {
+        let sweep = thread_sweep();
+        assert!(!sweep.is_empty());
+        assert!(sweep.windows(2).all(|w| w[0] < w[1]));
+        assert!(sweep.contains(&1) && sweep.contains(&4));
+    }
+}

@@ -4,5 +4,11 @@
 //! Run `cargo run -p mlscore-bench --bin repro -- all` to print the full
 //! set, or name a figure: `fig1`, `fig7a`, `fig7b`, `fig8`, `fig9`,
 //! `fig10`, `fig11`, `headlines`, `scheduler`.
+//!
+//! [`cpu_bench`] is the *measured* (wall-clock) counterpart: `repro bench`
+//! sweeps the real CPU scoring kernels and writes `BENCH_cpu_scoring.json`.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cpu_bench;

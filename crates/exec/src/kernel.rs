@@ -1,0 +1,682 @@
+//! Blocked record×tree batch-scoring kernels.
+//!
+//! Each kernel runs on an [`ExecPool`]: the pool hands a task contiguous
+//! row ranges, and the task tiles them into blocks of
+//! [`RunConfig::record_block`] rows × [`RunConfig::tree_block`] trees so a
+//! tree's node image stays cache-resident while a whole record block
+//! traverses it — the opposite loop order from the seed's record-at-a-time
+//! `score_one`, which streamed every tree's nodes past every record.
+//!
+//! The flat-layout kernel additionally walks [`LANES`] records through a
+//! tree in lockstep with a branchless select step, so the traversal's
+//! dependent node loads overlap across records (memory-level parallelism)
+//! instead of serializing down one root-to-leaf chain at a time.
+//!
+//! All scratch (vote counts, regression accumulators, quantized rows) is
+//! thread-local and reused across blocks and calls: the hot loops allocate
+//! nothing.
+//!
+//! # Bit-exactness
+//!
+//! Every kernel reproduces its sequential reference exactly:
+//!
+//! * classification votes are commutative `u32` increments combined with
+//!   [`RandomForest::majority`] — the same tie-breaking rule every backend
+//!   uses;
+//! * regression accumulates each row's tree outputs in ascending tree
+//!   order, the identical `f32` fold the sequential `score_one` /
+//!   `predict_one` paths perform;
+//! * quantization happens once per record with the forest's own
+//!   [`QuantScheme`](mlscore_forest::QuantScheme).
+
+use std::cell::RefCell;
+use std::ops::Range;
+
+use mlscore_data::TabularFrame;
+use mlscore_forest::{
+    FlatForest, FlatTree, LeafValue, Predictions, QuantizedForest, RandomForest, Task, NODE_WORDS,
+};
+
+use crate::pool::{ExecPool, RunConfig};
+use crate::report::RunReport;
+
+/// Records walked through a flat tree in lockstep by the branchless inner
+/// loop.
+pub const LANES: usize = 8;
+
+/// A shared output slice that parallel tasks write disjoint indices of.
+///
+/// # Safety
+///
+/// [`ExecPool::run`] invokes the task with disjoint ranges covering
+/// `0..n` exactly once and blocks until all of them have executed, so
+/// every index is written by exactly one worker while the owning `Vec` is
+/// borrowed, and the buffer is only read again after `run` returns.
+struct SharedOut<T>(*mut T, usize);
+
+#[allow(unsafe_code)]
+// SAFETY: workers write disjoint indices of a `T: Send` buffer; see above.
+unsafe impl<T: Send> Send for SharedOut<T> {}
+#[allow(unsafe_code)]
+// SAFETY: as above — sharing `&SharedOut` only exposes disjoint writes.
+unsafe impl<T: Send> Sync for SharedOut<T> {}
+
+impl<T> SharedOut<T> {
+    fn new(buf: &mut [T]) -> Self {
+        Self(buf.as_mut_ptr(), buf.len())
+    }
+
+    /// Writes `val` at index `i`.
+    ///
+    /// Callers must write each index from at most one thread at a time —
+    /// the pool's disjoint-range contract.
+    #[allow(unsafe_code)]
+    #[inline]
+    fn write(&self, i: usize, val: T) {
+        debug_assert!(i < self.1);
+        // SAFETY: `i` is in bounds and, per the range contract, no other
+        // thread writes it; the pointee stays alive for the whole run.
+        unsafe { *self.0.add(i) = val };
+    }
+}
+
+/// Reusable per-thread kernel scratch. Grown on first use, then reused
+/// across blocks, runs, and scoring calls.
+#[derive(Default)]
+struct Scratch {
+    /// Per-(row, class) vote counts for one record block.
+    votes: Vec<u32>,
+    /// Per-row regression accumulators for one record block.
+    acc: Vec<f32>,
+    /// Quantized features for one record block.
+    xq: Vec<u16>,
+}
+
+thread_local! {
+    static SCRATCH: RefCell<Scratch> = const {
+        RefCell::new(Scratch {
+            votes: Vec::new(),
+            acc: Vec::new(),
+            xq: Vec::new(),
+        })
+    };
+}
+
+/// Splits `range` into sub-blocks of at most `block` rows.
+fn blocks(range: Range<usize>, block: usize) -> impl Iterator<Item = Range<usize>> {
+    let block = block.max(1);
+    range
+        .clone()
+        .step_by(block)
+        .map(move |lo| lo..(lo + block).min(range.end))
+}
+
+/// One flat node decoded for the lockstep walk: the Fig. 4b image stores
+/// child and feature words as `f32`, which costs two saturating
+/// float→int conversions per traversal step; decoding once per scoring
+/// call makes the hot step pure integer selects. Leaves are encoded as
+/// self-loops (`left == right == own index`), so a finished lane keeps
+/// spinning on its leaf with no extra "am I done" select.
+#[derive(Clone, Copy)]
+struct WalkNode {
+    /// Left-child index (`x[feature] <= threshold`); self for leaves.
+    left: u32,
+    /// Right-child index; self for leaves.
+    right: u32,
+    /// Feature column to test; 0 for leaves (an always-in-bounds load).
+    feature: u32,
+    /// Split threshold; unused by leaves (both children are `self`).
+    threshold: f32,
+}
+
+/// A flat tree decoded for traversal, plus its leaf payload table.
+struct WalkTree {
+    nodes: Vec<WalkNode>,
+    /// Word 1 of every node: the leaf outcome at terminal indices.
+    payload: Vec<f32>,
+    /// Fixed step count — the encoded capacity depth.
+    steps: usize,
+}
+
+impl WalkTree {
+    fn decode(tree: &FlatTree) -> Self {
+        let words = tree.words();
+        let n_nodes = words.len() / NODE_WORDS;
+        let mut nodes = Vec::with_capacity(n_nodes);
+        let mut payload = Vec::with_capacity(n_nodes);
+        for i in 0..n_nodes {
+            let w = &words[i * NODE_WORDS..(i + 1) * NODE_WORDS];
+            payload.push(w[1]);
+            if w[0] >= 0.0 {
+                nodes.push(WalkNode {
+                    left: w[0] as u32,
+                    right: w[1] as u32,
+                    feature: w[2] as u32,
+                    threshold: w[3],
+                });
+            } else {
+                nodes.push(WalkNode {
+                    left: i as u32,
+                    right: i as u32,
+                    feature: 0,
+                    threshold: 0.0,
+                });
+            }
+        }
+        Self {
+            nodes,
+            payload,
+            steps: tree.max_depth(),
+        }
+    }
+}
+
+/// Walks `LANES` consecutive records (starting at `row0`) through one
+/// decoded tree in lockstep, returning each record's leaf outcome.
+///
+/// Every step is a branchless select per lane; the lanes' node loads are
+/// mutually independent, so the traversal's dependent-load chains overlap
+/// across records (memory-level parallelism) instead of serializing down
+/// one root-to-leaf chain at a time. Leaf self-loops let all lanes run the
+/// same fixed step count.
+#[inline]
+fn walk_flat_lanes(tree: &WalkTree, data: &[f32], n_features: usize, row0: usize) -> [f32; LANES] {
+    let nodes = tree.nodes.as_slice();
+    let base_off = row0 * n_features;
+    let mut idx = [0usize; LANES];
+    for _ in 0..tree.steps {
+        for l in 0..LANES {
+            let node = nodes[idx[l]];
+            let x = data[base_off + l * n_features + node.feature as usize];
+            idx[l] = if x <= node.threshold {
+                node.left as usize
+            } else {
+                node.right as usize
+            };
+        }
+    }
+    let mut out = [0f32; LANES];
+    for l in 0..LANES {
+        out[l] = tree.payload[idx[l]];
+    }
+    out
+}
+
+/// Scores one record block of a flat classification forest into `votes`.
+/// `walk` is the decoded image of `forest.trees()`, index for index.
+#[allow(clippy::too_many_arguments)]
+fn flat_classify_block(
+    walk: &[WalkTree],
+    forest: &FlatForest,
+    frame: &TabularFrame,
+    rows: Range<usize>,
+    n_classes: usize,
+    tree_block: usize,
+    s: &mut Scratch,
+    out: &SharedOut<u32>,
+) {
+    let blen = rows.len();
+    let nf = frame.n_features();
+    let data = frame.as_slice();
+    s.votes.clear();
+    s.votes.resize(blen * n_classes, 0);
+    let chunks = walk
+        .chunks(tree_block)
+        .zip(forest.trees().chunks(tree_block));
+    for (wchunk, fchunk) in chunks {
+        let mut k = 0;
+        while k + LANES <= blen {
+            for tree in wchunk {
+                let leaves = walk_flat_lanes(tree, data, nf, rows.start + k);
+                for (l, &leaf) in leaves.iter().enumerate() {
+                    s.votes[(k + l) * n_classes + leaf as usize] += 1;
+                }
+            }
+            k += LANES;
+        }
+        for tree in fchunk {
+            for r in k..blen {
+                let c = tree.score(frame.row(rows.start + r)) as usize;
+                s.votes[r * n_classes + c] += 1;
+            }
+        }
+    }
+    for r in 0..blen {
+        let counts = &s.votes[r * n_classes..(r + 1) * n_classes];
+        out.write(rows.start + r, RandomForest::majority(counts));
+    }
+}
+
+/// Scores one record block of a flat regression forest into `acc`.
+/// `walk` is the decoded image of `forest.trees()`, index for index.
+fn flat_regress_block(
+    walk: &[WalkTree],
+    forest: &FlatForest,
+    frame: &TabularFrame,
+    rows: Range<usize>,
+    tree_block: usize,
+    s: &mut Scratch,
+    out: &SharedOut<f32>,
+) {
+    let blen = rows.len();
+    let nf = frame.n_features();
+    let data = frame.as_slice();
+    let n_trees = forest.n_trees() as f32;
+    s.acc.clear();
+    s.acc.resize(blen, 0.0);
+    // Chunks ascend and trees ascend within each chunk, so each row's
+    // accumulator adds tree outputs in exactly the sequential fold order.
+    let chunks = walk
+        .chunks(tree_block)
+        .zip(forest.trees().chunks(tree_block));
+    for (wchunk, fchunk) in chunks {
+        let mut k = 0;
+        while k + LANES <= blen {
+            for tree in wchunk {
+                let leaves = walk_flat_lanes(tree, data, nf, rows.start + k);
+                for (l, &leaf) in leaves.iter().enumerate() {
+                    s.acc[k + l] += leaf;
+                }
+            }
+            k += LANES;
+        }
+        for tree in fchunk {
+            for r in k..blen {
+                s.acc[r] += tree.score(frame.row(rows.start + r));
+            }
+        }
+    }
+    for r in 0..blen {
+        out.write(rows.start + r, s.acc[r] / n_trees);
+    }
+}
+
+/// Scores a frame against a flat forest on the pool, returning predictions
+/// plus the run's wall-clock occupancy report.
+///
+/// Bit-exact with applying [`FlatForest::score_one`] to every row.
+///
+/// # Panics
+///
+/// Panics if the frame's feature count differs from the model's.
+pub fn score_flat_batch(
+    forest: &FlatForest,
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Predictions, RunReport) {
+    assert_eq!(
+        frame.n_features(),
+        forest.n_features(),
+        "frame/model feature width mismatch"
+    );
+    let n = frame.n_rows();
+    // Decode the f32-word image once per call; the cost is one pass over
+    // the node arrays, amortized over every (record, tree) traversal.
+    let walk: Vec<WalkTree> = forest.trees().iter().map(WalkTree::decode).collect();
+    match forest.task() {
+        Task::Classification { n_classes } => {
+            let n_classes = n_classes as usize;
+            let mut out = vec![0u32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        flat_classify_block(
+                            &walk,
+                            forest,
+                            frame,
+                            rows,
+                            n_classes,
+                            cfg.tree_block,
+                            s,
+                            &shared,
+                        );
+                    }
+                });
+            });
+            (Predictions::Classes(out), report)
+        }
+        Task::Regression => {
+            let mut out = vec![0f32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        flat_regress_block(&walk, forest, frame, rows, cfg.tree_block, s, &shared);
+                    }
+                });
+            });
+            (Predictions::Values(out), report)
+        }
+    }
+}
+
+/// Scores a frame against a pointer-tree forest on the pool.
+///
+/// Bit-exact with [`RandomForest::predict_batch`]: votes are commutative
+/// and regression sums accumulate in ascending tree order.
+///
+/// # Panics
+///
+/// Panics if the frame's feature count differs from the model's.
+pub fn score_forest_batch(
+    forest: &RandomForest,
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Predictions, RunReport) {
+    assert_eq!(
+        frame.n_features(),
+        forest.n_features(),
+        "frame/model feature width mismatch"
+    );
+    let n = frame.n_rows();
+    match forest.task() {
+        Task::Classification { n_classes } => {
+            let n_classes = n_classes as usize;
+            let mut out = vec![0u32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        let blen = rows.len();
+                        s.votes.clear();
+                        s.votes.resize(blen * n_classes, 0);
+                        for chunk in forest.trees().chunks(cfg.tree_block) {
+                            for tree in chunk {
+                                for r in 0..blen {
+                                    if let LeafValue::Class(c) =
+                                        tree.predict(frame.row(rows.start + r))
+                                    {
+                                        s.votes[r * n_classes + c as usize] += 1;
+                                    }
+                                }
+                            }
+                        }
+                        for r in 0..blen {
+                            let counts = &s.votes[r * n_classes..(r + 1) * n_classes];
+                            shared.write(rows.start + r, RandomForest::majority(counts));
+                        }
+                    }
+                });
+            });
+            (Predictions::Classes(out), report)
+        }
+        Task::Regression => {
+            let n_trees = forest.n_trees() as f32;
+            let mut out = vec![0f32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        let blen = rows.len();
+                        s.acc.clear();
+                        s.acc.resize(blen, 0.0);
+                        for chunk in forest.trees().chunks(cfg.tree_block) {
+                            for tree in chunk {
+                                for r in 0..blen {
+                                    s.acc[r] += tree
+                                        .predict(frame.row(rows.start + r))
+                                        .as_value()
+                                        .expect("regression leaf");
+                                }
+                            }
+                        }
+                        for r in 0..blen {
+                            shared.write(rows.start + r, s.acc[r] / n_trees);
+                        }
+                    }
+                });
+            });
+            (Predictions::Values(out), report)
+        }
+    }
+}
+
+/// Scores a frame against a quantized forest on the pool, returning class
+/// ids plus the run report.
+///
+/// Each record is quantized once per block with the forest's scheme, then
+/// voted across trees — bit-exact with [`QuantizedForest::score_one`].
+///
+/// # Panics
+///
+/// Panics if the frame's feature count differs from the model's.
+pub fn score_quantized_batch(
+    forest: &QuantizedForest,
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Vec<u32>, RunReport) {
+    assert_eq!(
+        frame.n_features(),
+        forest.n_features(),
+        "frame/model feature width mismatch"
+    );
+    let n = frame.n_rows();
+    let nf = forest.n_features();
+    let n_classes = forest.n_classes() as usize;
+    let mut out = vec![0u32; n];
+    let shared = SharedOut::new(&mut out);
+    let report = pool.run(n, cfg, &|_w, range| {
+        SCRATCH.with(|s| {
+            let s = &mut *s.borrow_mut();
+            for rows in blocks(range.clone(), cfg.record_block) {
+                let blen = rows.len();
+                s.xq.clear();
+                s.xq.resize(blen * nf, 0);
+                for r in 0..blen {
+                    let row = frame.row(rows.start + r);
+                    for (j, &v) in row.iter().enumerate() {
+                        s.xq[r * nf + j] = forest.scheme().quantize(j, v);
+                    }
+                }
+                s.votes.clear();
+                s.votes.resize(blen * n_classes, 0);
+                for chunk in forest.trees().chunks(cfg.tree_block) {
+                    for tree in chunk {
+                        for r in 0..blen {
+                            let c = tree.score_quantized(&s.xq[r * nf..(r + 1) * nf]) as usize;
+                            s.votes[r * n_classes + c] += 1;
+                        }
+                    }
+                }
+                for r in 0..blen {
+                    let counts = &s.votes[r * n_classes..(r + 1) * n_classes];
+                    shared.write(rows.start + r, RandomForest::majority(counts));
+                }
+            }
+        });
+    });
+    (out, report)
+}
+
+/// Parallel indexed fill: computes `f(i)` for every `i in 0..n` on the
+/// pool and collects the results in order.
+///
+/// This is the generic replacement for the seed's per-backend helpers
+/// (`score_chunks` in the sklearn backend, `score_flat` in the ONNX
+/// backend), which both hand-rolled scoped-thread scatter/gather over
+/// static chunks.
+pub fn fill_indexed<T, F>(n: usize, pool: &ExecPool, cfg: &RunConfig, f: F) -> (Vec<T>, RunReport)
+where
+    T: Default + Clone + Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut out = vec![T::default(); n];
+    let shared = SharedOut::new(&mut out);
+    let report = pool.run(n, cfg, &|_w, range| {
+        for i in range {
+            shared.write(i, f(i));
+        }
+    });
+    (out, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_forest::{ForestConfig, QuantScheme};
+
+    fn frame(rows: usize, nf: usize, seed: u64) -> TabularFrame {
+        let data: Vec<f32> = (0..rows * nf)
+            .map(|i| {
+                (((i as u64).wrapping_mul(2654435761).wrapping_add(seed)) % 1000) as f32 / 1000.0
+            })
+            .collect();
+        TabularFrame::from_rows(data, nf).unwrap()
+    }
+
+    fn pool() -> ExecPool {
+        ExecPool::new(4)
+    }
+
+    #[test]
+    fn flat_classification_matches_sequential() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(24, 5, 3).with_depth(7), 42);
+        let flat = FlatForest::from_forest(&forest, 7).unwrap();
+        let f = frame(333, 5, 1);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(4)
+            .with_record_block(32)
+            .with_tree_block(5);
+        let (preds, report) = score_flat_batch(&flat, &f, &pool, &cfg);
+        let expected: Vec<u32> = f.rows().map(|r| flat.score_one(r) as u32).collect();
+        assert_eq!(preds.as_classes().unwrap(), expected.as_slice());
+        assert_eq!(report.rows(), 333);
+    }
+
+    #[test]
+    fn flat_regression_matches_sequential_bit_exact() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::regression(17, 4).with_depth(6), 9);
+        let flat = FlatForest::from_forest(&forest, 6).unwrap();
+        let f = frame(200, 4, 7);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(3)
+            .with_record_block(16)
+            .with_tree_block(4);
+        let (preds, _) = score_flat_batch(&flat, &f, &pool, &cfg);
+        let expected: Vec<f32> = f.rows().map(|r| flat.score_one(r)).collect();
+        // Bit-exact, not approximately equal.
+        let got: Vec<u32> = preds
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want: Vec<u32> = expected.iter().map(|v| v.to_bits()).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn forest_kernel_matches_predict_batch() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(9, 6, 4).with_depth(5), 3);
+        let f = frame(150, 6, 2);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(4).with_record_block(8);
+        let (preds, _) = score_forest_batch(&forest, &f, &pool, &cfg);
+        assert_eq!(preds, forest.predict_batch(f.as_slice()));
+    }
+
+    #[test]
+    fn forest_regression_kernel_bit_exact() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::regression(11, 3).with_depth(6), 5);
+        let f = frame(97, 3, 3);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(4)
+            .with_record_block(10)
+            .with_tree_block(3);
+        let (preds, _) = score_forest_batch(&forest, &f, &pool, &cfg);
+        let expected = forest.predict_batch(f.as_slice());
+        let got: Vec<u32> = preds
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let want: Vec<u32> = expected
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn quantized_kernel_matches_score_one() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(12, 4, 3).with_depth(6), 8);
+        let q = QuantizedForest::from_forest(&forest, QuantScheme::unit(4)).unwrap();
+        let f = frame(121, 4, 5);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(2).with_record_block(25);
+        let (preds, _) = score_quantized_batch(&q, &f, &pool, &cfg);
+        let expected: Vec<u32> = f.rows().map(|r| q.score_one(r)).collect();
+        assert_eq!(preds, expected);
+    }
+
+    #[test]
+    fn empty_and_single_record_batches() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(4, 3, 2).with_depth(4), 1);
+        let flat = FlatForest::from_forest(&forest, 4).unwrap();
+        let pool = pool();
+        let cfg = RunConfig::default();
+        let empty = TabularFrame::from_rows(vec![], 3).unwrap();
+        let (preds, report) = score_flat_batch(&flat, &empty, &pool, &cfg);
+        assert!(preds.is_empty());
+        assert_eq!(report.rows(), 0);
+        let one = frame(1, 3, 4);
+        let (preds, report) = score_flat_batch(&flat, &one, &pool, &cfg);
+        assert_eq!(preds.len(), 1);
+        assert_eq!(
+            preds.as_classes().unwrap()[0],
+            flat.score_one(one.row(0)) as u32
+        );
+        assert_eq!(report.rows(), 1);
+    }
+
+    #[test]
+    fn lockstep_walk_matches_scalar_score() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(1, 4, 3).with_depth(8), 77);
+        // Encode with extra capacity so lockstep runs more steps than the
+        // tree is deep — the leaf self-loop must hold the result.
+        let flat = FlatTree::from_tree(&forest.trees()[0], 10).unwrap();
+        let f = frame(LANES, 4, 6);
+        let leaves = walk_flat_lanes(&WalkTree::decode(&flat), f.as_slice(), 4, 0);
+        for l in 0..LANES {
+            assert_eq!(leaves[l], flat.score(f.row(l)), "lane {l}");
+        }
+    }
+
+    #[test]
+    fn fill_indexed_orders_results() {
+        let pool = pool();
+        let cfg = RunConfig::for_threads(4).with_record_block(7);
+        let (v, report) = fill_indexed(100, &pool, &cfg, |i| i * 3);
+        assert_eq!(v, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+        assert_eq!(report.rows(), 100);
+    }
+
+    #[test]
+    fn degenerate_depth_zero_forest() {
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(3, 2).with_depth(0), 2);
+        let flat = FlatForest::from_forest(&forest, 0).unwrap();
+        let f = frame(33, 2, 8);
+        let pool = pool();
+        let (preds, _) = score_flat_batch(&flat, &f, &pool, &RunConfig::for_threads(2));
+        let expected: Vec<f32> = f.rows().map(|r| flat.score_one(r)).collect();
+        assert_eq!(preds.as_values().unwrap(), expected.as_slice());
+    }
+}

@@ -1,0 +1,173 @@
+//! Property tests: the parallel batch kernels are bit-exact with their
+//! sequential references for every forest representation, across thread
+//! counts (1, 2, 7, and the paper's 52), record/tree block sizes, both
+//! tasks (including majority-vote tie-breaking), and degenerate batches
+//! (empty and single-record frames).
+
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+
+use mlscore_data::TabularFrame;
+use mlscore_exec::{kernel, ExecPool, RunConfig};
+use mlscore_forest::{FlatForest, ForestConfig, QuantScheme, QuantizedForest, RandomForest};
+
+/// Thread counts exercised for every case: serial, small, odd (uneven
+/// sharding), and the paper's 52-thread Xeon configuration.
+const THREADS: [usize; 4] = [1, 2, 7, 52];
+
+/// One pool per sweep width, spawned once for the whole test binary.
+fn pools() -> &'static [ExecPool] {
+    static POOLS: OnceLock<Vec<ExecPool>> = OnceLock::new();
+    POOLS.get_or_init(|| THREADS.into_iter().map(ExecPool::new).collect())
+}
+
+/// Deterministic pseudo-random frame; `rows` may be zero.
+fn frame(rows: usize, n_features: usize, seed: u64) -> TabularFrame {
+    let data: Vec<f32> = (0..rows * n_features)
+        .map(|i| {
+            let h = (i as u64)
+                .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+                .wrapping_add(seed)
+                .rotate_left(17);
+            (h % 1000) as f32 / 1000.0
+        })
+        .collect();
+    TabularFrame::from_rows(data, n_features).unwrap()
+}
+
+/// Each pool paired with a matching-width run configuration.
+fn sweep(
+    record_block: usize,
+    tree_block: usize,
+) -> impl Iterator<Item = (&'static ExecPool, RunConfig)> {
+    pools().iter().zip(THREADS).map(move |(pool, t)| {
+        let cfg = RunConfig::for_threads(t)
+            .with_record_block(record_block)
+            .with_tree_block(tree_block);
+        (pool, cfg)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Classification: both the flat lockstep kernel and the blocked
+    /// pointer-tree kernel reproduce the sequential result exactly. Few
+    /// trees and classes make vote ties common, so the shared
+    /// lowest-class-id tie-break is genuinely exercised.
+    #[test]
+    fn classification_kernels_bit_exact(
+        trees in 1usize..6,
+        depth in 0usize..6,
+        n_features in 2usize..6,
+        n_classes in 2u32..4,
+        rows in 0usize..34,
+        record_block in 1usize..70,
+        tree_block in 1usize..6,
+        model_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(trees, n_features, n_classes).with_depth(depth),
+            model_seed,
+        );
+        let flat = FlatForest::from_forest(&forest, forest.max_depth()).unwrap();
+        let f = frame(rows, n_features, data_seed);
+        let forest_ref = forest.predict_batch(f.as_slice());
+        let flat_ref: Vec<u32> = f.rows().map(|r| flat.score_one(r) as u32).collect();
+        for (pool, cfg) in sweep(record_block, tree_block) {
+            let (preds, report) = kernel::score_forest_batch(&forest, &f, pool, &cfg);
+            prop_assert_eq!(&preds, &forest_ref, "forest kernel, {} threads", cfg.threads);
+            prop_assert_eq!(report.rows(), rows);
+            let (preds, _) = kernel::score_flat_batch(&flat, &f, pool, &cfg);
+            prop_assert_eq!(preds.as_classes().unwrap(), flat_ref.as_slice());
+        }
+    }
+
+    /// Regression: parallel accumulation must reproduce the sequential
+    /// `f32` fold bit for bit (compared via `to_bits`, not tolerance).
+    #[test]
+    fn regression_kernels_bit_exact(
+        trees in 1usize..6,
+        depth in 0usize..6,
+        n_features in 2usize..5,
+        rows in 0usize..30,
+        record_block in 1usize..50,
+        tree_block in 1usize..6,
+        model_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::regression(trees, n_features).with_depth(depth),
+            model_seed,
+        );
+        let flat = FlatForest::from_forest(&forest, forest.max_depth()).unwrap();
+        let f = frame(rows, n_features, data_seed);
+        let forest_ref: Vec<u32> = forest
+            .predict_batch(f.as_slice())
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let flat_ref: Vec<u32> = f.rows().map(|r| flat.score_one(r).to_bits()).collect();
+        for (pool, cfg) in sweep(record_block, tree_block) {
+            let (preds, _) = kernel::score_forest_batch(&forest, &f, pool, &cfg);
+            let got: Vec<u32> =
+                preds.as_values().unwrap().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got, &forest_ref);
+            let (preds, _) = kernel::score_flat_batch(&flat, &f, pool, &cfg);
+            let got: Vec<u32> =
+                preds.as_values().unwrap().iter().map(|v| v.to_bits()).collect();
+            prop_assert_eq!(&got, &flat_ref);
+        }
+    }
+
+    /// Quantized forests: block-quantized parallel scoring matches the
+    /// per-record `score_one` path exactly.
+    #[test]
+    fn quantized_kernel_bit_exact(
+        trees in 1usize..6,
+        depth in 1usize..6,
+        n_features in 2usize..5,
+        n_classes in 2u32..4,
+        rows in 0usize..30,
+        record_block in 1usize..50,
+        model_seed in any::<u64>(),
+        data_seed in any::<u64>(),
+    ) {
+        let forest = RandomForest::synthetic_full(
+            &ForestConfig::classification(trees, n_features, n_classes).with_depth(depth),
+            model_seed,
+        );
+        let quant = QuantizedForest::from_forest(&forest, QuantScheme::unit(n_features)).unwrap();
+        let f = frame(rows, n_features, data_seed);
+        let reference: Vec<u32> = f.rows().map(|r| quant.score_one(r)).collect();
+        for (pool, cfg) in sweep(record_block, 3) {
+            let (preds, report) = kernel::score_quantized_batch(&quant, &f, pool, &cfg);
+            prop_assert_eq!(&preds, &reference);
+            prop_assert_eq!(report.rows(), rows);
+        }
+    }
+}
+
+/// Non-property spot checks for the batch edges proptest ranges reach only
+/// probabilistically: exactly-empty and exactly-one-record frames at the
+/// widest pool.
+#[test]
+fn empty_and_single_record_at_every_width() {
+    let forest =
+        RandomForest::synthetic_full(&ForestConfig::classification(3, 4, 3).with_depth(5), 99);
+    let flat = FlatForest::from_forest(&forest, 5).unwrap();
+    let empty = TabularFrame::from_rows(vec![], 4).unwrap();
+    let one = frame(1, 4, 5);
+    for (pool, threads) in pools().iter().zip(THREADS) {
+        let cfg = RunConfig::for_threads(threads);
+        let (preds, report) = kernel::score_flat_batch(&flat, &empty, pool, &cfg);
+        assert!(preds.is_empty());
+        assert_eq!(report.rows(), 0);
+        let (preds, _) = kernel::score_forest_batch(&forest, &one, pool, &cfg);
+        assert_eq!(preds, forest.predict_batch(one.as_slice()));
+    }
+}

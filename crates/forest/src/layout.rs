@@ -294,14 +294,14 @@ impl FlatForest {
     /// Scores one record: majority vote (classification) or average
     /// (regression) over all trees, using the same combination rules as
     /// [`RandomForest`].
+    ///
+    /// Vote counting reuses a thread-local scratch buffer, so repeated
+    /// calls allocate nothing; batch callers that manage their own scratch
+    /// should use [`FlatForest::score_one_with`] directly.
     pub fn score_one(&self, x: &[f32]) -> f32 {
         match self.task {
-            Task::Classification { n_classes } => {
-                let mut counts = vec![0u32; n_classes as usize];
-                for tree in &self.trees {
-                    counts[tree.score(x) as usize] += 1;
-                }
-                RandomForest::majority(&counts) as f32
+            Task::Classification { .. } => {
+                VOTE_SCRATCH.with(|s| self.score_one_with(x, &mut s.borrow_mut()))
             }
             Task::Regression => {
                 let sum: f32 = self.trees.iter().map(|t| t.score(x)).sum();
@@ -309,6 +309,53 @@ impl FlatForest {
             }
         }
     }
+
+    /// Scores one record using a caller-provided vote scratch buffer. The
+    /// buffer is cleared and resized to the class count on every call
+    /// (regression ignores it), so a loop can pass the same `Vec` for
+    /// every record and never reallocate.
+    pub fn score_one_with(&self, x: &[f32], votes: &mut Vec<u32>) -> f32 {
+        match self.task {
+            Task::Classification { n_classes } => {
+                votes.clear();
+                votes.resize(n_classes as usize, 0);
+                for tree in &self.trees {
+                    votes[tree.score(x) as usize] += 1;
+                }
+                RandomForest::majority(votes) as f32
+            }
+            Task::Regression => {
+                let sum: f32 = self.trees.iter().map(|t| t.score(x)).sum();
+                sum / self.trees.len() as f32
+            }
+        }
+    }
+
+    /// Sequentially scores a row-major batch with one reused vote scratch,
+    /// returning the raw outcome word per record.
+    ///
+    /// This is the sequential reference the parallel executor kernels are
+    /// tested bit-exact against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `records.len()` is not a multiple of the feature count.
+    pub fn score_batch(&self, records: &[f32]) -> Vec<f32> {
+        assert_eq!(
+            records.len() % self.n_features,
+            0,
+            "records length must be a multiple of n_features"
+        );
+        let mut votes = Vec::new();
+        records
+            .chunks_exact(self.n_features)
+            .map(|row| self.score_one_with(row, &mut votes))
+            .collect()
+    }
+}
+
+thread_local! {
+    static VOTE_SCRATCH: std::cell::RefCell<Vec<u32>> = const { std::cell::RefCell::new(Vec::new()) };
 }
 
 #[cfg(test)]
@@ -406,6 +453,28 @@ mod tests {
         let forest = RandomForest::from_trees(trees, 1, Task::Regression).unwrap();
         let flat = FlatForest::from_forest(&forest, 2).unwrap();
         assert_eq!(flat.score_one(&[0.0]), 3.0);
+    }
+
+    #[test]
+    fn score_batch_and_scratch_paths_agree() {
+        let cfg = ForestConfig::classification(12, 4, 3).with_depth(6);
+        let forest = RandomForest::synthetic_full(&cfg, 17);
+        let flat = FlatForest::from_forest(&forest, 6).unwrap();
+        let records: Vec<f32> = (0..40).map(|i| (i as f32 * 0.173) % 1.0).collect();
+        let batch = flat.score_batch(&records);
+        let mut votes = Vec::new();
+        for (i, row) in records.chunks_exact(4).enumerate() {
+            assert_eq!(batch[i], flat.score_one(row));
+            assert_eq!(batch[i], flat.score_one_with(row, &mut votes));
+        }
+        // Regression path ignores the scratch but must agree too.
+        let rcfg = ForestConfig::regression(5, 4).with_depth(4);
+        let rforest = RandomForest::synthetic_full(&rcfg, 3);
+        let rflat = FlatForest::from_forest(&rforest, 4).unwrap();
+        let rbatch = rflat.score_batch(&records);
+        for (i, row) in records.chunks_exact(4).enumerate() {
+            assert_eq!(rbatch[i].to_bits(), rflat.score_one(row).to_bits());
+        }
     }
 
     #[test]

@@ -211,6 +211,26 @@ impl QuantizedForest {
         RandomForest::majority(&counts)
     }
 
+    /// The quantized trees.
+    pub fn trees(&self) -> &[QuantizedTree] {
+        &self.trees
+    }
+
+    /// The quantization scheme records must be bucketed with.
+    pub fn scheme(&self) -> &QuantScheme {
+        &self.scheme
+    }
+
+    /// Number of classes.
+    pub fn n_classes(&self) -> u32 {
+        self.n_classes
+    }
+
+    /// Number of features the model expects.
+    pub fn n_features(&self) -> usize {
+        self.n_features
+    }
+
     /// Total live footprint in bytes.
     pub fn footprint_bytes(&self) -> usize {
         self.trees.iter().map(QuantizedTree::footprint_bytes).sum()

@@ -79,7 +79,9 @@ impl<B: ScoringBackend> QueryPipeline<B> {
     /// the pipeline's query lane, with the backend's [`Scope::Offload`]
     /// spans nested inside the `Scoring` span's interval. Folding the
     /// recorded `Query` spans reproduces `breakdown` exactly; folding the
-    /// `Offload` spans reproduces `scoring_breakdown` exactly.
+    /// `Offload` spans reproduces `scoring_breakdown` exactly. CPU backends
+    /// additionally record measured per-worker `Detail` spans (ignored by
+    /// both folds) showing real executor-pool occupancy.
     ///
     /// # Errors
     ///
@@ -95,10 +97,13 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         let stats = ModelStats::of(&forest);
         self.backend.supports(&stats)?;
         let request = ScoringRequest::new(&forest, frame)?;
-        let predictions = self.backend.score(&request)?;
         let model_bytes = bundle.len() as u64;
         let n_records = frame.n_rows() as u64;
         let t_scoring = self.scoring_start(&stats, model_bytes, n_records, start);
+        // Real execution: worker occupancy is recorded as Detail spans
+        // anchored at the scoring span's simulated start, so the Perfetto
+        // view shows measured pool activity under the modelled timeline.
+        let predictions = self.backend.score_traced(&request, tracer, t_scoring)?;
         let scoring_breakdown = self
             .backend
             .estimate_traced(&stats, n_records, tracer, t_scoring);
@@ -393,6 +398,23 @@ mod tests {
                 assert!(ev.end() <= scoring.end() + slack, "{} ends late", ev.name);
             }
         }
+    }
+
+    #[test]
+    fn traced_execute_records_measured_worker_detail() {
+        let (bundle, data, _) = setup(6, 5);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
+        let tracer = Tracer::new();
+        pipeline
+            .execute_traced(&bundle, data.frame(), &tracer, SimInstant::ZERO)
+            .unwrap();
+        let trace = tracer.take();
+        let workers = trace
+            .events()
+            .iter()
+            .filter(|e| e.scope == Scope::Detail && e.name.starts_with("exec worker"))
+            .count();
+        assert!(workers >= 1, "expected measured pool-worker spans");
     }
 
     #[test]

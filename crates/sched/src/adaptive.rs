@@ -9,9 +9,10 @@
 //! learned estimates.
 
 use std::collections::HashMap;
+use std::time::Instant;
 
-use mlscore_backend::ScoringBackend;
-use mlscore_forest::ModelStats;
+use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
+use mlscore_forest::{ModelStats, Predictions};
 use mlscore_sim::SimDuration;
 
 use crate::policy::Choice;
@@ -131,6 +132,37 @@ impl AdaptiveScheduler {
         entry.intercept += self.alpha * error * (1.0 - batch_weight);
         entry.slope = entry.slope.max(0.0);
         entry.intercept = entry.intercept.max(0.0);
+    }
+
+    /// Executes `request` on `backends[backend_index]` *for real*, measures
+    /// the wall-clock scoring time, and folds the measurement into the
+    /// estimates — the calibration path for functionally real backends
+    /// (the CPU engines running on the executor pool), where modelled cost
+    /// and achieved cost can drift.
+    ///
+    /// Returns the predictions and the measured duration (1 s measured ↦
+    /// 1 s simulated).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the backend's scoring error; nothing is folded in on
+    /// failure.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `backend_index` is out of range.
+    pub fn observe_measured(
+        &mut self,
+        stats: &ModelStats,
+        backend_index: usize,
+        backends: &[Box<dyn ScoringBackend>],
+        request: &ScoringRequest<'_>,
+    ) -> Result<(Predictions, SimDuration), BackendError> {
+        let t0 = Instant::now();
+        let predictions = backends[backend_index].score(request)?;
+        let measured = SimDuration::from_secs(t0.elapsed().as_secs_f64());
+        self.observe(stats, backend_index, request.n_records() as u64, measured);
+        Ok((predictions, measured))
     }
 
     /// Schedules a batch: unobserved supported backends are explored first
@@ -253,6 +285,34 @@ mod tests {
         assert_eq!(sched.learned(), 0);
         sched.converge(&s, 1_000, &backends, 10);
         assert!(sched.learned() > 0);
+    }
+
+    #[test]
+    fn observe_measured_runs_for_real_and_learns() {
+        use mlscore_backend::{OnnxCpu, ScoringRequest, SklearnCpu};
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(8, 4, 3).with_depth(6), 5);
+        let s = ModelStats::of(&forest);
+        let frame = mlscore_data::TabularFrame::from_rows(
+            (0..400).map(|i| (i as f32 * 0.29) % 1.0).collect(),
+            4,
+        )
+        .unwrap();
+        let request = ScoringRequest::new(&forest, &frame).unwrap();
+        let backends: Vec<Box<dyn ScoringBackend>> = vec![
+            Box::new(SklearnCpu::with_threads(2)),
+            Box::new(OnnxCpu::single_thread()),
+        ];
+        let mut sched = AdaptiveScheduler::new(0.5);
+        for i in 0..backends.len() {
+            let (preds, measured) = sched.observe_measured(&s, i, &backends, &request).unwrap();
+            assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+            assert!(measured > SimDuration::ZERO);
+        }
+        assert_eq!(sched.learned(), 2);
+        // With every backend observed, the scheduler now exploits.
+        let pick = sched.choose(&s, 100, &backends).unwrap();
+        assert!(pick.predicted >= SimDuration::ZERO);
     }
 
     #[test]

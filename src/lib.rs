@@ -12,6 +12,8 @@
 //! * [`mlscore_data`] — tabular frames and synthetic IRIS/HIGGS generators.
 //! * [`mlscore_backend`] — the [`ScoringBackend`](mlscore_backend::ScoringBackend)
 //!   trait and CPU backends.
+//! * [`mlscore_exec`] — persistent work-stealing batch executor and blocked
+//!   scoring kernels.
 //! * [`mlscore_gpu`] / [`mlscore_fpga`] — accelerator models.
 //! * [`mlscore_offload`] — PCIe and offload-overhead models.
 //! * [`mlscore_pipeline`] — the end-to-end T-SQL query pipeline.
@@ -25,6 +27,7 @@
 pub use mlscore_backend as backend;
 pub use mlscore_core as core;
 pub use mlscore_data as data;
+pub use mlscore_exec as exec;
 pub use mlscore_forest as forest;
 pub use mlscore_fpga as fpga;
 pub use mlscore_gpu as gpu;
