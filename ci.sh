@@ -17,13 +17,29 @@ cargo clippy --workspace -- -D warnings
 
 echo "== bench smoke (repro bench --quick) =="
 # Quick measured sweep into a scratch file: exercises the wall-clock
-# harness end to end and self-validates the JSON it writes.
+# harness end to end — including the warm+cold artifact-cache pair — and
+# self-validates the JSON it writes (schema_version >= 2, cache block with
+# hits >= 1 and cold_total_secs >= warm_total_secs).
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --quick --out target/BENCH_cpu_scoring.quick.json
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check target/BENCH_cpu_scoring.quick.json
-# The committed trajectory must stay parseable and non-empty.
+# The committed trajectory must stay parseable, non-empty, and carry a
+# valid cache-stats block.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check BENCH_cpu_scoring.json
+
+echo "== trace smoke (repro trace --cold / --warm) =="
+# Both halves of the two-phase split must render a timeline.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    trace --cold --out target/trace_cold.json >/dev/null
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    trace --warm --out target/trace_warm.json >/dev/null
+grep -q '"model deserialization"' target/trace_cold.json
+grep -q '"artifact cache hit"' target/trace_warm.json
+if grep -q '"model deserialization"' target/trace_warm.json; then
+    echo "ci: warm trace unexpectedly contains a cold-only span" >&2
+    exit 1
+fi
 
 echo "ci: all checks passed"

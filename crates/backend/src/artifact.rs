@@ -1,0 +1,571 @@
+//! Compiled-model artifacts and the content-addressed artifact cache.
+//!
+//! The paper's Fig. 11 breakdown treats model pre-processing
+//! (deserialization plus backend-specific lowering) as a first-class
+//! overhead — and it amortizes: a model is immutable once trained, so its
+//! lowered form can be compiled once and scored many times. This module is
+//! the compile half of that split:
+//!
+//! * [`CompiledModel`] — a bundle deserialized, validated against a
+//!   backend, and lowered into that backend's scoring representation
+//!   ([`Lowered`]), tagged with the [`ArtifactKey`] it was compiled under;
+//! * [`compile`] / [`compile_timed`] — the prepare pass itself
+//!   (deserialize → stats → `supports` → `lower`);
+//! * [`ArtifactCache`] — a content-hash-keyed, LRU-evicting cache of
+//!   compiled models with hit/miss/eviction counters, so repeated queries
+//!   against the same bundle skip the whole pass.
+//!
+//! The cache key is *content-addressed*: [`ModelBundle::content_hash`] over
+//! the serialized bytes, crossed with the backend's name and its
+//! [`cache_config`](crate::ScoringBackend::cache_config) fingerprint. Two
+//! byte-identical bundles share an artifact; a backend configured
+//! differently (say, a different FPGA tree-depth capacity) gets its own.
+
+use std::any::Any;
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use mlscore_exec::FlatImage;
+use mlscore_forest::{ModelBundle, ModelStats, QuantizedForest, RandomForest};
+use mlscore_telemetry::MetricsRegistry;
+
+use crate::error::BackendError;
+use crate::traits::ScoringBackend;
+
+/// Metric names the cache reports under when given a registry.
+pub const METRIC_HITS: &str = "artifact.hits";
+/// See [`METRIC_HITS`].
+pub const METRIC_MISSES: &str = "artifact.misses";
+/// See [`METRIC_HITS`].
+pub const METRIC_EVICTIONS: &str = "artifact.evictions";
+
+/// The identity a compiled model was built under: which bytes, which
+/// backend, which backend configuration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ArtifactKey {
+    /// FNV-1a content hash of the serialized bundle bytes.
+    pub content_hash: u64,
+    /// [`ScoringBackend::name`] of the compiling backend.
+    pub backend: String,
+    /// [`ScoringBackend::cache_config`] fingerprint of the compiling
+    /// backend (empty when the backend has no compile-relevant knobs).
+    pub config: String,
+}
+
+impl fmt::Display for ArtifactKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}×{}", self.content_hash, self.backend)?;
+        if !self.config.is_empty() {
+            write!(f, "×{}", self.config)?;
+        }
+        Ok(())
+    }
+}
+
+/// A backend's lowered scoring representation of one model.
+///
+/// The common CPU forms get first-class variants so the exec kernels can
+/// consume them without downcasts; accelerator backends carry their own
+/// device-shaped layouts (FPGA node table + BRAM plan, GPU tensor arrays)
+/// behind [`Lowered::Custom`], which keeps this crate free of dependencies
+/// on the accelerator crates.
+#[derive(Clone)]
+pub enum Lowered {
+    /// Score the pointer trees directly — no lowering (CPU_SKLearn).
+    Reference,
+    /// The Fig. 4b flat node image, pre-decoded for the lockstep kernel
+    /// (CPU_ONNX).
+    Flat(Arc<FlatImage>),
+    /// The quantized node image.
+    Quantized(Arc<QuantizedForest>),
+    /// A backend-private layout; the owning backend downcasts it back.
+    Custom(Arc<dyn Any + Send + Sync>),
+}
+
+impl fmt::Debug for Lowered {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Lowered::Reference => f.write_str("Reference"),
+            Lowered::Flat(img) => f.debug_tuple("Flat").field(img).finish(),
+            Lowered::Quantized(q) => f.debug_tuple("Quantized").field(&q.n_features()).finish(),
+            Lowered::Custom(_) => f.write_str("Custom(..)"),
+        }
+    }
+}
+
+/// A model compiled for one backend: the prepare-phase output that
+/// [`ScoringBackend::score_prepared`] consumes.
+#[derive(Debug, Clone)]
+pub struct CompiledModel {
+    key: ArtifactKey,
+    forest: Arc<RandomForest>,
+    stats: ModelStats,
+    lowered: Lowered,
+    model_bytes: usize,
+}
+
+impl CompiledModel {
+    /// Assembles a compiled model. Prefer [`compile`] /
+    /// [`ScoringBackend::prepare`], which run the full pass.
+    pub fn new(
+        key: ArtifactKey,
+        forest: Arc<RandomForest>,
+        stats: ModelStats,
+        lowered: Lowered,
+        model_bytes: usize,
+    ) -> Self {
+        Self {
+            key,
+            forest,
+            stats,
+            lowered,
+            model_bytes,
+        }
+    }
+
+    /// The cache identity this artifact was compiled under.
+    pub fn key(&self) -> &ArtifactKey {
+        &self.key
+    }
+
+    /// The deserialized source model.
+    pub fn forest(&self) -> &RandomForest {
+        &self.forest
+    }
+
+    /// Shape statistics of the source model (for `estimate_prepared`).
+    pub fn stats(&self) -> &ModelStats {
+        &self.stats
+    }
+
+    /// The backend-lowered scoring form.
+    pub fn lowered(&self) -> &Lowered {
+        &self.lowered
+    }
+
+    /// Serialized size of the source bundle, in bytes.
+    pub fn model_bytes(&self) -> usize {
+        self.model_bytes
+    }
+
+    /// Checks that this artifact may be scored by `backend_name` against
+    /// `n_features`-wide records.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Artifact`] naming the expected and actual
+    /// backend or feature width — the debugging breadcrumb for cache-keyed
+    /// misconfigurations.
+    pub fn ensure_scorable(
+        &self,
+        backend_name: &str,
+        n_features: usize,
+    ) -> Result<(), BackendError> {
+        if self.key.backend != backend_name {
+            return Err(BackendError::artifact(
+                backend_name,
+                format!(
+                    "artifact {} was compiled for backend {}, not {}",
+                    self.key, self.key.backend, backend_name
+                ),
+            ));
+        }
+        if self.stats.n_features != n_features {
+            return Err(BackendError::artifact(
+                backend_name,
+                format!(
+                    "feature width mismatch for artifact {}: model expects {} features, frame has {}",
+                    self.key, self.stats.n_features, n_features
+                ),
+            ));
+        }
+        Ok(())
+    }
+}
+
+/// Wall-clock cost of the two compile sub-steps. Zero on a cache hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepareTiming {
+    /// Time spent in [`ModelBundle::deserialize`].
+    pub deserialize: Duration,
+    /// Time spent in [`ScoringBackend::lower`] (plus `supports`).
+    pub lower: Duration,
+}
+
+/// How a query's model was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheOutcome {
+    /// No cache configured — compiled inline, artifact discarded.
+    Bypass,
+    /// Cache consulted, artifact absent — compiled and inserted (cold).
+    Miss,
+    /// Cache consulted, artifact present — compile skipped (warm).
+    Hit,
+}
+
+/// Runs the full prepare pass for `backend`: deserialize the bundle,
+/// validate support, lower, and tag with the artifact key.
+///
+/// # Errors
+///
+/// Propagates deserialization failures as [`BackendError::Forest`] and
+/// `supports`/`lower` failures unchanged.
+pub fn compile<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    bundle: &ModelBundle,
+) -> Result<Arc<CompiledModel>, BackendError> {
+    compile_timed(backend, bundle).map(|(model, _)| model)
+}
+
+/// [`compile`], additionally reporting how long each sub-step took so the
+/// pipeline can attribute cold-path compile spans.
+///
+/// # Errors
+///
+/// Fails exactly when [`compile`] fails.
+pub fn compile_timed<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    bundle: &ModelBundle,
+) -> Result<(Arc<CompiledModel>, PrepareTiming), BackendError> {
+    let t0 = Instant::now();
+    let forest = bundle.deserialize().map_err(BackendError::from)?;
+    let deserialize = t0.elapsed();
+    let stats = ModelStats::of(&forest);
+    let t1 = Instant::now();
+    backend.supports(&stats)?;
+    let lowered = backend.lower(&forest)?;
+    let lower = t1.elapsed();
+    let key = ArtifactKey {
+        content_hash: bundle.content_hash(),
+        backend: backend.name().to_string(),
+        config: backend.cache_config(),
+    };
+    let model = Arc::new(CompiledModel::new(
+        key,
+        Arc::new(forest),
+        stats,
+        lowered,
+        bundle.len(),
+    ));
+    Ok((model, PrepareTiming { deserialize, lower }))
+}
+
+/// A point-in-time copy of the cache's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that found a compiled artifact.
+    pub hits: u64,
+    /// Lookups that had to compile.
+    pub misses: u64,
+    /// Artifacts evicted to stay within capacity.
+    pub evictions: u64,
+    /// Artifacts currently resident.
+    pub entries: usize,
+}
+
+struct CacheEntry {
+    last_used: u64,
+    model: Arc<CompiledModel>,
+}
+
+#[derive(Default)]
+struct CacheInner {
+    map: HashMap<ArtifactKey, CacheEntry>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// A content-addressed cache of [`CompiledModel`]s with LRU eviction.
+///
+/// Keyed by [`ArtifactKey`] (bundle content hash × backend name × backend
+/// config), so a bundle re-submitted byte-for-byte is a hit and skips
+/// deserialize + lower entirely. Thread-safe; compiled artifacts are shared
+/// out as `Arc`s, so an eviction never invalidates an in-flight query.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_backend::{ArtifactCache, CacheOutcome, OnnxCpu};
+/// use mlscore_forest::{ForestConfig, ModelBundle, RandomForest};
+///
+/// let forest = RandomForest::synthetic_full(
+///     &ForestConfig::classification(8, 4, 3).with_depth(6),
+///     11,
+/// );
+/// let bundle = ModelBundle::serialize(&forest);
+/// let backend = OnnxCpu::single_thread();
+/// let cache = ArtifactCache::new(4);
+/// let (_, outcome) = cache.get_or_prepare(&backend, &bundle).unwrap();
+/// assert_eq!(outcome, CacheOutcome::Miss);
+/// let (model, outcome) = cache.get_or_prepare(&backend, &bundle).unwrap();
+/// assert_eq!(outcome, CacheOutcome::Hit);
+/// assert_eq!(model.stats().n_trees, 8);
+/// assert_eq!(cache.stats().hits, 1);
+/// ```
+pub struct ArtifactCache {
+    inner: Mutex<CacheInner>,
+    capacity: usize,
+    metrics: Option<Arc<MetricsRegistry>>,
+}
+
+impl fmt::Debug for ArtifactCache {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let stats = self.stats();
+        f.debug_struct("ArtifactCache")
+            .field("capacity", &self.capacity)
+            .field("stats", &stats)
+            .finish()
+    }
+}
+
+impl ArtifactCache {
+    /// Creates a cache holding at most `capacity` compiled artifacts.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "artifact cache capacity must be non-zero");
+        Self {
+            inner: Mutex::new(CacheInner::default()),
+            capacity,
+            metrics: None,
+        }
+    }
+
+    /// Mirrors hit/miss/eviction counters into `metrics` under
+    /// [`METRIC_HITS`], [`METRIC_MISSES`], and [`METRIC_EVICTIONS`].
+    pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
+        self.metrics = Some(metrics);
+        self
+    }
+
+    /// Maximum number of resident artifacts.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.lock().expect("artifact cache poisoned");
+        CacheStats {
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+            entries: inner.map.len(),
+        }
+    }
+
+    /// Looks up the artifact for (`bundle`, `backend`), compiling and
+    /// inserting it on a miss.
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`compile`] fails; failures are not cached.
+    pub fn get_or_prepare<B: ScoringBackend + ?Sized>(
+        &self,
+        backend: &B,
+        bundle: &ModelBundle,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome), BackendError> {
+        self.get_or_prepare_timed(backend, bundle)
+            .map(|(model, outcome, _)| (model, outcome))
+    }
+
+    /// [`ArtifactCache::get_or_prepare`], additionally reporting the
+    /// compile sub-step timing ([`PrepareTiming::default`] on a hit).
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`compile`] fails; failures are not cached.
+    pub fn get_or_prepare_timed<B: ScoringBackend + ?Sized>(
+        &self,
+        backend: &B,
+        bundle: &ModelBundle,
+    ) -> Result<(Arc<CompiledModel>, CacheOutcome, PrepareTiming), BackendError> {
+        let key = ArtifactKey {
+            content_hash: bundle.content_hash(),
+            backend: backend.name().to_string(),
+            config: backend.cache_config(),
+        };
+        {
+            let mut inner = self.inner.lock().expect("artifact cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            if let Some(entry) = inner.map.get_mut(&key) {
+                entry.last_used = tick;
+                let model = Arc::clone(&entry.model);
+                inner.hits += 1;
+                drop(inner);
+                self.bump(METRIC_HITS);
+                return Ok((model, CacheOutcome::Hit, PrepareTiming::default()));
+            }
+        }
+        // Compile outside the lock: misses on distinct bundles proceed in
+        // parallel. A racing miss on the same key wastes one compile but
+        // stays correct — last insert wins and both callers hold valid Arcs.
+        let (model, timing) = compile_timed(backend, bundle)?;
+        let evicted = {
+            let mut inner = self.inner.lock().expect("artifact cache poisoned");
+            inner.tick += 1;
+            let tick = inner.tick;
+            inner.misses += 1;
+            let mut evicted = 0u64;
+            while inner.map.len() >= self.capacity && !inner.map.contains_key(&key) {
+                let lru = inner
+                    .map
+                    .iter()
+                    .min_by_key(|(_, e)| e.last_used)
+                    .map(|(k, _)| k.clone())
+                    .expect("non-empty map at capacity");
+                inner.map.remove(&lru);
+                inner.evictions += 1;
+                evicted += 1;
+            }
+            inner.map.insert(
+                key,
+                CacheEntry {
+                    last_used: tick,
+                    model: Arc::clone(&model),
+                },
+            );
+            evicted
+        };
+        self.bump(METRIC_MISSES);
+        if let Some(m) = &self.metrics {
+            if evicted > 0 {
+                m.inc_counter(METRIC_EVICTIONS, evicted);
+            }
+        }
+        Ok((model, CacheOutcome::Miss, timing))
+    }
+
+    fn bump(&self, name: &str) {
+        if let Some(m) = &self.metrics {
+            m.inc_counter(name, 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{OnnxCpu, SklearnCpu};
+    use mlscore_forest::ForestConfig;
+
+    fn bundle(seed: u64) -> ModelBundle {
+        ModelBundle::serialize(&RandomForest::synthetic_full(
+            &ForestConfig::classification(6, 4, 3).with_depth(5),
+            seed,
+        ))
+    }
+
+    #[test]
+    fn compile_tags_key_and_shape() {
+        let b = bundle(3);
+        let backend = OnnxCpu::single_thread();
+        let model = compile(&backend, &b).unwrap();
+        assert_eq!(model.key().content_hash, b.content_hash());
+        assert_eq!(model.key().backend, "CPU_ONNX");
+        assert_eq!(model.stats().n_trees, 6);
+        assert_eq!(model.model_bytes(), b.len());
+        assert!(matches!(model.lowered(), Lowered::Flat(_)));
+    }
+
+    #[test]
+    fn hit_miss_and_metrics() {
+        let metrics = Arc::new(MetricsRegistry::new());
+        let cache = ArtifactCache::new(4).with_metrics(Arc::clone(&metrics));
+        let backend = OnnxCpu::single_thread();
+        let b = bundle(1);
+        let (first, o1) = cache.get_or_prepare(&backend, &b).unwrap();
+        let (second, o2) = cache.get_or_prepare(&backend, &b).unwrap();
+        assert_eq!((o1, o2), (CacheOutcome::Miss, CacheOutcome::Hit));
+        assert!(Arc::ptr_eq(&first, &second));
+        // A byte-identical re-serialization is still a hit.
+        let again = ModelBundle::from_bytes(bytes::Bytes::from(b.as_bytes().to_vec()));
+        let (_, o3) = cache.get_or_prepare(&backend, &again).unwrap();
+        assert_eq!(o3, CacheOutcome::Hit);
+        assert_eq!(metrics.counter(METRIC_HITS), 2);
+        assert_eq!(metrics.counter(METRIC_MISSES), 1);
+        assert_eq!(metrics.counter(METRIC_EVICTIONS), 0);
+        assert_eq!(
+            cache.stats(),
+            CacheStats {
+                hits: 2,
+                misses: 1,
+                evictions: 0,
+                entries: 1
+            }
+        );
+    }
+
+    #[test]
+    fn distinct_backends_and_bundles_get_distinct_artifacts() {
+        let cache = ArtifactCache::new(8);
+        let b = bundle(1);
+        let (onnx_model, _) = cache.get_or_prepare(&OnnxCpu::single_thread(), &b).unwrap();
+        let (skl_model, o) = cache
+            .get_or_prepare(&SklearnCpu::with_threads(1), &b)
+            .unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_ne!(onnx_model.key(), skl_model.key());
+        let (_, o) = cache
+            .get_or_prepare(&OnnxCpu::single_thread(), &bundle(2))
+            .unwrap();
+        assert_eq!(o, CacheOutcome::Miss);
+        assert_eq!(cache.stats().entries, 3);
+    }
+
+    #[test]
+    fn lru_eviction_drops_least_recent() {
+        let cache = ArtifactCache::new(2);
+        let backend = OnnxCpu::single_thread();
+        let (a, b, c) = (bundle(1), bundle(2), bundle(3));
+        cache.get_or_prepare(&backend, &a).unwrap();
+        cache.get_or_prepare(&backend, &b).unwrap();
+        // Touch `a` so `b` becomes the LRU victim.
+        let (_, o) = cache.get_or_prepare(&backend, &a).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        cache.get_or_prepare(&backend, &c).unwrap();
+        assert_eq!(cache.stats().evictions, 1);
+        let (_, o) = cache.get_or_prepare(&backend, &a).unwrap();
+        assert_eq!(o, CacheOutcome::Hit);
+        let (_, o) = cache.get_or_prepare(&backend, &b).unwrap();
+        assert_eq!(o, CacheOutcome::Miss, "b should have been evicted");
+    }
+
+    #[test]
+    fn mismatched_artifact_is_rejected_with_counts() {
+        let b = bundle(1);
+        let skl = SklearnCpu::with_threads(1);
+        let model = compile(&skl, &b).unwrap();
+        let err = model.ensure_scorable("CPU_ONNX", 4).unwrap_err();
+        assert!(matches!(err, BackendError::Artifact { .. }));
+        let err = model.ensure_scorable(skl.name(), 7).unwrap_err();
+        let msg = format!("{err}");
+        assert!(msg.contains("expects 4"), "{msg}");
+        assert!(msg.contains("frame has 7"), "{msg}");
+    }
+
+    #[test]
+    fn miss_timing_is_populated_and_hit_timing_is_zero() {
+        let cache = ArtifactCache::new(2);
+        let backend = OnnxCpu::single_thread();
+        let b = bundle(5);
+        let (_, outcome, _miss_timing) = cache.get_or_prepare_timed(&backend, &b).unwrap();
+        assert_eq!(outcome, CacheOutcome::Miss);
+        let (_, outcome, hit_timing) = cache.get_or_prepare_timed(&backend, &b).unwrap();
+        assert_eq!(outcome, CacheOutcome::Hit);
+        assert_eq!(hit_timing, PrepareTiming::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be non-zero")]
+    fn zero_capacity_rejected() {
+        let _ = ArtifactCache::new(0);
+    }
+}

@@ -19,12 +19,30 @@ pub enum BackendError {
         /// Human-readable reason.
         reason: String,
     },
+    /// A compiled artifact does not fit the request it was paired with —
+    /// wrong backend, wrong feature width, or a lowered form the backend
+    /// does not recognise. Usually a cache-keying bug on the caller's side.
+    Artifact {
+        /// Backend name.
+        backend: String,
+        /// What mismatched, with the expected and actual values spelled
+        /// out for debugging cache-keyed misconfigurations.
+        reason: String,
+    },
 }
 
 impl BackendError {
     /// Convenience constructor for [`BackendError::Unsupported`].
     pub fn unsupported(backend: impl Into<String>, reason: impl Into<String>) -> Self {
         BackendError::Unsupported {
+            backend: backend.into(),
+            reason: reason.into(),
+        }
+    }
+
+    /// Convenience constructor for [`BackendError::Artifact`].
+    pub fn artifact(backend: impl Into<String>, reason: impl Into<String>) -> Self {
+        BackendError::Artifact {
             backend: backend.into(),
             reason: reason.into(),
         }
@@ -38,6 +56,9 @@ impl fmt::Display for BackendError {
             BackendError::Unsupported { backend, reason } => {
                 write!(f, "{backend} cannot score this model: {reason}")
             }
+            BackendError::Artifact { backend, reason } => {
+                write!(f, "{backend} rejected compiled artifact: {reason}")
+            }
         }
     }
 }
@@ -46,7 +67,7 @@ impl Error for BackendError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             BackendError::Forest(e) => Some(e),
-            BackendError::Unsupported { .. } => None,
+            BackendError::Unsupported { .. } | BackendError::Artifact { .. } => None,
         }
     }
 }

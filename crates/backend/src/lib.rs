@@ -18,6 +18,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod artifact;
 pub mod cost;
 pub mod error;
 pub mod onnx;
@@ -25,6 +26,10 @@ pub mod request;
 pub mod sklearn;
 pub mod traits;
 
+pub use artifact::{
+    compile, compile_timed, ArtifactCache, ArtifactKey, CacheOutcome, CacheStats, CompiledModel,
+    Lowered, PrepareTiming,
+};
 pub use cost::{parallel_efficiency, CpuSpec};
 pub use error::BackendError;
 pub use onnx::{OnnxCostParams, OnnxCpu};

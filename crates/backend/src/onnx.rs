@@ -8,16 +8,19 @@
 //! (it wins below ~5K records), but the per-record cost is higher than
 //! scikit-learn's batch path, so it loses at large batches.
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use mlscore_exec::{kernel, ExecPool, RunConfig};
-use mlscore_forest::{FlatForest, ModelStats, Predictions};
+use mlscore_data::TabularFrame;
+use mlscore_exec::{kernel, ExecPool, FlatImage, RunConfig};
+use mlscore_forest::{ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
+use crate::artifact::Lowered;
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
-use crate::request::ScoringRequest;
 use crate::traits::ScoringBackend;
 
 /// Timing-model constants for the ONNX-like engine.
@@ -126,6 +129,17 @@ impl OnnxCpu {
     fn run_config(&self, n_trees: usize) -> RunConfig {
         RunConfig::for_threads(self.threads.min(n_trees.max(1)))
     }
+
+    /// Extracts the flat image this backend lowers to.
+    fn image_of<'a>(&self, lowered: &'a Lowered) -> Result<&'a FlatImage, BackendError> {
+        match lowered {
+            Lowered::Flat(image) => Ok(image),
+            other => Err(BackendError::artifact(
+                self.name(),
+                format!("expected a flat image artifact, got {other:?}"),
+            )),
+        }
+    }
 }
 
 impl ScoringBackend for OnnxCpu {
@@ -133,29 +147,42 @@ impl ScoringBackend for OnnxCpu {
         &self.name
     }
 
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let forest = request.forest();
-        let flat = FlatForest::from_forest(forest, forest.max_depth())?;
-        let (preds, _) = kernel::score_flat_batch(
-            &flat,
-            request.frame(),
+    // Lowering compiles the forest into the pre-decoded flat image once;
+    // the untraced and traced score paths both consume it (the seed built
+    // the image separately in each, doubling the compile on traced runs).
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
+        let image = FlatImage::from_forest(forest, forest.max_depth())?;
+        Ok(Lowered::Flat(Arc::new(image)))
+    }
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        let image = self.image_of(lowered)?;
+        let (preds, _) = kernel::score_image_batch(
+            image,
+            frame,
             ExecPool::global(),
             &self.run_config(forest.n_trees()),
         );
         Ok(preds)
     }
 
-    fn score_traced(
+    fn score_lowered_traced(
         &self,
-        request: &ScoringRequest<'_>,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
         tracer: &Tracer,
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
-        let forest = request.forest();
-        let flat = FlatForest::from_forest(forest, forest.max_depth())?;
-        let (preds, report) = kernel::score_flat_batch(
-            &flat,
-            request.frame(),
+        let image = self.image_of(lowered)?;
+        let (preds, report) = kernel::score_image_batch(
+            image,
+            frame,
             ExecPool::global(),
             &self.run_config(forest.n_trees()),
         );
@@ -221,8 +248,9 @@ impl ScoringBackend for OnnxCpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ScoringRequest;
     use mlscore_data::Dataset;
-    use mlscore_forest::{ForestConfig, RandomForest};
+    use mlscore_forest::ForestConfig;
 
     fn higgs_setup() -> (RandomForest, Dataset) {
         let forest = RandomForest::synthetic_full(

@@ -11,14 +11,15 @@
 
 use serde::{Deserialize, Serialize};
 
+use mlscore_data::TabularFrame;
 use mlscore_exec::{kernel, ExecPool, RunConfig};
-use mlscore_forest::{ModelStats, Predictions};
+use mlscore_forest::{ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
+use crate::artifact::Lowered;
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
-use crate::request::ScoringRequest;
 use crate::traits::ScoringBackend;
 
 /// Timing-model constants for the sklearn-like engine.
@@ -123,28 +124,33 @@ impl ScoringBackend for SklearnCpu {
         &self.name
     }
 
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let (preds, _) = kernel::score_forest_batch(
-            request.forest(),
-            request.frame(),
-            ExecPool::global(),
-            &self.run_config(),
-        );
+    // sklearn has no lowering step — the batch kernel walks the pointer
+    // trees directly, so the default `lower` (Lowered::Reference) holds and
+    // compile/warm scoring differ only in the skipped deserialize.
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        let _ = lowered;
+        let (preds, _) =
+            kernel::score_forest_batch(forest, frame, ExecPool::global(), &self.run_config());
         Ok(preds)
     }
 
-    fn score_traced(
+    fn score_lowered_traced(
         &self,
-        request: &ScoringRequest<'_>,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
         tracer: &Tracer,
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
-        let (preds, report) = kernel::score_forest_batch(
-            request.forest(),
-            request.frame(),
-            ExecPool::global(),
-            &self.run_config(),
-        );
+        let _ = lowered;
+        let (preds, report) =
+            kernel::score_forest_batch(forest, frame, ExecPool::global(), &self.run_config());
         report.record_spans(tracer, start, self.name());
         Ok(preds)
     }
@@ -209,8 +215,9 @@ const MAX_WORKER_LANES: usize = 8;
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::ScoringRequest;
     use mlscore_data::Dataset;
-    use mlscore_forest::{ForestConfig, RandomForest};
+    use mlscore_forest::ForestConfig;
 
     fn iris_setup() -> (RandomForest, Dataset) {
         let forest =

@@ -1,9 +1,13 @@
 //! The [`ScoringBackend`] trait.
 
-use mlscore_forest::{ModelStats, Predictions};
+use std::sync::Arc;
+
+use mlscore_data::TabularFrame;
+use mlscore_forest::{ModelBundle, ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimInstant, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
+use crate::artifact::{compile, CompiledModel, Lowered};
 use crate::error::BackendError;
 use crate::request::ScoringRequest;
 
@@ -15,6 +19,23 @@ use crate::request::ScoringRequest;
 /// separate lets property tests assert prediction agreement across wildly
 /// different execution strategies, while figure generation runs entirely on
 /// modelled time.
+///
+/// # Two-phase scoring
+///
+/// Scoring splits into a *compile* phase and a *score* phase:
+/// [`ScoringBackend::lower`] turns a deserialized model into the backend's
+/// scoring representation ([`Lowered`]) once, and
+/// [`ScoringBackend::score_lowered`] scores batches against it repeatedly.
+/// [`ScoringBackend::prepare`] runs the whole compile pass from a
+/// serialized [`ModelBundle`], producing a cacheable [`CompiledModel`]
+/// consumed by [`ScoringBackend::score_prepared`].
+///
+/// `score` and `score_lowered` have default implementations defined in
+/// terms of each other, mirroring `PartialEq::{eq, ne}`: a backend **must
+/// implement at least one** of them (both defaults together recurse
+/// forever). Backends with a real lowering step implement `lower` +
+/// `score_lowered` and get the one-shot `score` (compile-per-call) for
+/// free; trivial backends just implement `score`.
 ///
 /// The trait is object-safe; schedulers hold `Box<dyn ScoringBackend>`.
 pub trait ScoringBackend {
@@ -34,13 +55,67 @@ pub trait ScoringBackend {
         Ok(())
     }
 
-    /// Functionally scores the batch.
+    /// Fingerprint of every configuration knob that changes what
+    /// [`ScoringBackend::lower`] produces — the third component of the
+    /// artifact-cache key. Backends whose lowering has no knobs (the
+    /// default) return an empty string.
+    fn cache_config(&self) -> String {
+        String::new()
+    }
+
+    /// Compiles a deserialized model into this backend's scoring
+    /// representation.
+    ///
+    /// The default is [`Lowered::Reference`] — score the pointer trees
+    /// as-is, nothing to pre-compute.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BackendError`] when the model cannot be lowered (e.g. a
+    /// tree exceeds the FPGA engine's depth capacity).
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
+        let _ = forest;
+        Ok(Lowered::Reference)
+    }
+
+    /// Functionally scores the batch, compiling on the fly.
+    ///
+    /// The default lowers the model and delegates to
+    /// [`ScoringBackend::score_lowered`] — the one-shot compose of the two
+    /// phases.
     ///
     /// # Errors
     ///
     /// Returns [`BackendError::Unsupported`] for models this backend cannot
     /// run, or a wrapped model error.
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError>;
+    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+        let lowered = self.lower(request.forest())?;
+        self.score_lowered(request.forest(), &lowered, request.frame())
+    }
+
+    /// Functionally scores the batch against an already-lowered model.
+    ///
+    /// `forest` is the source model `lowered` was compiled from; reference
+    /// backends score it directly and ignore `lowered`.
+    ///
+    /// The default ignores `lowered` and delegates to
+    /// [`ScoringBackend::score`] (see the trait docs: implement at least
+    /// one of the two).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Artifact`] when `lowered` is not a form this
+    /// backend produces, otherwise fails as [`ScoringBackend::score`] does.
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        let _ = lowered;
+        let request = ScoringRequest::new(forest, frame)?;
+        self.score(&request)
+    }
 
     /// Functionally scores the batch while recording *measured* wall-clock
     /// execution detail on `tracer`.
@@ -50,8 +125,10 @@ pub trait ScoringBackend {
     /// [`Scope::Detail`] span per pool worker, anchored at `start` on the
     /// simulated timeline (1 ns measured ↦ 1 ns simulated), so a Perfetto
     /// trace shows the pool's real occupancy. Detail spans are ignored by
-    /// breakdown folds, so modelled accounting is unaffected. The default
-    /// implementation just forwards to [`ScoringBackend::score`].
+    /// breakdown folds, so modelled accounting is unaffected.
+    ///
+    /// The default lowers and forwards to
+    /// [`ScoringBackend::score_lowered_traced`].
     ///
     /// # Errors
     ///
@@ -62,8 +139,76 @@ pub trait ScoringBackend {
         tracer: &Tracer,
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
+        let lowered = self.lower(request.forest())?;
+        self.score_lowered_traced(request.forest(), &lowered, request.frame(), tracer, start)
+    }
+
+    /// [`ScoringBackend::score_lowered`] with measured execution detail, as
+    /// in [`ScoringBackend::score_traced`].
+    ///
+    /// The default drops the tracer and delegates to
+    /// [`ScoringBackend::score_lowered`] — it must *not* route back through
+    /// `score_traced`, whose default lowers again (and would recurse).
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`ScoringBackend::score_lowered`] fails.
+    fn score_lowered_traced(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
         let _ = (tracer, start);
-        self.score(request)
+        self.score_lowered(forest, lowered, frame)
+    }
+
+    /// Runs the full compile pass on a serialized bundle: deserialize →
+    /// shape stats → [`ScoringBackend::supports`] →
+    /// [`ScoringBackend::lower`], tagged with this backend's artifact key.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Forest`] for undeserializable bundles and
+    /// propagates `supports`/`lower` failures.
+    fn prepare(&self, bundle: &ModelBundle) -> Result<Arc<CompiledModel>, BackendError> {
+        compile(self, bundle)
+    }
+
+    /// Scores a batch against a prepared model — the warm path that skips
+    /// deserialize + lower.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Artifact`] if `model` was compiled for a
+    /// different backend or feature width, otherwise fails as
+    /// [`ScoringBackend::score_lowered`] does.
+    fn score_prepared(
+        &self,
+        model: &CompiledModel,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        model.ensure_scorable(self.name(), frame.n_features())?;
+        self.score_lowered(model.forest(), model.lowered(), frame)
+    }
+
+    /// [`ScoringBackend::score_prepared`] with measured execution detail,
+    /// as in [`ScoringBackend::score_traced`].
+    ///
+    /// # Errors
+    ///
+    /// Fails exactly when [`ScoringBackend::score_prepared`] fails.
+    fn score_prepared_traced(
+        &self,
+        model: &CompiledModel,
+        frame: &TabularFrame,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        model.ensure_scorable(self.name(), frame.n_features())?;
+        self.score_lowered_traced(model.forest(), model.lowered(), frame, tracer, start)
     }
 
     /// Estimates the *overall model scoring time* breakdown (the Fig. 7
@@ -106,6 +251,25 @@ pub trait ScoringBackend {
         }
         b
     }
+
+    /// [`ScoringBackend::estimate`] against a prepared model's shape — the
+    /// warm-path timing, which covers scoring only (compile time is paid at
+    /// [`ScoringBackend::prepare`] and amortized by the cache).
+    fn estimate_prepared(&self, model: &CompiledModel, n_records: u64) -> TimingBreakdown {
+        self.estimate(model.stats(), n_records)
+    }
+
+    /// Traced variant of [`ScoringBackend::estimate_prepared`]; see
+    /// [`ScoringBackend::estimate_traced`] for the span contract.
+    fn estimate_prepared_traced(
+        &self,
+        model: &CompiledModel,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        self.estimate_traced(model.stats(), n_records, tracer, start)
+    }
 }
 
 /// Blanket impl so `Box<dyn ScoringBackend>` works wherever a backend does.
@@ -118,8 +282,25 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
         (**self).supports(stats)
     }
 
+    fn cache_config(&self) -> String {
+        (**self).cache_config()
+    }
+
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
+        (**self).lower(forest)
+    }
+
     fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
         (**self).score(request)
+    }
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        (**self).score_lowered(forest, lowered, frame)
     }
 
     fn score_traced(
@@ -129,6 +310,39 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
         (**self).score_traced(request, tracer, start)
+    }
+
+    fn score_lowered_traced(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        (**self).score_lowered_traced(forest, lowered, frame, tracer, start)
+    }
+
+    fn prepare(&self, bundle: &ModelBundle) -> Result<Arc<CompiledModel>, BackendError> {
+        (**self).prepare(bundle)
+    }
+
+    fn score_prepared(
+        &self,
+        model: &CompiledModel,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        (**self).score_prepared(model, frame)
+    }
+
+    fn score_prepared_traced(
+        &self,
+        model: &CompiledModel,
+        frame: &TabularFrame,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<Predictions, BackendError> {
+        (**self).score_prepared_traced(model, frame, tracer, start)
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
@@ -143,6 +357,20 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
         start: SimInstant,
     ) -> TimingBreakdown {
         (**self).estimate_traced(stats, n_records, tracer, start)
+    }
+
+    fn estimate_prepared(&self, model: &CompiledModel, n_records: u64) -> TimingBreakdown {
+        (**self).estimate_prepared(model, n_records)
+    }
+
+    fn estimate_prepared_traced(
+        &self,
+        model: &CompiledModel,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        (**self).estimate_prepared_traced(model, n_records, tracer, start)
     }
 }
 
@@ -210,5 +438,32 @@ mod tests {
         let stats = fixed_stats();
         let b = boxed.estimate_traced(&stats, 10, &tracer, SimInstant::ZERO);
         assert_eq!(tracer.take().breakdown(Scope::Offload), b);
+    }
+
+    #[test]
+    fn score_only_backend_gets_two_phase_defaults() {
+        use mlscore_data::TabularFrame;
+        use mlscore_forest::{ForestConfig, ModelBundle, RandomForest};
+
+        // FixedBackend implements only `score`; the mutual defaults must
+        // carry it through the whole prepared path.
+        let backend = FixedBackend;
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(2, 4, 2).with_depth(3), 1);
+        let bundle = ModelBundle::serialize(&forest);
+        let model = backend.prepare(&bundle).unwrap();
+        assert_eq!(model.key().backend, "fixed");
+        assert!(matches!(model.lowered(), crate::Lowered::Reference));
+        let frame = TabularFrame::from_rows(vec![0.0; 8], 4).unwrap();
+        let prepared = backend.score_prepared(model.as_ref(), &frame).unwrap();
+        let request = ScoringRequest::new(model.forest(), &frame).unwrap();
+        assert_eq!(prepared, backend.score(&request).unwrap());
+        assert_eq!(
+            backend.estimate_prepared(model.as_ref(), 7),
+            backend.estimate(model.stats(), 7)
+        );
+        // Compiled for "fixed" — another backend must refuse it.
+        let err = model.ensure_scorable("other", 4).unwrap_err();
+        assert!(matches!(err, BackendError::Artifact { .. }));
     }
 }

@@ -166,9 +166,10 @@ fn parse_count(text: &str) -> Option<u64> {
     digits.parse::<u64>().ok().map(|n| n * mult)
 }
 
-/// `repro trace [--out FILE] [dataset] [trees] [records] [backend]`
+/// `repro trace [--out FILE] [--warm|--cold] [dataset] [trees] [records] [backend]`
 fn trace(args: &[String]) {
     let mut out_path: Option<String> = None;
+    let mut warm = false;
     let mut pos: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -180,13 +181,19 @@ fn trace(args: &[String]) {
                     std::process::exit(2);
                 }
             }
+        } else if arg == "--warm" {
+            warm = true;
+        } else if arg == "--cold" {
+            warm = false;
         } else {
             pos.push(arg.clone());
         }
     }
     fn fail(msg: String) -> ! {
         eprintln!("{msg}");
-        eprintln!("usage: repro trace [--out FILE] [iris|higgs] [trees] [records] [backend]");
+        eprintln!(
+            "usage: repro trace [--out FILE] [--warm|--cold] [iris|higgs] [trees] [records] [backend]"
+        );
         eprintln!("backends: cpu sklearn onnx1 gpu gpu-rapids fpga");
         std::process::exit(2);
     }
@@ -217,13 +224,25 @@ fn trace(args: &[String]) {
     let bundle = ModelBundle::serialize(&forest);
     let pipeline = QueryPipeline::new(backend);
     let tracer = Tracer::new();
-    let breakdown = pipeline.estimate_traced(
-        &stats,
-        bundle.len() as u64,
-        records,
-        &tracer,
-        SimInstant::ZERO,
-    );
+    // Warm queries replay the artifact-cache hit path: no bundle marshal,
+    // model pre-processing collapsed to a cache probe, no compile spans.
+    let breakdown = if warm {
+        pipeline.estimate_warm_traced(
+            &stats,
+            bundle.len() as u64,
+            records,
+            &tracer,
+            SimInstant::ZERO,
+        )
+    } else {
+        pipeline.estimate_traced(
+            &stats,
+            bundle.len() as u64,
+            records,
+            &tracer,
+            SimInstant::ZERO,
+        )
+    };
     let span_trace = tracer.take();
     let json = perfetto::to_json(&span_trace);
     match out_path {
@@ -238,11 +257,12 @@ fn trace(args: &[String]) {
                 json.len()
             );
             println!(
-                "{} x{} trees, {} records on {}: total {}",
+                "{} x{} trees, {} records on {} ({}): total {}",
                 dataset.name(),
                 trees,
                 records,
                 pipeline.backend().name(),
+                if warm { "warm" } else { "cold" },
                 breakdown.total()
             );
             for (stage, d) in breakdown.iter() {
@@ -311,7 +331,21 @@ fn bench(args: &[String]) {
         if quick { "quick" } else { "full" }
     );
     let cases = cpu_bench::run(&opts);
-    let json = cpu_bench::to_json(&cases, &opts);
+    let cache = cpu_bench::run_cache_pair(&opts);
+    println!(
+        "cache {:>5} x{:<3} trees, {:>6} records | cold {:.3}s warm {:.3}s ({:.3}x) | \
+         compile {:.2}ms | {} hit(s) {} miss(es)",
+        "higgs",
+        cache.trees,
+        cache.records,
+        cache.cold_total_secs,
+        cache.warm_total_secs,
+        cache.warm_speedup(),
+        cache.compile_ms,
+        cache.hits,
+        cache.misses
+    );
+    let json = cpu_bench::to_json(&cases, &cache, &opts);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -339,14 +373,17 @@ fn usage() -> String {
        fig11            end-to-end T-SQL query breakdown\n\
        headlines        headline ratios from the paper's section IV\n\
        scheduler        policy regret + latency percentiles (telemetry histograms)\n\
-       trace [--out FILE] [iris|higgs] [trees] [records] [backend]\n\
+       trace [--out FILE] [--warm|--cold] [iris|higgs] [trees] [records] [backend]\n\
                         export a Perfetto trace of one simulated query\n\
-                        (defaults: higgs 128 1m fpga; records accept k/m suffixes;\n\
-                         backends: cpu sklearn onnx1 gpu gpu-rapids fpga)\n\
+                        (defaults: higgs 128 1m fpga, cold; records accept k/m\n\
+                         suffixes; backends: cpu sklearn onnx1 gpu gpu-rapids fpga;\n\
+                         --warm replays an artifact-cache hit: no bundle marshal,\n\
+                         model pre-processing collapsed to a cache probe)\n\
        bench [--quick] [--out FILE] [--check FILE]\n\
                         measure real CPU kernel throughput (naive seed path vs\n\
-                        blocked executor) and write BENCH_cpu_scoring.json;\n\
-                        --check validates an existing report instead\n\
+                        blocked executor) plus a warm/cold artifact-cache pair,\n\
+                        and write BENCH_cpu_scoring.json; --check validates an\n\
+                        existing report instead\n\
        csv [dir]        write every figure as CSV (default dir: figures_out)\n\
        help             this message"
         .to_string()

@@ -23,11 +23,14 @@
 //! round-tripped through [`mlscore_telemetry::json::parse`] before it is
 //! handed back, so a malformed report can never be written to disk.
 
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use mlscore_backend::{ArtifactCache, CacheOutcome, OnnxCpu, ScoringBackend};
 use mlscore_data::Dataset;
 use mlscore_exec::{kernel, pool::default_threads, ExecPool, RunConfig};
-use mlscore_forest::{FlatForest, ForestConfig, Predictions, RandomForest, Task};
+use mlscore_forest::{FlatForest, ForestConfig, ModelBundle, Predictions, RandomForest, Task};
+use mlscore_pipeline::QueryPipeline;
 use mlscore_telemetry::json::{self, write_escaped, JsonValue};
 
 /// Tree depth used throughout the sweep (the paper's evaluation depth).
@@ -97,6 +100,84 @@ impl CaseResult {
     /// The best blocked speedup over the naive path across thread counts.
     pub fn best_speedup(&self) -> f64 {
         self.runs.iter().map(|r| r.speedup).fold(0.0, f64::max)
+    }
+}
+
+/// Warm-vs-cold artifact-cache measurement over the end-to-end pipeline:
+/// the same HIGGS-scale bundle executed twice through a cached
+/// [`QueryPipeline`], once compiling (miss) and once cache-resident (hit).
+#[derive(Debug, Clone)]
+pub struct CacheBench {
+    /// Backend the pair ran on.
+    pub backend: String,
+    /// Trees in the model.
+    pub trees: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Records per query.
+    pub records: usize,
+    /// Simulated end-to-end total of the cold (cache-miss) query, seconds.
+    pub cold_total_secs: f64,
+    /// Simulated end-to-end total of the warm (cache-hit) query, seconds.
+    pub warm_total_secs: f64,
+    /// Measured wall-clock of one compile pass (deserialize + lower), ms.
+    pub compile_ms: f64,
+    /// Cache hit count after the pair.
+    pub hits: u64,
+    /// Cache miss count after the pair.
+    pub misses: u64,
+}
+
+impl CacheBench {
+    /// End-to-end warm speedup: cold total over warm total.
+    pub fn warm_speedup(&self) -> f64 {
+        self.cold_total_secs / self.warm_total_secs.max(1e-12)
+    }
+}
+
+/// Runs the warm/cold pair: one cold query that compiles and caches the
+/// model, one warm query that hits the artifact cache, both checked for
+/// identical predictions.
+///
+/// # Panics
+///
+/// Panics if the cold query is not a miss, the warm query is not a hit, or
+/// the two disagree on predictions — any of which is a cache bug.
+pub fn run_cache_pair(opts: &BenchOptions) -> CacheBench {
+    let records = opts.record_counts()[1];
+    let data = Dataset::higgs(records, 3).normalized();
+    let forest = RandomForest::synthetic_full(
+        &ForestConfig::classification(128, 28, 2).with_depth(SWEEP_DEPTH),
+        7,
+    );
+    let bundle = ModelBundle::serialize(&forest);
+    let backend = OnnxCpu::single_thread();
+    // Measure the compile wall-clock on its own, so the number is not
+    // entangled with the pipeline's scoring work.
+    let (_, timing) = mlscore_backend::compile_timed(&backend, &bundle).expect("compile");
+    let compile_ms = (timing.deserialize + timing.lower).as_secs_f64() * 1e3;
+
+    let cache = Arc::new(ArtifactCache::new(4));
+    let pipeline = QueryPipeline::new(backend).with_cache(Arc::clone(&cache));
+    let cold = pipeline.execute(&bundle, data.frame()).expect("cold query");
+    let warm = pipeline.execute(&bundle, data.frame()).expect("warm query");
+    assert_eq!(cold.cache, CacheOutcome::Miss, "first query must compile");
+    assert_eq!(warm.cache, CacheOutcome::Hit, "second query must hit");
+    assert_eq!(
+        warm.predictions, cold.predictions,
+        "warm path changed results"
+    );
+    let stats = cache.stats();
+    CacheBench {
+        backend: pipeline.backend().name().to_string(),
+        trees: 128,
+        depth: SWEEP_DEPTH,
+        records,
+        cold_total_secs: cold.total().as_secs(),
+        warm_total_secs: warm.total().as_secs(),
+        compile_ms,
+        hits: stats.hits,
+        misses: stats.misses,
     }
 }
 
@@ -267,11 +348,12 @@ fn push_num(out: &mut String, v: f64) {
 ///
 /// Panics if the writer produced a document the shared JSON parser
 /// rejects — that would be a bug in this module, not a runtime condition.
-pub fn to_json(cases: &[CaseResult], opts: &BenchOptions) -> String {
+pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) -> String {
     let cfg = RunConfig::default();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mlscore/bench-cpu-scoring/v1\",\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
@@ -280,6 +362,24 @@ pub fn to_json(cases: &[CaseResult], opts: &BenchOptions) -> String {
     out.push_str(&format!("  \"record_block\": {},\n", cfg.record_block));
     out.push_str(&format!("  \"tree_block\": {},\n", cfg.tree_block));
     out.push_str(&format!("  \"lanes\": {},\n", kernel::LANES));
+    out.push_str("  \"cache\": {\"backend\": ");
+    write_escaped(&mut out, &cache.backend);
+    out.push_str(&format!(
+        ", \"trees\": {}, \"depth\": {}, \"records\": {},\n",
+        cache.trees, cache.depth, cache.records
+    ));
+    out.push_str("            \"cold_total_secs\": ");
+    push_num(&mut out, cache.cold_total_secs);
+    out.push_str(", \"warm_total_secs\": ");
+    push_num(&mut out, cache.warm_total_secs);
+    out.push_str(", \"warm_speedup\": ");
+    push_num(&mut out, cache.warm_speedup());
+    out.push_str(", \"compile_ms\": ");
+    push_num(&mut out, cache.compile_ms);
+    out.push_str(&format!(
+        ", \"hits\": {}, \"misses\": {}}},\n",
+        cache.hits, cache.misses
+    ));
     out.push_str("  \"cases\": [");
     for (i, case) in cases.iter().enumerate() {
         if i > 0 {
@@ -326,6 +426,31 @@ pub fn validate(text: &str) -> Result<usize, String> {
     match doc.get("schema").and_then(JsonValue::as_str) {
         Some("mlscore/bench-cpu-scoring/v1") => {}
         other => return Err(format!("unexpected schema {other:?}")),
+    }
+    match doc.get("schema_version").and_then(JsonValue::as_f64) {
+        Some(v) if v >= 2.0 => {}
+        other => return Err(format!("missing or stale schema_version {other:?}")),
+    }
+    let cache = doc.get("cache").ok_or("missing \"cache\" block")?;
+    let hits = cache
+        .get("hits")
+        .and_then(JsonValue::as_f64)
+        .ok_or("cache block: missing numeric \"hits\"")?;
+    if hits < 1.0 {
+        return Err(format!("cache block: expected at least 1 hit, got {hits}"));
+    }
+    let cold = cache
+        .get("cold_total_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("cache block: missing \"cold_total_secs\"")?;
+    let warm = cache
+        .get("warm_total_secs")
+        .and_then(JsonValue::as_f64)
+        .ok_or("cache block: missing \"warm_total_secs\"")?;
+    if cold < warm {
+        return Err(format!(
+            "cache block: cold total {cold}s is cheaper than warm total {warm}s"
+        ));
     }
     let cases = doc
         .get("cases")
@@ -389,15 +514,37 @@ mod tests {
         let case = run_case("iris", 8, 200, &opts);
         assert!(case.runs.iter().all(|r| r.bit_exact));
         assert!(case.naive_rps > 0.0);
-        let json = to_json(std::slice::from_ref(&case), &opts);
+        let cache = run_cache_pair(&opts);
+        let json = to_json(std::slice::from_ref(&case), &cache, &opts);
         assert_eq!(validate(&json), Ok(1));
+    }
+
+    #[test]
+    fn cache_pair_hits_and_warm_is_cheaper() {
+        let cache = run_cache_pair(&BenchOptions { quick: true });
+        assert_eq!(cache.hits, 1);
+        assert_eq!(cache.misses, 1);
+        assert!(cache.cold_total_secs >= cache.warm_total_secs);
+        assert!(cache.warm_speedup() >= 1.0);
+        assert!(cache.compile_ms > 0.0);
     }
 
     #[test]
     fn validate_rejects_garbage_and_empty() {
         assert!(validate("not json").is_err());
         assert!(validate("{\"schema\": \"wrong\"}").is_err());
+        // v1 documents (no schema_version, no cache block) are stale.
         assert!(validate("{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"cases\": []}").is_err());
+        // A hitless cache block is a broken warm path.
+        let hitless = "{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"schema_version\": 2, \
+                       \"cache\": {\"hits\": 0, \"cold_total_secs\": 2.0, \"warm_total_secs\": 1.0}, \
+                       \"cases\": [1]}";
+        assert!(validate(hitless).unwrap_err().contains("hit"));
+        // Warm costing more than cold means the split is wired backwards.
+        let inverted = "{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"schema_version\": 2, \
+                        \"cache\": {\"hits\": 1, \"cold_total_secs\": 1.0, \"warm_total_secs\": 2.0}, \
+                        \"cases\": [1]}";
+        assert!(validate(inverted).unwrap_err().contains("cheaper"));
     }
 
     #[test]

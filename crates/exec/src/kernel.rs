@@ -34,7 +34,8 @@ use std::ops::Range;
 
 use mlscore_data::TabularFrame;
 use mlscore_forest::{
-    FlatForest, FlatTree, LeafValue, Predictions, QuantizedForest, RandomForest, Task, NODE_WORDS,
+    FlatForest, FlatTree, ForestError, LeafValue, Predictions, QuantizedForest, RandomForest, Task,
+    NODE_WORDS,
 };
 
 use crate::pool::{ExecPool, RunConfig};
@@ -168,6 +169,47 @@ impl WalkTree {
             payload,
             steps: tree.max_depth(),
         }
+    }
+}
+
+/// A flat forest bundled with its integer-decoded traversal image.
+///
+/// Decoding the Fig. 4b `f32`-word layout into [`WalkTree`]s is the CPU
+/// backend's model-lowering step: it costs one pass over every node array
+/// and used to happen inside [`score_flat_batch`] on *every* scoring call.
+/// Building a `FlatImage` once and scoring it repeatedly with
+/// [`score_image_batch`] hoists that pass out of the hot path, which is
+/// what the artifact cache stores per bundle.
+pub struct FlatImage {
+    flat: FlatForest,
+    walk: Vec<WalkTree>,
+}
+
+impl FlatImage {
+    /// Decodes an already-flattened forest into a reusable image.
+    pub fn from_flat(flat: FlatForest) -> Self {
+        let walk = flat.trees().iter().map(WalkTree::decode).collect();
+        Self { flat, walk }
+    }
+
+    /// Flattens a pointer-tree forest at `max_depth` capacity and decodes
+    /// it in one step.
+    pub fn from_forest(forest: &RandomForest, max_depth: usize) -> Result<Self, ForestError> {
+        Ok(Self::from_flat(FlatForest::from_forest(forest, max_depth)?))
+    }
+
+    /// The underlying flat forest (node tables, task, feature width).
+    pub fn flat(&self) -> &FlatForest {
+        &self.flat
+    }
+}
+
+impl std::fmt::Debug for FlatImage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlatImage")
+            .field("n_trees", &self.flat.n_trees())
+            .field("n_features", &self.flat.n_features())
+            .finish_non_exhaustive()
     }
 }
 
@@ -305,15 +347,45 @@ pub fn score_flat_batch(
     pool: &ExecPool,
     cfg: &RunConfig,
 ) -> (Predictions, RunReport) {
-    assert_eq!(
-        frame.n_features(),
-        forest.n_features(),
-        "frame/model feature width mismatch"
-    );
-    let n = frame.n_rows();
     // Decode the f32-word image once per call; the cost is one pass over
     // the node arrays, amortized over every (record, tree) traversal.
     let walk: Vec<WalkTree> = forest.trees().iter().map(WalkTree::decode).collect();
+    score_decoded(forest, &walk, frame, pool, cfg)
+}
+
+/// Scores a frame against a pre-decoded [`FlatImage`] on the pool.
+///
+/// Identical to [`score_flat_batch`] except the decode pass already
+/// happened when the image was built, so repeated calls on the same model
+/// pay only the traversal.
+///
+/// # Panics
+///
+/// Panics if the frame's feature count differs from the model's.
+pub fn score_image_batch(
+    image: &FlatImage,
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Predictions, RunReport) {
+    score_decoded(&image.flat, &image.walk, frame, pool, cfg)
+}
+
+fn score_decoded(
+    forest: &FlatForest,
+    walk: &[WalkTree],
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Predictions, RunReport) {
+    assert_eq!(
+        frame.n_features(),
+        forest.n_features(),
+        "frame/model feature width mismatch: frame has {} features, model expects {}",
+        frame.n_features(),
+        forest.n_features()
+    );
+    let n = frame.n_rows();
     match forest.task() {
         Task::Classification { n_classes } => {
             let n_classes = n_classes as usize;
@@ -324,7 +396,7 @@ pub fn score_flat_batch(
                     let s = &mut *s.borrow_mut();
                     for rows in blocks(range.clone(), cfg.record_block) {
                         flat_classify_block(
-                            &walk,
+                            walk,
                             forest,
                             frame,
                             rows,
@@ -345,7 +417,7 @@ pub fn score_flat_batch(
                 SCRATCH.with(|s| {
                     let s = &mut *s.borrow_mut();
                     for rows in blocks(range.clone(), cfg.record_block) {
-                        flat_regress_block(&walk, forest, frame, rows, cfg.tree_block, s, &shared);
+                        flat_regress_block(walk, forest, frame, rows, cfg.tree_block, s, &shared);
                     }
                 });
             });
@@ -371,7 +443,9 @@ pub fn score_forest_batch(
     assert_eq!(
         frame.n_features(),
         forest.n_features(),
-        "frame/model feature width mismatch"
+        "frame/model feature width mismatch: frame has {} features, model expects {}",
+        frame.n_features(),
+        forest.n_features()
     );
     let n = frame.n_rows();
     match forest.task() {
@@ -456,7 +530,9 @@ pub fn score_quantized_batch(
     assert_eq!(
         frame.n_features(),
         forest.n_features(),
-        "frame/model feature width mismatch"
+        "frame/model feature width mismatch: frame has {} features, model expects {}",
+        frame.n_features(),
+        forest.n_features()
     );
     let n = frame.n_rows();
     let nf = forest.n_features();
@@ -658,6 +734,40 @@ mod tests {
         for l in 0..LANES {
             assert_eq!(leaves[l], flat.score(f.row(l)), "lane {l}");
         }
+    }
+
+    #[test]
+    fn image_batch_matches_flat_batch_bit_exact() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(24, 5, 3).with_depth(7), 42);
+        let image = FlatImage::from_forest(&forest, 7).unwrap();
+        let f = frame(333, 5, 1);
+        let pool = pool();
+        let cfg = RunConfig::for_threads(4)
+            .with_record_block(32)
+            .with_tree_block(5);
+        let (fresh, _) = score_flat_batch(image.flat(), &f, &pool, &cfg);
+        let (cached, _) = score_image_batch(&image, &f, &pool, &cfg);
+        assert_eq!(fresh, cached);
+
+        let reg = RandomForest::synthetic_full(&ForestConfig::regression(17, 4).with_depth(6), 9);
+        let image = FlatImage::from_forest(&reg, 6).unwrap();
+        let f = frame(200, 4, 7);
+        let (fresh, _) = score_flat_batch(image.flat(), &f, &pool, &cfg);
+        let (cached, _) = score_image_batch(&image, &f, &pool, &cfg);
+        let want: Vec<u32> = fresh
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        let got: Vec<u32> = cached
+            .as_values()
+            .unwrap()
+            .iter()
+            .map(|v| v.to_bits())
+            .collect();
+        assert_eq!(want, got);
     }
 
     #[test]

@@ -42,6 +42,9 @@ pub mod kernel;
 pub mod pool;
 pub mod report;
 
-pub use kernel::{fill_indexed, score_flat_batch, score_forest_batch, score_quantized_batch};
+pub use kernel::{
+    fill_indexed, score_flat_batch, score_forest_batch, score_image_batch, score_quantized_batch,
+    FlatImage,
+};
 pub use pool::{ExecPool, RunConfig};
 pub use report::{RunReport, WorkerReport};

@@ -127,6 +127,24 @@ impl ModelBundle {
         self.bytes.is_empty()
     }
 
+    /// Content hash of the serialized bytes (64-bit FNV-1a).
+    ///
+    /// This is the content-addressing half of an artifact-cache key: two
+    /// bundles with identical bytes — and therefore identical deserialized
+    /// models — hash equal, so a compiled artifact can be reused without
+    /// re-parsing the bundle. The hash is deterministic across processes
+    /// (unlike `std`'s seeded hashers).
+    pub fn content_hash(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        for &b in self.bytes.iter() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+        h
+    }
+
     /// Parses the bundle back into a forest, validating structure.
     ///
     /// # Errors
@@ -298,6 +316,32 @@ mod tests {
             .deserialize()
             .unwrap_err();
         assert!(matches!(err, ForestError::Corrupt(_)));
+    }
+
+    #[test]
+    fn content_hash_is_deterministic_and_content_addressed() {
+        let forest = sample_forest();
+        let a = ModelBundle::serialize(&forest);
+        let b = ModelBundle::serialize(&forest);
+        assert_eq!(a.content_hash(), b.content_hash());
+        // FNV-1a of the empty input is the offset basis.
+        assert_eq!(
+            ModelBundle::from_bytes(Bytes::new()).content_hash(),
+            0xcbf2_9ce4_8422_2325
+        );
+        // A different model hashes differently; so does a single flipped bit.
+        let other =
+            RandomForest::synthetic_full(&ForestConfig::classification(3, 5, 4).with_depth(4), 18);
+        assert_ne!(
+            a.content_hash(),
+            ModelBundle::serialize(&other).content_hash()
+        );
+        let mut raw = a.as_bytes().to_vec();
+        raw[10] ^= 1;
+        assert_ne!(
+            a.content_hash(),
+            ModelBundle::from_bytes(Bytes::from(raw)).content_hash()
+        );
     }
 
     #[test]

@@ -1,12 +1,15 @@
 //! [`ScoringBackend`] implementation for the FPGA engine.
 
-use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
-use mlscore_forest::{FlatTree, ModelStats, Predictions};
+use std::sync::Arc;
+
+use mlscore_backend::{BackendError, Lowered, ScoringBackend};
+use mlscore_data::TabularFrame;
+use mlscore_forest::{FlatTree, ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{ExactSplit, Scope, Tracer};
 
 use crate::device::FpgaDevice;
-use crate::engine::{EngineConfig, InferenceEngine};
+use crate::engine::{EngineConfig, InferenceEngine, LoadedModel};
 use crate::error::FpgaError;
 
 /// The "FPGA" backend of the paper's figures: the inference engine plus the
@@ -65,12 +68,44 @@ impl ScoringBackend for FpgaBackend {
         Ok(())
     }
 
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let model = self
-            .engine
-            .load(request.forest())
-            .map_err(Self::to_backend_error)?;
-        let run = self.engine.execute(&model, request.frame().as_slice());
+    /// Lowering depends on the engine's tree-memory shape: the flat-image
+    /// depth capacity, the PE count (pass plan), and the memory backend
+    /// (BRAM placement), so all three key the artifact cache.
+    fn cache_config(&self) -> String {
+        let cfg = self.engine.config();
+        format!(
+            "depth{}-pe{}-{:?}-rb{}",
+            cfg.max_depth, cfg.pe_count, cfg.memory, cfg.result_buffer_records
+        )
+    }
+
+    // Lowering is the engine's load step: flat-encode the forest at the
+    // engine's depth capacity, plan the pass schedule, and place tree
+    // memories in BRAM — exactly what the seed redid on every `score`.
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
+        let model = self.engine.load(forest).map_err(Self::to_backend_error)?;
+        Ok(Lowered::Custom(Arc::new(model)))
+    }
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        let _ = forest;
+        let model = match lowered {
+            Lowered::Custom(any) => any.downcast_ref::<LoadedModel>().ok_or_else(|| {
+                BackendError::artifact("FPGA", "custom artifact is not a LoadedModel")
+            })?,
+            other => {
+                return Err(BackendError::artifact(
+                    "FPGA",
+                    format!("expected a loaded engine model, got {other:?}"),
+                ))
+            }
+        };
+        let run = self.engine.execute(model, frame.as_slice());
         Ok(run.predictions)
     }
 
@@ -291,8 +326,9 @@ impl FpgaBackend {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlscore_backend::ScoringRequest;
     use mlscore_data::Dataset;
-    use mlscore_forest::{ForestConfig, RandomForest};
+    use mlscore_forest::ForestConfig;
 
     fn stats(n_trees: usize, depth: usize, n_features: usize) -> ModelStats {
         ModelStats::of(&RandomForest::synthetic_full(
@@ -309,6 +345,30 @@ mod tests {
         let req = ScoringRequest::new(&forest, data.frame()).unwrap();
         let preds = FpgaBackend::paper_default().score(&req).unwrap();
         assert_eq!(preds, forest.predict_batch(data.frame().as_slice()));
+    }
+
+    #[test]
+    fn prepared_scoring_reuses_loaded_model() {
+        use mlscore_forest::ModelBundle;
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(16, 28, 2).with_depth(7), 9);
+        let data = Dataset::higgs(150, 3).normalized();
+        let backend = FpgaBackend::paper_default();
+        let model = backend.prepare(&ModelBundle::serialize(&forest)).unwrap();
+        // The cache key carries the engine's compile-relevant knobs.
+        assert!(
+            model.key().config.contains("depth10-pe128"),
+            "{:?}",
+            model.key()
+        );
+        let warm = backend.score_prepared(&model, data.frame()).unwrap();
+        let req = ScoringRequest::new(&forest, data.frame()).unwrap();
+        assert_eq!(warm, backend.score(&req).unwrap());
+        // A foreign artifact is rejected, naming the mismatch.
+        let skl = mlscore_backend::SklearnCpu::with_threads(1);
+        let foreign = skl.prepare(&ModelBundle::serialize(&forest)).unwrap();
+        let err = backend.score_prepared(&foreign, data.frame()).unwrap_err();
+        assert!(matches!(err, BackendError::Artifact { .. }));
     }
 
     #[test]

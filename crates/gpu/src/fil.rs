@@ -1,10 +1,12 @@
 //! The RAPIDS-FIL-like backend ("GPU-RAPIDS").
 
+use std::sync::Arc;
+
 use serde::{Deserialize, Serialize};
 
-use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
-use mlscore_data::ColumnarFrame;
-use mlscore_forest::{ModelStats, Predictions, RandomForest, Task};
+use mlscore_backend::{BackendError, Lowered, ScoringBackend};
+use mlscore_data::{ColumnarFrame, TabularFrame};
+use mlscore_forest::{FlatForest, ModelStats, Predictions, RandomForest, Task};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
@@ -109,21 +111,45 @@ impl ScoringBackend for RapidsFil {
         self.check_supported(stats.task())
     }
 
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let forest = request.forest();
+    // Lowering builds the FIL device node table: the dense flat image whose
+    // (total_nodes × 16 B) size is exactly what the model-h2d transfer in
+    // the cost model charges for.
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
         self.check_supported(forest.task())?;
+        let flat = FlatForest::from_forest(forest, forest.max_depth())?;
+        Ok(Lowered::Custom(Arc::new(flat)))
+    }
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        self.check_supported(forest.task())?;
+        let flat = match lowered {
+            Lowered::Custom(any) => any.downcast_ref::<FlatForest>().ok_or_else(|| {
+                BackendError::artifact("GPU-RAPIDS", "custom artifact is not a FIL node table")
+            })?,
+            other => {
+                return Err(BackendError::artifact(
+                    "GPU-RAPIDS",
+                    format!("expected a FIL node table artifact, got {other:?}"),
+                ))
+            }
+        };
         // The RAPIDS path really converts the row-major batch into a
         // columnar (cuDF-like) frame first, then each "block" gathers its
-        // record from the columns and the trees vote. Functionally
-        // identical to a straight vote over rows; the conversion is the
-        // work the DataPreprocessing stage charges for.
-        let columnar = ColumnarFrame::from_rows(request.frame());
+        // record from the columns and the trees vote over the node table.
+        // Functionally identical to a straight vote over rows; the
+        // conversion is the work the DataPreprocessing stage charges for.
+        let columnar = ColumnarFrame::from_rows(frame);
         let mut row = vec![0f32; columnar.n_features()];
+        let mut votes = Vec::new();
         let mut classes = Vec::with_capacity(columnar.n_rows());
         for i in 0..columnar.n_rows() {
             columnar.gather_row(i, &mut row);
-            let counts = forest.vote_counts(&row);
-            classes.push(RandomForest::majority(&counts));
+            classes.push(flat.score_one_with(&row, &mut votes) as u32);
         }
         Ok(Predictions::Classes(classes))
     }
@@ -251,6 +277,7 @@ impl ScoringBackend for RapidsFil {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlscore_backend::ScoringRequest;
     use mlscore_data::Dataset;
     use mlscore_forest::ForestConfig;
 

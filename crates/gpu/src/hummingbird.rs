@@ -7,14 +7,21 @@
 //! warp efficiency stay near 100% (matching the paper's nvprof analysis) at
 //! the price of redundant computation and more memory traffic.
 //!
-//! The functional scorer here mirrors the GEMM semantics: it evaluates every
-//! internal-node predicate of every tree, then selects the unique leaf whose
-//! root-to-leaf path agrees with all its predicates. Property tests assert
-//! this agrees bit-for-bit with plain traversal.
+//! The functional scorer here mirrors the GEMM semantics: [`lower`] compiles
+//! each tree into flat per-node tensors (feature, threshold, children, leaf
+//! payload), and scoring evaluates every internal-node predicate, then
+//! selects the unique leaf whose root-to-leaf path agrees with all its
+//! predicates. Property tests assert this agrees bit-for-bit with plain
+//! traversal.
+//!
+//! [`lower`]: ScoringBackend::lower
+
+use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
+use mlscore_backend::{BackendError, Lowered, ScoringBackend};
+use mlscore_data::TabularFrame;
 use mlscore_forest::{DecisionTree, LeafValue, ModelStats, Node, Predictions, RandomForest, Task};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
@@ -94,46 +101,104 @@ impl HummingbirdGpu {
     pub fn device(&self) -> &GpuDevice {
         &self.device
     }
+}
 
-    /// Scores one record through one tree by the GEMM semantics: evaluate
-    /// all predicates, then find the leaf whose path matches them all.
-    fn gemm_tree_score(tree: &DecisionTree, x: &[f32]) -> LeafValue {
+/// One tree compiled to the Hummingbird tensor layout: flat per-node arrays
+/// (feature, threshold, children, leaf payload) that the GEMM / traversal
+/// formulations gather from. Node order is preserved from the source tree so
+/// the path-match semantics are identical to scoring the pointer tree.
+#[derive(Debug, Clone, PartialEq)]
+struct TreeTensors {
+    /// Split feature per node; unused (zero) for leaves.
+    feature: Vec<u16>,
+    /// Split threshold per node; unused (zero) for leaves.
+    threshold: Vec<f32>,
+    /// Left / right child indices per node; unused (zero) for leaves.
+    left: Vec<u32>,
+    right: Vec<u32>,
+    /// Leaf payload per node; `None` for internal nodes.
+    leaf: Vec<Option<LeafValue>>,
+}
+
+impl TreeTensors {
+    fn from_tree(tree: &DecisionTree) -> Self {
         let nodes = tree.nodes();
-        // Predicate tensor: outcome of every internal node's comparison.
-        let predicates: Vec<bool> = nodes
-            .iter()
-            .map(|n| match n {
+        let mut t = Self {
+            feature: Vec::with_capacity(nodes.len()),
+            threshold: Vec::with_capacity(nodes.len()),
+            left: Vec::with_capacity(nodes.len()),
+            right: Vec::with_capacity(nodes.len()),
+            leaf: Vec::with_capacity(nodes.len()),
+        };
+        for node in nodes {
+            match node {
                 Node::Decision {
-                    feature, threshold, ..
-                } => x[*feature as usize] <= *threshold,
-                Node::Leaf(_) => false,
-            })
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
+                    t.feature.push(*feature);
+                    t.threshold.push(*threshold);
+                    t.left.push(*left);
+                    t.right.push(*right);
+                    t.leaf.push(None);
+                }
+                Node::Leaf(v) => {
+                    t.feature.push(0);
+                    t.threshold.push(0.0);
+                    t.left.push(0);
+                    t.right.push(0);
+                    t.leaf.push(Some(*v));
+                }
+            }
+        }
+        t
+    }
+
+    /// Scores one record by the GEMM semantics: evaluate all predicates,
+    /// then find the leaf whose path matches them all.
+    fn score(&self, x: &[f32]) -> LeafValue {
+        let n = self.leaf.len();
+        // Predicate tensor: outcome of every internal node's comparison
+        // (leaves contribute `false`, matching a zero row in the matrix).
+        let predicates: Vec<bool> = (0..n)
+            .map(|i| self.leaf[i].is_none() && x[self.feature[i] as usize] <= self.threshold[i])
             .collect();
         // Path-match: the live leaf is the one reachable when every decision
         // on its path agrees with the predicate tensor. Walk all paths
         // breadth-first carrying agreement, like the path matrix product.
-        let mut matched = vec![false; nodes.len()];
+        let mut matched = vec![false; n];
         matched[0] = true;
-        for (i, node) in nodes.iter().enumerate() {
-            if !matched[i] {
+        for i in 0..n {
+            if !matched[i] || self.leaf[i].is_some() {
                 continue;
             }
-            if let Node::Decision { left, right, .. } = node {
-                if predicates[i] {
-                    matched[*left as usize] = true;
-                } else {
-                    matched[*right as usize] = true;
-                }
+            if predicates[i] {
+                matched[self.left[i] as usize] = true;
+            } else {
+                matched[self.right[i] as usize] = true;
             }
         }
-        nodes
-            .iter()
-            .enumerate()
-            .find_map(|(i, n)| match (matched[i], n) {
-                (true, Node::Leaf(v)) => Some(*v),
-                _ => None,
-            })
+        (0..n)
+            .find_map(|i| if matched[i] { self.leaf[i] } else { None })
             .expect("exactly one leaf matches the predicate tensor")
+    }
+}
+
+/// The whole forest compiled to tensors — Hummingbird's "compiled tensor
+/// program". Produced by [`ScoringBackend::lower`] and cached across queries
+/// by the artifact cache.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HbTensors {
+    trees: Vec<TreeTensors>,
+}
+
+impl HbTensors {
+    fn from_forest(forest: &RandomForest) -> Self {
+        Self {
+            trees: forest.trees().iter().map(TreeTensors::from_tree).collect(),
+        }
     }
 }
 
@@ -142,19 +207,35 @@ impl ScoringBackend for HummingbirdGpu {
         "GPU-HB"
     }
 
-    fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
-        let forest = request.forest();
-        let frame = request.frame();
+    fn lower(&self, forest: &RandomForest) -> Result<Lowered, BackendError> {
+        Ok(Lowered::Custom(Arc::new(HbTensors::from_forest(forest))))
+    }
+
+    fn score_lowered(
+        &self,
+        forest: &RandomForest,
+        lowered: &Lowered,
+        frame: &TabularFrame,
+    ) -> Result<Predictions, BackendError> {
+        let tensors = match lowered {
+            Lowered::Custom(any) => any.downcast_ref::<HbTensors>().ok_or_else(|| {
+                BackendError::artifact(self.name(), "custom artifact is not Hummingbird tensors")
+            })?,
+            other => {
+                return Err(BackendError::artifact(
+                    self.name(),
+                    format!("expected a Hummingbird tensor artifact, got {other:?}"),
+                ))
+            }
+        };
         match forest.task() {
             Task::Classification { n_classes } => {
                 let classes = frame
                     .rows()
                     .map(|row| {
                         let mut counts = vec![0u32; n_classes as usize];
-                        for tree in forest.trees() {
-                            let c = Self::gemm_tree_score(tree, row)
-                                .as_class()
-                                .expect("classification leaf");
+                        for tree in &tensors.trees {
+                            let c = tree.score(row).as_class().expect("classification leaf");
                             counts[c as usize] += 1;
                         }
                         RandomForest::majority(&counts)
@@ -166,14 +247,10 @@ impl ScoringBackend for HummingbirdGpu {
                 let values = frame
                     .rows()
                     .map(|row| {
-                        let sum: f32 = forest
-                            .trees()
+                        let sum: f32 = tensors
+                            .trees
                             .iter()
-                            .map(|t| {
-                                Self::gemm_tree_score(t, row)
-                                    .as_value()
-                                    .expect("regression leaf")
-                            })
+                            .map(|t| t.score(row).as_value().expect("regression leaf"))
                             .sum();
                         sum / forest.n_trees() as f32
                     })
@@ -306,8 +383,35 @@ impl ScoringBackend for HummingbirdGpu {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use mlscore_backend::ScoringRequest;
     use mlscore_data::Dataset;
     use mlscore_forest::ForestConfig;
+
+    #[test]
+    fn prepared_scoring_matches_fresh_and_rejects_foreign_artifacts() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(10, 4, 3).with_depth(6), 3);
+        let bundle = mlscore_forest::ModelBundle::serialize(&forest);
+        let data = Dataset::iris(64, 7).normalized();
+        let hb = HummingbirdGpu::p100();
+
+        let model = hb.prepare(&bundle).unwrap();
+        let warm = hb.score_prepared(&model, data.frame()).unwrap();
+        let fresh = hb
+            .score(&ScoringRequest::new(&forest, data.frame()).unwrap())
+            .unwrap();
+        assert_eq!(warm, fresh);
+
+        // An artifact compiled by another backend must be rejected, not
+        // silently rescored.
+        let foreign = mlscore_backend::SklearnCpu::with_threads(1)
+            .prepare(&bundle)
+            .unwrap();
+        assert!(matches!(
+            hb.score_prepared(&foreign, data.frame()),
+            Err(BackendError::Artifact { .. })
+        ));
+    }
 
     #[test]
     fn gemm_semantics_match_traversal_full_trees() {

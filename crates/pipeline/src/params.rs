@@ -35,6 +35,13 @@ pub struct PipelineParams {
     /// Per-row marshaling cost of returning predictions (4-byte values are
     /// far cheaper to serialize than wide input rows).
     pub per_result_marshal: SimDuration,
+    /// Cost of a warm artifact-cache lookup (hash the bundle bytes, probe
+    /// the cache). Replaces the whole model-pre-processing stage on a hit.
+    pub cache_lookup: SimDuration,
+}
+
+fn default_cache_lookup() -> SimDuration {
+    SimDuration::from_micros(50.0)
 }
 
 impl Default for PipelineParams {
@@ -49,6 +56,7 @@ impl Default for PipelineParams {
             data_preprocess_per_byte: SimDuration::from_nanos(0.5),
             postprocess_per_record: SimDuration::from_nanos(500.0),
             per_result_marshal: SimDuration::from_micros(2.0),
+            cache_lookup: default_cache_lookup(),
         }
     }
 }
@@ -88,6 +96,14 @@ mod tests {
         let row_part = p.per_row_marshal * 1e6;
         assert!(t > row_part);
         assert!(t < row_part * 1.5);
+    }
+
+    #[test]
+    fn cache_lookup_is_far_cheaper_than_model_preprocessing() {
+        let p = PipelineParams::default();
+        // The warm path's whole point: a hit costs a hash + probe, not a
+        // deserialize — orders of magnitude under even the fixed cost.
+        assert!(p.cache_lookup * 100.0 < p.model_preprocess_time(0));
     }
 
     #[test]

@@ -1,9 +1,12 @@
 //! The query pipeline: functional execution plus the Fig. 11 breakdown.
 
-use mlscore_backend::{ScoringBackend, ScoringRequest};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mlscore_backend::{ArtifactCache, BackendError, CacheOutcome, PrepareTiming, ScoringBackend};
 use mlscore_data::TabularFrame;
 use mlscore_forest::{ModelBundle, ModelStats, Predictions};
-use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
+use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
 use crate::error::PipelineError;
@@ -20,6 +23,9 @@ pub struct QueryRun {
     pub breakdown: TimingBreakdown,
     /// The backend's own scoring-time breakdown (the Fig. 7 quantity).
     pub scoring_breakdown: TimingBreakdown,
+    /// Whether the compiled model came from the artifact cache
+    /// ([`CacheOutcome::Bypass`] when the pipeline has no cache).
+    pub cache: CacheOutcome,
 }
 
 impl QueryRun {
@@ -34,6 +40,7 @@ impl QueryRun {
 pub struct QueryPipeline<B> {
     backend: B,
     params: PipelineParams,
+    cache: Option<Arc<ArtifactCache>>,
 }
 
 impl<B: ScoringBackend> QueryPipeline<B> {
@@ -44,7 +51,19 @@ impl<B: ScoringBackend> QueryPipeline<B> {
 
     /// A pipeline with explicit stage costs.
     pub fn with_params(backend: B, params: PipelineParams) -> Self {
-        Self { backend, params }
+        Self {
+            backend,
+            params,
+            cache: None,
+        }
+    }
+
+    /// Attaches an artifact cache: repeated queries against byte-identical
+    /// bundles skip deserialize + lower (the warm path). Without a cache
+    /// every execution compiles inline and behaves exactly as before.
+    pub fn with_cache(mut self, cache: Arc<ArtifactCache>) -> Self {
+        self.cache = Some(cache);
+        self
     }
 
     /// The scoring backend.
@@ -55,6 +74,11 @@ impl<B: ScoringBackend> QueryPipeline<B> {
     /// The stage-cost parameters.
     pub fn params(&self) -> &PipelineParams {
         &self.params
+    }
+
+    /// The attached artifact cache, if any.
+    pub fn cache(&self) -> Option<&Arc<ArtifactCache>> {
+        self.cache.as_ref()
     }
 
     /// Executes the query: deserializes the model bundle (really), scores
@@ -93,22 +117,39 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         tracer: &Tracer,
         start: SimInstant,
     ) -> Result<QueryRun, PipelineError> {
-        let forest = bundle.deserialize()?;
-        let stats = ModelStats::of(&forest);
-        self.backend.supports(&stats)?;
-        let request = ScoringRequest::new(&forest, frame)?;
-        let model_bytes = bundle.len() as u64;
+        // Phase 1 — compile (or fetch): deserialize + supports + lower,
+        // skipped entirely on an artifact-cache hit.
+        let (model, outcome, timing) = match &self.cache {
+            Some(cache) => cache
+                .get_or_prepare_timed(&self.backend, bundle)
+                .map_err(lift)?,
+            None => {
+                let (model, timing) =
+                    mlscore_backend::compile_timed(&self.backend, bundle).map_err(lift)?;
+                (model, CacheOutcome::Bypass, timing)
+            }
+        };
+        let stats = *model.stats();
+        let model_bytes = model.model_bytes() as u64;
         let n_records = frame.n_rows() as u64;
-        let t_scoring = self.scoring_start(&stats, model_bytes, n_records, start);
-        // Real execution: worker occupancy is recorded as Detail spans
-        // anchored at the scoring span's simulated start, so the Perfetto
-        // view shows measured pool activity under the modelled timeline.
-        let predictions = self.backend.score_traced(&request, tracer, t_scoring)?;
+        let warm = outcome == CacheOutcome::Hit;
+        let t_scoring = self.scoring_start(&stats, model_bytes, n_records, start, warm);
+        // Phase 2 — score the prepared model. Real execution: worker
+        // occupancy is recorded as Detail spans anchored at the scoring
+        // span's simulated start, so the Perfetto view shows measured pool
+        // activity under the modelled timeline.
+        let predictions = self
+            .backend
+            .score_prepared_traced(&model, frame, tracer, t_scoring)?;
         let scoring_breakdown = self
             .backend
-            .estimate_traced(&stats, n_records, tracer, t_scoring);
-        let breakdown = self.assemble_sized(&stats, model_bytes, n_records, &scoring_breakdown);
+            .estimate_prepared_traced(&model, n_records, tracer, t_scoring);
+        let breakdown =
+            self.assemble_sized(&stats, model_bytes, n_records, &scoring_breakdown, warm);
         if tracer.is_enabled() {
+            if !warm {
+                self.record_compile_spans(tracer, start, model_bytes, n_records, &stats, timing);
+            }
             self.record_query_spans(
                 tracer,
                 start,
@@ -116,12 +157,14 @@ impl<B: ScoringBackend> QueryPipeline<B> {
                 model_bytes,
                 n_records,
                 &scoring_breakdown,
+                warm,
             );
         }
         Ok(QueryRun {
             predictions,
             breakdown,
             scoring_breakdown,
+            cache: outcome,
         })
     }
 
@@ -152,13 +195,56 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         tracer: &Tracer,
         start: SimInstant,
     ) -> TimingBreakdown {
-        let t_scoring = self.scoring_start(stats, model_bytes, n_records, start);
+        self.estimate_inner(stats, model_bytes, n_records, tracer, start, false)
+    }
+
+    /// Estimates the *warm* end-to-end breakdown: the model is already
+    /// compiled and cache-resident, so the bundle is not marshalled and
+    /// model pre-processing collapses to a cache lookup.
+    pub fn estimate_warm(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+    ) -> TimingBreakdown {
+        self.estimate_warm_traced(
+            stats,
+            model_bytes,
+            n_records,
+            &Tracer::disabled(),
+            SimInstant::ZERO,
+        )
+    }
+
+    /// Like [`QueryPipeline::estimate_warm`], but records the warm-path
+    /// `Query` spans.
+    pub fn estimate_warm_traced(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        self.estimate_inner(stats, model_bytes, n_records, tracer, start, true)
+    }
+
+    fn estimate_inner(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        tracer: &Tracer,
+        start: SimInstant,
+        warm: bool,
+    ) -> TimingBreakdown {
+        let t_scoring = self.scoring_start(stats, model_bytes, n_records, start, warm);
         let scoring = self
             .backend
             .estimate_traced(stats, n_records, tracer, t_scoring);
-        let b = self.assemble_sized(stats, model_bytes, n_records, &scoring);
+        let b = self.assemble_sized(stats, model_bytes, n_records, &scoring, warm);
         if tracer.is_enabled() {
-            self.record_query_spans(tracer, start, stats, model_bytes, n_records, &scoring);
+            self.record_query_spans(tracer, start, stats, model_bytes, n_records, &scoring, warm);
         }
         b
     }
@@ -166,27 +252,75 @@ impl<B: ScoringBackend> QueryPipeline<B> {
     /// The simulated instant at which the backend scoring call begins:
     /// after Python invocation, inbound marshalling, and both
     /// pre-processing stages. The chained additions here mirror the span
-    /// chain in `record_query_spans`, so the two stay bit-identical.
+    /// chain in `record_query_spans`, so the two stay bit-identical. On the
+    /// warm path the bundle is not marshalled and model pre-processing is a
+    /// cache probe.
     fn scoring_start(
         &self,
         stats: &ModelStats,
         model_bytes: u64,
         n_records: u64,
         start: SimInstant,
+        warm: bool,
     ) -> SimInstant {
         let p = &self.params;
         let data_bytes = n_records * stats.row_bytes() as u64;
+        let inbound_bytes = if warm {
+            data_bytes
+        } else {
+            data_bytes + model_bytes
+        };
+        let model_prep = if warm {
+            p.cache_lookup
+        } else {
+            p.model_preprocess_time(model_bytes)
+        };
         start
             + p.python_invocation
-            + p.marshal_time(n_records, data_bytes + model_bytes)
-            + p.model_preprocess_time(model_bytes)
+            + p.marshal_time(n_records, inbound_bytes)
+            + model_prep
             + p.data_preprocess_per_byte * data_bytes as f64
+    }
+
+    /// Records the cold-path compile spans ([`Scope::Compile`]): the
+    /// *measured* wall-clock of deserialize + lower, mapped 1 ns ↦ 1 ns
+    /// onto the simulated timeline alongside the modelled
+    /// model-pre-processing stage. A separate scope keeps them out of the
+    /// `Query` fold, so cold breakdowns stay bit-identical with or without
+    /// tracing.
+    fn record_compile_spans(
+        &self,
+        tracer: &Tracer,
+        start: SimInstant,
+        model_bytes: u64,
+        n_records: u64,
+        stats: &ModelStats,
+        timing: PrepareTiming,
+    ) {
+        let p = &self.params;
+        let data_bytes = n_records * stats.row_bytes() as u64;
+        let t = start + p.python_invocation + p.marshal_time(n_records, data_bytes + model_bytes);
+        let t = tracer
+            .span("deserialize bundle", t)
+            .stage(Stage::ModelPreprocessing)
+            .scope(Scope::Compile)
+            .track("pipeline", "compile")
+            .meta("model_bytes", model_bytes.to_string())
+            .finish_after(wall(timing.deserialize));
+        tracer
+            .span("lower model", t)
+            .stage(Stage::ModelPreprocessing)
+            .scope(Scope::Compile)
+            .track("pipeline", "compile")
+            .meta("backend", self.backend.name())
+            .finish_after(wall(timing.lower));
     }
 
     /// Records one `Query` span per Fig. 11 stage. The outbound marshalling
     /// span is recorded *after* the scoring span (it happens later on the
     /// timeline), which still folds `DataTransfer` in the same
     /// inbound-then-outbound order as `assemble_sized`'s single add.
+    #[allow(clippy::too_many_arguments)]
     fn record_query_spans(
         &self,
         tracer: &Tracer,
@@ -195,9 +329,15 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         model_bytes: u64,
         n_records: u64,
         scoring: &TimingBreakdown,
+        warm: bool,
     ) {
         let p = &self.params;
         let data_bytes = n_records * stats.row_bytes() as u64;
+        let inbound_bytes = if warm {
+            data_bytes
+        } else {
+            data_bytes + model_bytes
+        };
         let t = tracer
             .span("python invocation", start)
             .stage(Stage::PythonInvocation)
@@ -205,19 +345,36 @@ impl<B: ScoringBackend> QueryPipeline<B> {
             .track("pipeline", "query")
             .finish_after(p.python_invocation);
         let t = tracer
-            .span("marshal model + records", t)
+            .span(
+                if warm {
+                    "marshal records"
+                } else {
+                    "marshal model + records"
+                },
+                t,
+            )
             .stage(Stage::DataTransfer)
             .scope(Scope::Query)
             .track("pipeline", "query")
-            .meta("bytes", (data_bytes + model_bytes).to_string())
-            .finish_after(p.marshal_time(n_records, data_bytes + model_bytes));
-        let t = tracer
-            .span("model deserialization", t)
-            .stage(Stage::ModelPreprocessing)
-            .scope(Scope::Query)
-            .track("pipeline", "query")
-            .meta("model_bytes", model_bytes.to_string())
-            .finish_after(p.model_preprocess_time(model_bytes));
+            .meta("bytes", inbound_bytes.to_string())
+            .finish_after(p.marshal_time(n_records, inbound_bytes));
+        let t = if warm {
+            tracer
+                .span("artifact cache hit", t)
+                .stage(Stage::ModelPreprocessing)
+                .scope(Scope::Query)
+                .track("pipeline", "query")
+                .meta("model_bytes", model_bytes.to_string())
+                .finish_after(p.cache_lookup)
+        } else {
+            tracer
+                .span("model deserialization", t)
+                .stage(Stage::ModelPreprocessing)
+                .scope(Scope::Query)
+                .track("pipeline", "query")
+                .meta("model_bytes", model_bytes.to_string())
+                .finish_after(p.model_preprocess_time(model_bytes))
+        };
         let t = tracer
             .span("data preprocessing", t)
             .stage(Stage::DataPreprocessing)
@@ -252,21 +409,29 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         model_bytes: u64,
         n_records: u64,
         scoring: &TimingBreakdown,
+        warm: bool,
     ) -> TimingBreakdown {
         let p = &self.params;
         let data_bytes = n_records * stats.row_bytes() as u64;
+        // SQL -> Python: records, plus the model bundle on the cold path;
+        // Python -> SQL: one prediction per record (4 bytes each).
+        let inbound_bytes = if warm {
+            data_bytes
+        } else {
+            data_bytes + model_bytes
+        };
+        let model_prep = if warm {
+            p.cache_lookup
+        } else {
+            p.model_preprocess_time(model_bytes)
+        };
         let mut b = TimingBreakdown::new();
         b.add(Stage::PythonInvocation, p.python_invocation);
-        // SQL -> Python: model bundle + records; Python -> SQL: one
-        // prediction per record (4 bytes each).
         b.add(
             Stage::DataTransfer,
-            p.marshal_time(n_records, data_bytes + model_bytes) + p.marshal_results_time(n_records),
+            p.marshal_time(n_records, inbound_bytes) + p.marshal_results_time(n_records),
         );
-        b.add(
-            Stage::ModelPreprocessing,
-            p.model_preprocess_time(model_bytes),
-        );
+        b.add(Stage::ModelPreprocessing, model_prep);
         b.add(
             Stage::DataPreprocessing,
             p.data_preprocess_per_byte * data_bytes as f64,
@@ -278,6 +443,22 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         );
         b
     }
+}
+
+/// Routes a compile-phase [`BackendError`] to the pipeline error that the
+/// pre-artifact code paths produced: deserialization failures were
+/// [`PipelineError::Model`] (they happened before the backend was involved),
+/// everything else is the backend's fault.
+fn lift(e: BackendError) -> PipelineError {
+    match e {
+        BackendError::Forest(e) => PipelineError::Model(e),
+        other => PipelineError::Backend(other),
+    }
+}
+
+/// Maps measured wall-clock onto the simulated timeline, 1 ns ↦ 1 ns.
+fn wall(d: Duration) -> SimDuration {
+    SimDuration::from_nanos(d.as_nanos() as f64)
 }
 
 #[cfg(test)]
@@ -435,6 +616,116 @@ mod tests {
             pipeline.estimate(&stats, bundle.len() as u64, 1_000_000)
         );
         assert_eq!(tracer.take().breakdown(Scope::Query), traced);
+    }
+
+    #[test]
+    fn cached_execute_hits_and_scores_identically() {
+        let (bundle, data, forest) = setup(8, 6);
+        let cache = Arc::new(mlscore_backend::ArtifactCache::new(4));
+        let pipeline = QueryPipeline::new(OnnxCpu::single_thread()).with_cache(Arc::clone(&cache));
+        let cold = pipeline.execute(&bundle, data.frame()).unwrap();
+        let warm = pipeline.execute(&bundle, data.frame()).unwrap();
+        assert_eq!(cold.cache, CacheOutcome::Miss);
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(warm.predictions, cold.predictions);
+        assert_eq!(
+            warm.predictions,
+            forest.predict_batch(data.frame().as_slice())
+        );
+        // The backend-side scoring breakdown is unaffected by the cache...
+        assert_eq!(warm.scoring_breakdown, cold.scoring_breakdown);
+        // ...but the end-to-end path skips the bundle marshal and collapses
+        // model pre-processing to a cache probe.
+        assert!(warm.total() < cold.total());
+        assert_eq!(
+            warm.breakdown.get(Stage::ModelPreprocessing),
+            pipeline.params().cache_lookup
+        );
+        assert_eq!(cache.stats().hits, 1);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn cold_miss_breakdown_is_bit_identical_to_bypass() {
+        let (bundle, data, _) = setup(6, 5);
+        let uncached = QueryPipeline::new(OnnxCpu::single_thread());
+        let cached = QueryPipeline::new(OnnxCpu::single_thread())
+            .with_cache(Arc::new(mlscore_backend::ArtifactCache::new(4)));
+        let bypass = uncached.execute(&bundle, data.frame()).unwrap();
+        let miss = cached.execute(&bundle, data.frame()).unwrap();
+        assert_eq!(bypass.cache, CacheOutcome::Bypass);
+        assert_eq!(miss.cache, CacheOutcome::Miss);
+        assert_eq!(miss.breakdown, bypass.breakdown);
+        assert_eq!(miss.scoring_breakdown, bypass.scoring_breakdown);
+        assert_eq!(miss.predictions, bypass.predictions);
+    }
+
+    #[test]
+    fn compile_spans_are_recorded_cold_only() {
+        let (bundle, data, _) = setup(6, 5);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(2))
+            .with_cache(Arc::new(mlscore_backend::ArtifactCache::new(4)));
+
+        let tracer = Tracer::new();
+        pipeline
+            .execute_traced(&bundle, data.frame(), &tracer, SimInstant::ZERO)
+            .unwrap();
+        let cold = tracer.take();
+        let compile_names: Vec<_> = cold
+            .events()
+            .iter()
+            .filter(|e| e.scope == Scope::Compile)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(compile_names, ["deserialize bundle", "lower model"]);
+        assert!(cold
+            .events()
+            .iter()
+            .any(|e| e.name == "marshal model + records"));
+
+        let tracer = Tracer::new();
+        let warm = pipeline
+            .execute_traced(&bundle, data.frame(), &tracer, SimInstant::ZERO)
+            .unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        let trace = tracer.take();
+        assert!(
+            !trace.events().iter().any(|e| e.scope == Scope::Compile),
+            "warm queries must not re-compile"
+        );
+        assert!(trace
+            .events()
+            .iter()
+            .any(|e| e.name == "artifact cache hit"));
+        assert!(trace.events().iter().any(|e| e.name == "marshal records"));
+        assert!(!trace
+            .events()
+            .iter()
+            .any(|e| e.name == "model deserialization"));
+        // The warm Query fold still reconstructs the warm breakdown exactly.
+        assert_eq!(trace.breakdown(Scope::Query), warm.breakdown);
+        assert_eq!(trace.breakdown(Scope::Offload), warm.scoring_breakdown);
+    }
+
+    #[test]
+    fn warm_estimate_matches_warm_execute_breakdown() {
+        let (bundle, data, forest) = setup(6, 5);
+        let pipeline = QueryPipeline::new(OnnxCpu::single_thread())
+            .with_cache(Arc::new(mlscore_backend::ArtifactCache::new(4)));
+        pipeline.execute(&bundle, data.frame()).unwrap();
+        let warm = pipeline.execute(&bundle, data.frame()).unwrap();
+        let est = pipeline.estimate_warm(
+            &ModelStats::of(&forest),
+            bundle.len() as u64,
+            data.frame().n_rows() as u64,
+        );
+        assert_eq!(warm.breakdown, est);
+        let cold_est = pipeline.estimate(
+            &ModelStats::of(&forest),
+            bundle.len() as u64,
+            data.frame().n_rows() as u64,
+        );
+        assert!(est.total() < cold_est.total());
     }
 
     #[test]

@@ -81,6 +81,9 @@ impl AffineEstimate {
 #[derive(Debug, Clone)]
 pub struct AdaptiveScheduler {
     estimates: HashMap<(ModelClass, usize), AffineEstimate>,
+    /// Smoothed one-time prepare (compile) cost in seconds, learned from
+    /// observed artifact-cache misses.
+    prepare_costs: HashMap<(ModelClass, usize), f64>,
     /// Smoothing factor in `(0, 1]`: weight of the newest observation.
     alpha: f64,
 }
@@ -95,6 +98,7 @@ impl AdaptiveScheduler {
         assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1]");
         Self {
             estimates: HashMap::new(),
+            prepare_costs: HashMap::new(),
             alpha,
         }
     }
@@ -132,6 +136,24 @@ impl AdaptiveScheduler {
         entry.intercept += self.alpha * error * (1.0 - batch_weight);
         entry.slope = entry.slope.max(0.0);
         entry.intercept = entry.intercept.max(0.0);
+    }
+
+    /// Folds one observed prepare (compile) cost into the amortization
+    /// table — typically the wall-clock of an artifact-cache miss
+    /// (`PrepareTiming::deserialize + lower`), smoothed like the scoring
+    /// estimates.
+    pub fn observe_prepare(&mut self, stats: &ModelStats, backend_index: usize, cost: SimDuration) {
+        let key = (ModelClass::of(stats), backend_index);
+        let c = cost.as_secs();
+        let entry = self.prepare_costs.entry(key).or_insert(c);
+        *entry += self.alpha * (c - *entry);
+    }
+
+    /// The learned prepare cost for a (model-class, backend), if observed.
+    pub fn prepare_cost(&self, stats: &ModelStats, backend_index: usize) -> Option<SimDuration> {
+        self.prepare_costs
+            .get(&(ModelClass::of(stats), backend_index))
+            .map(|&s| SimDuration::from_secs(s))
     }
 
     /// Executes `request` on `backends[backend_index]` *for real*, measures
@@ -194,6 +216,53 @@ impl AdaptiveScheduler {
             .map(|i| {
                 let est = self.estimates[&(class, i)];
                 (i, est.predict(n_records))
+            })
+            .min_by(|a, b| a.1.total_cmp(&b.1))
+            .map(|(index, predicted)| Choice {
+                index,
+                name: backends[index].name().to_string(),
+                predicted: SimDuration::from_secs(predicted.max(0.0)),
+            })
+    }
+
+    /// Like [`AdaptiveScheduler::choose`], but charges each backend its
+    /// *amortized* compile cost: `t(n) + prepare / expected_reuse`, where
+    /// `expected_reuse` is how many queries are expected to share the
+    /// compiled artifact before it leaves the cache. With a reuse of 1
+    /// every query pays its full compile (the cold regime, which penalizes
+    /// backends with expensive lowering like the FPGA's BRAM placement);
+    /// as reuse grows the compile term washes out and the decision
+    /// converges to [`AdaptiveScheduler::choose`]. Backends with no
+    /// observed prepare cost are charged nothing.
+    pub fn choose_amortized(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        expected_reuse: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Option<Choice> {
+        let class = ModelClass::of(stats);
+        let reuse = expected_reuse.max(1) as f64;
+        let supported: Vec<usize> = (0..backends.len())
+            .filter(|&i| backends[i].supports(stats).is_ok())
+            .collect();
+        // Exploration first, exactly as in `choose`.
+        if let Some(&index) = supported
+            .iter()
+            .find(|&&i| !self.estimates.contains_key(&(class, i)))
+        {
+            return Some(Choice {
+                index,
+                name: backends[index].name().to_string(),
+                predicted: SimDuration::ZERO,
+            });
+        }
+        supported
+            .into_iter()
+            .map(|i| {
+                let est = self.estimates[&(class, i)];
+                let prepare = self.prepare_costs.get(&(class, i)).copied().unwrap_or(0.0);
+                (i, est.predict(n_records) + prepare / reuse)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
             .map(|(index, predicted)| Choice {
@@ -313,6 +382,59 @@ mod tests {
         // With every backend observed, the scheduler now exploits.
         let pick = sched.choose(&s, 100, &backends).unwrap();
         assert!(pick.predicted >= SimDuration::ZERO);
+    }
+
+    #[test]
+    fn amortized_choice_accounts_for_compile_cost() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let n = 1_000_000u64;
+        let mut sched = AdaptiveScheduler::new(0.4);
+        sched.converge(&s, n, &backends, 20);
+        // Steady state (infinite reuse) favors the FPGA for the heavy
+        // HIGGS-like workload...
+        assert_eq!(sched.choose(&s, n, &backends).unwrap().name, "FPGA");
+        // ...but charge it a monster one-time compile (BRAM placement) and
+        // a one-shot query should flee to a backend with free lowering.
+        for (i, b) in backends.iter().enumerate() {
+            let cost = if b.name() == "FPGA" {
+                SimDuration::from_secs(100.0)
+            } else {
+                SimDuration::ZERO
+            };
+            sched.observe_prepare(&s, i, cost);
+        }
+        assert_eq!(
+            sched.prepare_cost(&s, 0).unwrap(),
+            SimDuration::from_secs(if backends[0].name() == "FPGA" {
+                100.0
+            } else {
+                0.0
+            })
+        );
+        let once = sched.choose_amortized(&s, n, 1, &backends).unwrap();
+        assert_ne!(
+            once.name, "FPGA",
+            "one-shot query must not pay 100 s of compile"
+        );
+        let amortized = sched.choose_amortized(&s, n, 1_000_000, &backends).unwrap();
+        assert_eq!(amortized.name, "FPGA", "compile cost amortizes away");
+    }
+
+    #[test]
+    fn amortized_matches_plain_choice_without_prepare_observations() {
+        let backends = paper_backends();
+        for (s, n) in [
+            (stats(128, 10, 28, 2), 1_000_000u64),
+            (stats(4, 6, 4, 3), 100u64),
+        ] {
+            let mut sched = AdaptiveScheduler::new(0.4);
+            sched.converge(&s, n, &backends, 20);
+            let plain = sched.choose(&s, n, &backends).unwrap();
+            let amortized = sched.choose_amortized(&s, n, 1, &backends).unwrap();
+            assert_eq!(plain.name, amortized.name);
+            assert_eq!(plain.predicted, amortized.predicted);
+        }
     }
 
     #[test]

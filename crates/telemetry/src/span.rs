@@ -18,6 +18,10 @@ pub enum Scope {
     /// Stages of a backend's offload cost model (Fig. 6/7): summing the
     /// `Offload` spans reproduces the backend's scoring breakdown.
     Offload,
+    /// One-time model compilation (deserialize + lower) charged on a cold
+    /// artifact-cache miss. Measured wall-clock, not simulated — kept out of
+    /// the `Query` fold so warm/cold query breakdowns stay comparable.
+    Compile,
     /// Purely visual detail — per-pass engine activity, overlapped PCIe
     /// streaming, per-chunk CPU workers. Never summed into a breakdown.
     Detail,
@@ -28,6 +32,7 @@ impl fmt::Display for Scope {
         f.write_str(match self {
             Scope::Query => "query",
             Scope::Offload => "offload",
+            Scope::Compile => "compile",
             Scope::Detail => "detail",
         })
     }
