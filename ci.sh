@@ -29,6 +29,25 @@ cargo run --release -q -p mlscore-bench --bin repro -- \
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check BENCH_cpu_scoring.json
 
+echo "== serve smoke (repro serve --quick) =="
+# Quick load sweep through the discrete-event serving engine into a scratch
+# file. The validator enforces the effects the subsystem exists to model:
+# at least one coalesced batch, at least one shed request under overload,
+# and FPGA throughput with coalescing on no worse than off at the same
+# offered load.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    serve --quick --out target/BENCH_serving.quick.json \
+    --trace-out target/trace_serve.json
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    serve --check target/BENCH_serving.quick.json
+# The committed full-mode report must stay valid too.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    serve --check BENCH_serving.json
+# The serving timeline must carry the per-device contention lane and the
+# per-request queue-wait spans.
+grep -q '"device FPGA"' target/trace_serve.json
+grep -q '"queue wait"' target/trace_serve.json
+
 echo "== trace smoke (repro trace --cold / --warm) =="
 # Both halves of the two-phase split must render a timeline.
 cargo run --release -q -p mlscore-bench --bin repro -- \

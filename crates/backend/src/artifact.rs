@@ -54,6 +54,20 @@ pub struct ArtifactKey {
     pub config: String,
 }
 
+/// Builds the cache identity `backend` would compile `bundle` under,
+/// without compiling anything — the hook callers (the serving engine's
+/// cache model, cache-warming tools) use to reason about hits and misses
+/// up front. [`compile_timed`] and [`ArtifactCache::get_or_prepare_timed`]
+/// derive their keys through this same function, so a key predicted here
+/// is exactly the key the cache will use.
+pub fn artifact_key<B: ScoringBackend + ?Sized>(backend: &B, bundle: &ModelBundle) -> ArtifactKey {
+    ArtifactKey {
+        content_hash: bundle.content_hash(),
+        backend: backend.name().to_string(),
+        config: backend.cache_config(),
+    }
+}
+
 impl fmt::Display for ArtifactKey {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{:016x}×{}", self.content_hash, self.backend)?;
@@ -237,11 +251,7 @@ pub fn compile_timed<B: ScoringBackend + ?Sized>(
     backend.supports(&stats)?;
     let lowered = backend.lower(&forest)?;
     let lower = t1.elapsed();
-    let key = ArtifactKey {
-        content_hash: bundle.content_hash(),
-        backend: backend.name().to_string(),
-        config: backend.cache_config(),
-    };
+    let key = artifact_key(backend, bundle);
     let model = Arc::new(CompiledModel::new(
         key,
         Arc::new(forest),
@@ -263,6 +273,32 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Artifacts currently resident.
     pub entries: usize,
+}
+
+impl CacheStats {
+    /// Total lookups served (hits plus misses).
+    pub fn lookups(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Fraction of lookups that hit, in `[0, 1]`; zero before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let lookups = self.lookups();
+        if lookups == 0 {
+            0.0
+        } else {
+            self.hits as f64 / lookups as f64
+        }
+    }
+
+    /// Measured queries-per-compile: how many lookups each compiled
+    /// artifact served on average (`lookups / misses`, at least 1). This is
+    /// the `expected_reuse` input to
+    /// `AdaptiveScheduler::choose_amortized` — a cache that hits often
+    /// amortizes each compile over many queries.
+    pub fn expected_reuse(&self) -> u64 {
+        self.lookups().checked_div(self.misses).unwrap_or(1).max(1)
+    }
 }
 
 struct CacheEntry {
@@ -386,11 +422,7 @@ impl ArtifactCache {
         backend: &B,
         bundle: &ModelBundle,
     ) -> Result<(Arc<CompiledModel>, CacheOutcome, PrepareTiming), BackendError> {
-        let key = ArtifactKey {
-            content_hash: bundle.content_hash(),
-            backend: backend.name().to_string(),
-            config: backend.cache_config(),
-        };
+        let key = artifact_key(backend, bundle);
         {
             let mut inner = self.inner.lock().expect("artifact cache poisoned");
             inner.tick += 1;
@@ -567,5 +599,45 @@ mod tests {
     #[should_panic(expected = "capacity must be non-zero")]
     fn zero_capacity_rejected() {
         let _ = ArtifactCache::new(0);
+    }
+
+    #[test]
+    fn artifact_key_predicts_the_cache_key() {
+        let b = bundle(9);
+        let backend = OnnxCpu::single_thread();
+        let predicted = artifact_key(&backend, &b);
+        let model = compile(&backend, &b).unwrap();
+        assert_eq!(&predicted, model.key());
+        // Different backend, different key; same bytes, same hash.
+        let other = artifact_key(&SklearnCpu::with_threads(1), &b);
+        assert_ne!(predicted, other);
+        assert_eq!(predicted.content_hash, other.content_hash);
+    }
+
+    #[test]
+    fn cache_stats_reuse_and_hit_rate() {
+        let empty = CacheStats::default();
+        assert_eq!(empty.lookups(), 0);
+        assert_eq!(empty.hit_rate(), 0.0);
+        assert_eq!(empty.expected_reuse(), 1);
+
+        let warm = CacheStats {
+            hits: 9,
+            misses: 3,
+            evictions: 0,
+            entries: 3,
+        };
+        assert_eq!(warm.lookups(), 12);
+        assert!((warm.hit_rate() - 0.75).abs() < 1e-12);
+        assert_eq!(warm.expected_reuse(), 4);
+
+        // All-hit steady state still reports a sane reuse.
+        let perfect = CacheStats {
+            hits: 10,
+            misses: 0,
+            evictions: 0,
+            entries: 1,
+        };
+        assert_eq!(perfect.expected_reuse(), 1);
     }
 }

@@ -46,10 +46,10 @@ fn bench(c: &mut Criterion) {
     for threads in [1usize, 4] {
         let pool = ExecPool::new(threads);
         let cfg = RunConfig::for_threads(threads);
-        g.bench_function(format!("flat_lockstep_{threads}t"), |b| {
+        g.bench_function(&format!("flat_lockstep_{threads}t"), |b| {
             b.iter(|| kernel::score_flat_batch(&flat, data.frame(), &pool, &cfg))
         });
-        g.bench_function(format!("forest_blocked_{threads}t"), |b| {
+        g.bench_function(&format!("forest_blocked_{threads}t"), |b| {
             b.iter(|| kernel::score_forest_batch(&forest, data.frame(), &pool, &cfg))
         });
     }

@@ -10,6 +10,7 @@ use mlscore_forest::{ModelBundle, ModelStats};
 use mlscore_fpga::FpgaBackend;
 use mlscore_gpu::{HummingbirdGpu, RapidsFil};
 use mlscore_pipeline::QueryPipeline;
+#[allow(deprecated)] // `replay` stays exercised here until its removal
 use mlscore_sched::{
     evaluate_policy, paper_backends, replay, AffineFitPolicy, HeuristicPolicy, OraclePolicy,
     QueryTrace,
@@ -90,6 +91,7 @@ fn headlines() {
     println!();
 }
 
+#[allow(deprecated)] // the legacy replay comparison stays until `replay` is removed
 fn scheduler() {
     println!("== Scheduler policy regret (extension A4) ==");
     let backends = paper_backends();
@@ -360,6 +362,132 @@ fn bench(args: &[String]) {
     );
 }
 
+/// `repro serve [--quick] [--out FILE] [--check FILE] [--trace-out FILE]`
+///
+/// Runs the serving-engine load sweep ([`mlscore_bench::serve_bench`]) and
+/// writes `BENCH_serving.json`; with `--check` it validates an existing
+/// report instead, and `--trace-out` additionally exports a Perfetto
+/// timeline of the FPGA overload run (per-device lanes with queue-wait,
+/// coalesce, compile, setup/transfer/compute/drain spans).
+fn serve(args: &[String]) {
+    use mlscore_bench::serve_bench::{self, ServeBenchOptions};
+    use mlscore_serve::{
+        ArrivalProcess, CoalesceConfig, ModelCatalog, QueueConfig, ServeConfig, ServeEngine,
+        WorkloadSpec,
+    };
+
+    let mut quick = false;
+    let mut out_path = "BENCH_serving.json".to_string();
+    let mut check: Option<String> = None;
+    let mut trace_out: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = path.clone(),
+                None => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--check" => match it.next() {
+                Some(path) => check = Some(path.clone()),
+                None => {
+                    eprintln!("--check needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--trace-out" => match it.next() {
+                Some(path) => trace_out = Some(path.clone()),
+                None => {
+                    eprintln!("--trace-out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown serve flag '{other}'");
+                eprintln!(
+                    "usage: repro serve [--quick] [--out FILE] [--check FILE] [--trace-out FILE]"
+                );
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if let Some(path) = check {
+        let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        match serve_bench::validate(&text) {
+            Ok(n) => println!("{path}: valid serving report, {n} sweep point(s)"),
+            Err(e) => {
+                eprintln!("{path}: invalid serving report: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
+    }
+
+    println!(
+        "== Serving-engine load sweep ({} mode) ==",
+        if quick { "quick" } else { "full" }
+    );
+    let opts = ServeBenchOptions { quick };
+    let report = serve_bench::run(&opts);
+    let json = serve_bench::to_json(&report, &opts);
+    std::fs::write(&out_path, &json).unwrap_or_else(|e| {
+        eprintln!("cannot write {out_path}: {e}");
+        std::process::exit(1);
+    });
+    println!(
+        "wrote {out_path}: {} sweep point(s) + FPGA overload comparison",
+        report.sweep.len()
+    );
+
+    if let Some(path) = trace_out {
+        // A traced rerun of the FPGA overload point: the interesting
+        // timeline (queue build-up, merged passes, shed requests).
+        let engine = ServeEngine::new(
+            paper_backends()
+                .into_iter()
+                .filter(|b| b.name() == "FPGA")
+                .collect(),
+            ModelCatalog::paper_mix(),
+            ServeConfig {
+                queue: QueueConfig {
+                    capacity: Some(32),
+                    ..QueueConfig::default()
+                },
+                coalesce: CoalesceConfig::default(),
+                cpu_seats: serve_bench::CPU_SEATS,
+                gpu_streams: serve_bench::GPU_STREAMS,
+                ..ServeConfig::default()
+            },
+        );
+        let tracer = Tracer::new();
+        engine.run(
+            &WorkloadSpec {
+                queries: if quick { 150 } else { 500 },
+                seed: serve_bench::SEED,
+                arrivals: ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 },
+            },
+            &tracer,
+        );
+        let span_trace = tracer.take();
+        let trace_json = perfetto::to_json(&span_trace);
+        std::fs::write(&path, &trace_json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "wrote {path}: {} spans (open at ui.perfetto.dev)",
+            span_trace.len()
+        );
+    }
+}
+
 fn usage() -> String {
     "usage: repro [target]\n\
      targets:\n\
@@ -384,6 +512,14 @@ fn usage() -> String {
                         blocked executor) plus a warm/cold artifact-cache pair,\n\
                         and write BENCH_cpu_scoring.json; --check validates an\n\
                         existing report instead\n\
+       serve [--quick] [--out FILE] [--check FILE] [--trace-out FILE]\n\
+                        sweep offered load through the discrete-event serving\n\
+                        engine (admission control, micro-batch coalescing,\n\
+                        device contention) with coalescing on vs off, plus an\n\
+                        FPGA-only overload comparison, and write\n\
+                        BENCH_serving.json; --check validates an existing\n\
+                        report; --trace-out exports a Perfetto timeline of\n\
+                        the FPGA overload run (per-device lanes)\n\
        csv [dir]        write every figure as CSV (default dir: figures_out)\n\
        help             this message"
         .to_string()
@@ -404,6 +540,7 @@ fn main() {
         "scheduler" => scheduler(),
         "trace" => trace(&args[2..]),
         "bench" => bench(&args[2..]),
+        "serve" => serve(&args[2..]),
         "csv" => {
             let dir = args
                 .get(2)

@@ -7,8 +7,13 @@
 //!
 //! [`cpu_bench`] is the *measured* (wall-clock) counterpart: `repro bench`
 //! sweeps the real CPU scoring kernels and writes `BENCH_cpu_scoring.json`.
+//!
+//! [`serve_bench`] drives the discrete-event serving engine: `repro serve`
+//! sweeps offered load with micro-batch coalescing on and off and writes
+//! `BENCH_serving.json`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cpu_bench;
+pub mod serve_bench;

@@ -1,0 +1,486 @@
+//! Serving-engine benchmark (`repro serve`).
+//!
+//! Sweeps offered load through [`mlscore_serve::ServeEngine`] — the same
+//! Poisson workload at each rate, once with micro-batch coalescing on and
+//! once with it off — and writes the throughput–latency curves to
+//! `BENCH_serving.json`. A second experiment pins the roster to the FPGA
+//! alone and overloads it, demonstrating the headline effect: merging
+//! queued same-model requests into one device pass amortizes the
+//! accelerator's fixed per-call overheads, so coalescing raises FPGA
+//! throughput at the same offered load.
+//!
+//! Everything here runs in *simulated* time, so the report is a pure
+//! function of `(seed, configuration)`: the same invocation produces a
+//! byte-identical file on any host. The emitted JSON is round-tripped
+//! through [`mlscore_telemetry::json::parse`] before it is handed back.
+
+use mlscore_backend::ScoringBackend;
+use mlscore_sched::paper_backends;
+use mlscore_serve::{
+    ArrivalProcess, CoalesceConfig, ModelCatalog, QueueConfig, ServeConfig, ServeEngine,
+    ServingReport, WorkloadSpec,
+};
+use mlscore_telemetry::json::{self, write_escaped, JsonValue};
+use mlscore_telemetry::Tracer;
+
+/// Workload seed shared by every experiment in the report.
+pub const SEED: u64 = 42;
+
+/// Executor seats the serving CPU device models (the paper host's 52
+/// hardware threads) — pinned so the report does not depend on the
+/// machine that generated it.
+pub const CPU_SEATS: usize = 52;
+
+/// Concurrent streams on the serving GPU device.
+pub const GPU_STREAMS: usize = 4;
+
+/// Options for one harness run.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeBenchOptions {
+    /// Shrink query counts to a CI smoke run.
+    pub quick: bool,
+}
+
+impl ServeBenchOptions {
+    /// Queries per sweep point.
+    fn sweep_queries(&self) -> usize {
+        if self.quick {
+            150
+        } else {
+            600
+        }
+    }
+
+    /// Queries in the FPGA overload experiment.
+    fn overload_queries(&self) -> usize {
+        if self.quick {
+            150
+        } else {
+            500
+        }
+    }
+
+    /// Offered Poisson rates for the sweep, queries/second.
+    fn rates(&self) -> Vec<f64> {
+        if self.quick {
+            vec![50.0, 2_000.0]
+        } else {
+            vec![10.0, 50.0, 200.0, 1_000.0, 5_000.0]
+        }
+    }
+}
+
+/// The measurements kept from one engine run.
+#[derive(Debug, Clone)]
+pub struct PointMetrics {
+    /// Completed queries per second of makespan.
+    pub throughput_qps: f64,
+    /// Scored records per second of makespan.
+    pub records_per_sec: f64,
+    /// Median sojourn latency, milliseconds.
+    pub p50_ms: f64,
+    /// 95th-percentile sojourn latency, milliseconds.
+    pub p95_ms: f64,
+    /// 99th-percentile sojourn latency, milliseconds.
+    pub p99_ms: f64,
+    /// Completed requests.
+    pub completed: u64,
+    /// Requests shed (rejected + dropped + timed out).
+    pub shed: u64,
+    /// Device passes executed.
+    pub batches: u64,
+    /// Passes that merged more than one request.
+    pub coalesced_batches: u64,
+    /// Largest merge.
+    pub max_batch: usize,
+    /// Mean requests per pass.
+    pub mean_batch: f64,
+    /// `(device name, busy fraction)` in roster order.
+    pub utilization: Vec<(String, f64)>,
+}
+
+impl PointMetrics {
+    /// Folds a [`ServingReport`] down to the numbers the report keeps.
+    pub fn of(report: &ServingReport) -> Self {
+        let ms = |q: f64| {
+            if report.latency.count() == 0 {
+                0.0
+            } else {
+                report.latency.quantile(q).as_secs() * 1e3
+            }
+        };
+        Self {
+            throughput_qps: report.throughput_qps(),
+            records_per_sec: report.records_per_sec(),
+            p50_ms: ms(0.50),
+            p95_ms: ms(0.95),
+            p99_ms: ms(0.99),
+            completed: report.completed,
+            shed: report.shed(),
+            batches: report.batches,
+            coalesced_batches: report.coalesced_batches,
+            max_batch: report.max_batch(),
+            mean_batch: report.mean_batch(),
+            utilization: report
+                .devices
+                .iter()
+                .map(|d| (d.name.clone(), d.utilization))
+                .collect(),
+        }
+    }
+}
+
+/// One offered-load point: the same workload with coalescing on and off.
+#[derive(Debug, Clone)]
+pub struct SweepPoint {
+    /// Offered Poisson rate, queries/second.
+    pub rate_qps: f64,
+    /// Metrics with coalescing enabled.
+    pub on: PointMetrics,
+    /// Metrics with coalescing disabled.
+    pub off: PointMetrics,
+}
+
+/// The FPGA overload experiment.
+#[derive(Debug, Clone)]
+pub struct FpgaOverload {
+    /// Offered Poisson rate, queries/second.
+    pub rate_qps: f64,
+    /// Queries offered.
+    pub queries: usize,
+    /// Metrics with coalescing enabled.
+    pub on: PointMetrics,
+    /// Metrics with coalescing disabled.
+    pub off: PointMetrics,
+}
+
+/// A full `repro serve` result.
+#[derive(Debug, Clone)]
+pub struct ServeBenchReport {
+    /// The load sweep over the full paper roster.
+    pub sweep: Vec<SweepPoint>,
+    /// The FPGA-only overload comparison.
+    pub fpga_overload: FpgaOverload,
+    /// Queries per sweep point.
+    pub sweep_queries: usize,
+}
+
+fn serve_config(coalesce_on: bool, capacity: usize) -> ServeConfig {
+    ServeConfig {
+        queue: QueueConfig {
+            capacity: Some(capacity),
+            ..QueueConfig::default()
+        },
+        coalesce: if coalesce_on {
+            CoalesceConfig::default()
+        } else {
+            CoalesceConfig::disabled()
+        },
+        cpu_seats: CPU_SEATS,
+        gpu_streams: GPU_STREAMS,
+        ..ServeConfig::default()
+    }
+}
+
+fn fpga_roster() -> Vec<Box<dyn ScoringBackend>> {
+    paper_backends()
+        .into_iter()
+        .filter(|b| b.name() == "FPGA")
+        .collect()
+}
+
+/// Runs one engine configuration against one Poisson workload.
+fn run_point(
+    backends: Vec<Box<dyn ScoringBackend>>,
+    config: ServeConfig,
+    rate_qps: f64,
+    queries: usize,
+) -> ServingReport {
+    let engine = ServeEngine::new(backends, ModelCatalog::paper_mix(), config);
+    let spec = WorkloadSpec {
+        queries,
+        seed: SEED,
+        arrivals: ArrivalProcess::OpenPoisson { rate_qps },
+    };
+    engine.run(&spec, &Tracer::disabled())
+}
+
+/// Runs the sweep and the FPGA overload experiment, printing one progress
+/// line per point.
+pub fn run(opts: &ServeBenchOptions) -> ServeBenchReport {
+    let queries = opts.sweep_queries();
+    let mut sweep = Vec::new();
+    for rate_qps in opts.rates() {
+        let on = run_point(paper_backends(), serve_config(true, 128), rate_qps, queries);
+        let off = run_point(
+            paper_backends(),
+            serve_config(false, 128),
+            rate_qps,
+            queries,
+        );
+        assert!(on.is_conserved() && off.is_conserved(), "lost requests");
+        println!(
+            "{rate_qps:>7.0} qps | coalesced: {:>7.1} qps p99 {:>9.1} ms (merged {:>3}) | \
+             solo: {:>7.1} qps p99 {:>9.1} ms | shed {}/{}",
+            on.throughput_qps(),
+            PointMetrics::of(&on).p99_ms,
+            on.coalesced_batches,
+            off.throughput_qps(),
+            PointMetrics::of(&off).p99_ms,
+            on.shed(),
+            off.shed(),
+        );
+        sweep.push(SweepPoint {
+            rate_qps,
+            on: PointMetrics::of(&on),
+            off: PointMetrics::of(&off),
+        });
+    }
+
+    let overload_rate = 2_000.0;
+    let overload_queries = opts.overload_queries();
+    let on = run_point(
+        fpga_roster(),
+        serve_config(true, 32),
+        overload_rate,
+        overload_queries,
+    );
+    let off = run_point(
+        fpga_roster(),
+        serve_config(false, 32),
+        overload_rate,
+        overload_queries,
+    );
+    assert!(on.is_conserved() && off.is_conserved(), "lost requests");
+    println!(
+        "FPGA overload @ {overload_rate:.0} qps | coalesced {:>7.1} qps ({} merged passes, \
+         max batch {}) | solo {:>7.1} qps",
+        on.throughput_qps(),
+        on.coalesced_batches,
+        on.max_batch(),
+        off.throughput_qps(),
+    );
+    ServeBenchReport {
+        sweep,
+        fpga_overload: FpgaOverload {
+            rate_qps: overload_rate,
+            queries: overload_queries,
+            on: PointMetrics::of(&on),
+            off: PointMetrics::of(&off),
+        },
+        sweep_queries: queries,
+    }
+}
+
+/// Pushes `v` as a JSON number with fixed precision (keeps the file
+/// byte-stable across runs).
+fn push_num(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.3}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
+fn push_metrics(out: &mut String, indent: &str, m: &PointMetrics) {
+    out.push_str("{\n");
+    let field = |out: &mut String, key: &str, v: f64, last: bool| {
+        out.push_str(indent);
+        out.push_str(&format!("  \"{key}\": "));
+        push_num(out, v);
+        out.push_str(if last { "\n" } else { ",\n" });
+    };
+    field(out, "throughput_qps", m.throughput_qps, false);
+    field(out, "records_per_sec", m.records_per_sec, false);
+    field(out, "p50_ms", m.p50_ms, false);
+    field(out, "p95_ms", m.p95_ms, false);
+    field(out, "p99_ms", m.p99_ms, false);
+    out.push_str(indent);
+    out.push_str(&format!(
+        "  \"completed\": {}, \"shed\": {}, \"batches\": {}, \"coalesced_batches\": {}, \
+         \"max_batch\": {},\n",
+        m.completed, m.shed, m.batches, m.coalesced_batches, m.max_batch
+    ));
+    field(out, "mean_batch", m.mean_batch, false);
+    out.push_str(indent);
+    out.push_str("  \"utilization\": {");
+    for (i, (name, u)) in m.utilization.iter().enumerate() {
+        if i > 0 {
+            out.push_str(", ");
+        }
+        write_escaped(out, name);
+        out.push_str(": ");
+        push_num(out, *u);
+    }
+    out.push_str("}\n");
+    out.push_str(indent);
+    out.push('}');
+}
+
+/// Serializes the report to the `BENCH_serving.json` document.
+///
+/// The output is validated with [`validate`] before being returned.
+///
+/// # Panics
+///
+/// Panics if the writer produced a document [`validate`] rejects — a bug
+/// in this module, not a runtime condition.
+pub fn to_json(report: &ServeBenchReport, opts: &ServeBenchOptions) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"schema\": \"mlscore/bench-serving/v1\",\n");
+    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str(&format!(
+        "  \"mode\": \"{}\",\n",
+        if opts.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!("  \"seed\": {SEED},\n"));
+    out.push_str(&format!(
+        "  \"cpu_seats\": {CPU_SEATS}, \"gpu_streams\": {GPU_STREAMS},\n"
+    ));
+    out.push_str(&format!("  \"sweep_queries\": {},\n", report.sweep_queries));
+    out.push_str("  \"sweep\": [");
+    for (i, point) in report.sweep.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"rate_qps\": ");
+        push_num(&mut out, point.rate_qps);
+        out.push_str(",\n     \"coalesce_on\": ");
+        push_metrics(&mut out, "     ", &point.on);
+        out.push_str(",\n     \"coalesce_off\": ");
+        push_metrics(&mut out, "     ", &point.off);
+        out.push_str("\n    }");
+    }
+    out.push_str("\n  ],\n");
+    let fo = &report.fpga_overload;
+    out.push_str("  \"fpga_overload\": {\n    \"rate_qps\": ");
+    push_num(&mut out, fo.rate_qps);
+    out.push_str(&format!(",\n    \"queries\": {},", fo.queries));
+    out.push_str("\n    \"coalesce_on\": ");
+    push_metrics(&mut out, "    ", &fo.on);
+    out.push_str(",\n    \"coalesce_off\": ");
+    push_metrics(&mut out, "    ", &fo.off);
+    out.push_str("\n  }\n}\n");
+    validate(&out).expect("harness emitted invalid JSON");
+    out
+}
+
+fn metrics_f64(block: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    block
+        .get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{what}: missing numeric \"{key}\""))
+}
+
+/// Checks that `text` is a well-formed serving report with the effects the
+/// experiment exists to demonstrate: at least one coalesced batch, at
+/// least one shed request under overload, and FPGA throughput with
+/// coalescing on no worse than off at the same offered load.
+///
+/// Used both as the harness's own self-check and by `repro serve --check`
+/// (the CI smoke gate). Returns the sweep point count.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem found.
+pub fn validate(text: &str) -> Result<usize, String> {
+    let doc = json::parse(text).map_err(|e| e.to_string())?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mlscore/bench-serving/v1") => {}
+        other => return Err(format!("unexpected schema {other:?}")),
+    }
+    match doc.get("schema_version").and_then(JsonValue::as_f64) {
+        Some(v) if v >= 1.0 => {}
+        other => return Err(format!("missing or stale schema_version {other:?}")),
+    }
+    let sweep = doc
+        .get("sweep")
+        .and_then(JsonValue::as_array)
+        .ok_or("missing \"sweep\" array")?;
+    if sweep.is_empty() {
+        return Err("\"sweep\" is empty".to_string());
+    }
+    let mut coalesced = 0.0;
+    let mut shed = 0.0;
+    for (i, point) in sweep.iter().enumerate() {
+        metrics_f64(point, "rate_qps", &format!("sweep point {i}"))?;
+        for side in ["coalesce_on", "coalesce_off"] {
+            let block = point
+                .get(side)
+                .ok_or_else(|| format!("sweep point {i}: missing \"{side}\" block"))?;
+            let what = format!("sweep point {i} {side}");
+            metrics_f64(block, "throughput_qps", &what)?;
+            metrics_f64(block, "p99_ms", &what)?;
+            metrics_f64(block, "completed", &what)?;
+            shed += metrics_f64(block, "shed", &what)?;
+            if side == "coalesce_on" {
+                coalesced += metrics_f64(block, "coalesced_batches", &what)?;
+            } else if metrics_f64(block, "coalesced_batches", &what)? > 0.0 {
+                return Err(format!("{what}: merged batches with coalescing off"));
+            }
+        }
+    }
+    let fo = doc
+        .get("fpga_overload")
+        .ok_or("missing \"fpga_overload\" block")?;
+    let on = fo
+        .get("coalesce_on")
+        .ok_or("fpga_overload: missing \"coalesce_on\"")?;
+    let off = fo
+        .get("coalesce_off")
+        .ok_or("fpga_overload: missing \"coalesce_off\"")?;
+    coalesced += metrics_f64(on, "coalesced_batches", "fpga_overload on")?;
+    shed += metrics_f64(on, "shed", "fpga_overload on")?;
+    shed += metrics_f64(off, "shed", "fpga_overload off")?;
+    let t_on = metrics_f64(on, "throughput_qps", "fpga_overload on")?;
+    let t_off = metrics_f64(off, "throughput_qps", "fpga_overload off")?;
+    if t_on < t_off {
+        return Err(format!(
+            "fpga_overload: coalescing lowered throughput ({t_on:.3} < {t_off:.3} qps)"
+        ));
+    }
+    if coalesced < 1.0 {
+        return Err("no coalesced batch anywhere in the report".to_string());
+    }
+    if shed < 1.0 {
+        return Err(
+            "no request was ever shed — the overload points are not overloaded".to_string(),
+        );
+    }
+    Ok(sweep.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_run_serializes_validates_and_is_deterministic() {
+        let opts = ServeBenchOptions { quick: true };
+        let report = run(&opts);
+        let json = to_json(&report, &opts);
+        assert_eq!(validate(&json), Ok(2));
+        // Simulated time: a second run is byte-identical.
+        let again = to_json(&run(&opts), &opts);
+        assert_eq!(json, again);
+    }
+
+    #[test]
+    fn fpga_overload_shows_the_coalescing_win() {
+        let report = run(&ServeBenchOptions { quick: true });
+        let fo = &report.fpga_overload;
+        assert!(fo.on.coalesced_batches > 0, "overload must merge batches");
+        assert!(fo.on.throughput_qps >= fo.off.throughput_qps);
+        assert!(fo.on.shed + fo.off.shed > 0, "overload must shed");
+    }
+
+    #[test]
+    fn validate_rejects_garbage_and_missing_effects() {
+        assert!(validate("not json").is_err());
+        assert!(validate("{\"schema\": \"wrong\"}").is_err());
+        assert!(
+            validate("{\"schema\": \"mlscore/bench-serving/v1\", \"schema_version\": 1}").is_err()
+        );
+    }
+}

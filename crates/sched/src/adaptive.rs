@@ -241,10 +241,27 @@ impl AdaptiveScheduler {
         expected_reuse: u64,
         backends: &[Box<dyn ScoringBackend>],
     ) -> Option<Choice> {
+        self.choose_amortized_among(stats, n_records, expected_reuse, backends, &|_| true)
+    }
+
+    /// [`AdaptiveScheduler::choose_amortized`] restricted to backends the
+    /// `eligible` mask admits. The serving engine passes "this backend's
+    /// device has a free slot right now", so arbitration never parks a
+    /// query on a busy device while an idle one could serve it. Exploration
+    /// also honours the mask: an unobserved backend is only probed when it
+    /// is currently eligible.
+    pub fn choose_amortized_among(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        expected_reuse: u64,
+        backends: &[Box<dyn ScoringBackend>],
+        eligible: &dyn Fn(usize) -> bool,
+    ) -> Option<Choice> {
         let class = ModelClass::of(stats);
         let reuse = expected_reuse.max(1) as f64;
         let supported: Vec<usize> = (0..backends.len())
-            .filter(|&i| backends[i].supports(stats).is_ok())
+            .filter(|&i| backends[i].supports(stats).is_ok() && eligible(i))
             .collect();
         // Exploration first, exactly as in `choose`.
         if let Some(&index) = supported
@@ -441,6 +458,38 @@ mod tests {
     #[should_panic(expected = "alpha")]
     fn rejects_bad_alpha() {
         AdaptiveScheduler::new(0.0);
+    }
+
+    #[test]
+    fn amortized_among_respects_the_eligibility_mask() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let n = 1_000_000u64;
+        let mut sched = AdaptiveScheduler::new(0.4);
+        sched.converge(&s, n, &backends, 20);
+        let open = sched
+            .choose_amortized_among(&s, n, 1, &backends, &|_| true)
+            .unwrap();
+        assert_eq!(
+            open.name,
+            sched.choose_amortized(&s, n, 1, &backends).unwrap().name
+        );
+        // Mask out the winner: the pick must move elsewhere.
+        let masked = sched
+            .choose_amortized_among(&s, n, 1, &backends, &|i| i != open.index)
+            .unwrap();
+        assert_ne!(masked.index, open.index);
+        // Nothing eligible: no pick, even though everything is supported.
+        assert!(sched
+            .choose_amortized_among(&s, n, 1, &backends, &|_| false)
+            .is_none());
+        // Exploration honours the mask too: a fresh scheduler restricted to
+        // one backend explores exactly that backend.
+        let fresh = AdaptiveScheduler::new(0.4);
+        let probe = fresh
+            .choose_amortized_among(&s, n, 1, &backends, &|i| i == 4)
+            .unwrap();
+        assert_eq!(probe.index, 4);
     }
 
     #[test]

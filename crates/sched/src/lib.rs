@@ -18,6 +18,11 @@ pub mod regret;
 pub mod trace;
 
 pub use adaptive::{AdaptiveScheduler, ModelClass};
-pub use policy::{paper_backends, AffineFitPolicy, Choice, HeuristicPolicy, OraclePolicy, Policy};
+pub use policy::{
+    choose_amortized_eligible, paper_backends, AffineFitPolicy, Choice, HeuristicPolicy,
+    OraclePolicy, Policy,
+};
 pub use regret::{evaluate_policy, RegretReport};
-pub use trace::{replay, replay_adaptive, replay_traced, QueryTrace, TraceOutcome, TraceQuery};
+pub use trace::{paper_shape_forests, QueryTrace, TraceOutcome, TraceQuery};
+#[allow(deprecated)]
+pub use trace::{replay, replay_adaptive, replay_traced};

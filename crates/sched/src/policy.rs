@@ -19,6 +19,39 @@ pub fn paper_backends() -> Vec<Box<dyn ScoringBackend>> {
     ]
 }
 
+/// Cost-model (oracle) arbitration with amortized compile charging and an
+/// eligibility mask — the serving engine's dispatch rule. Picks the argmin
+/// of `estimate(stats, n).total() + prepare(i) / expected_reuse` over
+/// backends that (a) support the model and (b) pass `eligible` (the engine
+/// passes "this backend's device has a free slot right now"). With every
+/// backend eligible and zero prepare costs this reduces to [`OraclePolicy`];
+/// the learned-estimate counterpart is
+/// `AdaptiveScheduler::choose_amortized_among`.
+pub fn choose_amortized_eligible(
+    stats: &ModelStats,
+    n_records: u64,
+    expected_reuse: u64,
+    backends: &[Box<dyn ScoringBackend>],
+    prepare: &dyn Fn(usize) -> SimDuration,
+    eligible: &dyn Fn(usize) -> bool,
+) -> Option<Choice> {
+    let reuse = expected_reuse.max(1) as f64;
+    backends
+        .iter()
+        .enumerate()
+        .filter(|(i, b)| b.supports(stats).is_ok() && eligible(*i))
+        .map(|(i, b)| {
+            let total = b.estimate(stats, n_records).total() + prepare(i) / reuse;
+            (i, b.name().to_string(), total)
+        })
+        .min_by(|a, b| a.2.cmp(&b.2))
+        .map(|(index, name, predicted)| Choice {
+            index,
+            name,
+            predicted,
+        })
+}
+
 /// A scheduling decision.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Choice {
@@ -302,5 +335,49 @@ mod tests {
         assert!(OraclePolicy.choose(&s, 10, &[]).is_none());
         assert!(HeuristicPolicy::default().choose(&s, 10, &[]).is_none());
         assert!(AffineFitPolicy::default().choose(&s, 10, &[]).is_none());
+        assert!(
+            choose_amortized_eligible(&s, 10, 1, &[], &|_| SimDuration::ZERO, &|_| true).is_none()
+        );
+    }
+
+    #[test]
+    fn amortized_eligible_reduces_to_oracle_and_respects_the_mask() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let n = 1_000_000u64;
+        let zero = |_: usize| SimDuration::ZERO;
+        let oracle = OraclePolicy.choose(&s, n, &backends).unwrap();
+        let open = choose_amortized_eligible(&s, n, 1, &backends, &zero, &|_| true).unwrap();
+        assert_eq!(open, oracle);
+        // Mask out the winner: the choice must move, never violate the mask.
+        let masked =
+            choose_amortized_eligible(&s, n, 1, &backends, &zero, &|i| i != oracle.index).unwrap();
+        assert_ne!(masked.index, oracle.index);
+        assert!(masked.predicted >= oracle.predicted);
+        // Mask everything out: no choice.
+        assert!(choose_amortized_eligible(&s, n, 1, &backends, &zero, &|_| false).is_none());
+    }
+
+    #[test]
+    fn amortized_eligible_charges_prepare_per_reuse() {
+        let backends = paper_backends();
+        let s = stats(128, 10, 28, 2);
+        let n = 1_000_000u64;
+        let oracle = OraclePolicy.choose(&s, n, &backends).unwrap();
+        assert_eq!(oracle.name, "FPGA");
+        // A monster one-time compile on the winner flips a one-shot query...
+        let prepare = |i: usize| {
+            if backends[i].name() == "FPGA" {
+                SimDuration::from_secs(100.0)
+            } else {
+                SimDuration::ZERO
+            }
+        };
+        let once = choose_amortized_eligible(&s, n, 1, &backends, &prepare, &|_| true).unwrap();
+        assert_ne!(once.name, "FPGA");
+        // ...but washes out at high reuse.
+        let amortized =
+            choose_amortized_eligible(&s, n, 1_000_000, &backends, &prepare, &|_| true).unwrap();
+        assert_eq!(amortized.name, "FPGA");
     }
 }

@@ -36,43 +36,64 @@ pub struct QueryTrace {
     queries: Vec<TraceQuery>,
 }
 
+/// The paper's model-shape grid used by the synthetic traces: both
+/// datasets x {1, 16, 128} trees x depths {6, 10}, each materialized as a
+/// full synthetic forest with a shape-derived seed. The serving engine's
+/// model catalog is built from this same function, so a trace shape index
+/// identifies a concrete scorable model, not just its statistics.
+pub fn paper_shape_forests() -> Vec<RandomForest> {
+    let mut shapes = Vec::new();
+    for dataset in DatasetSpec::all() {
+        for trees in [1usize, 16, 128] {
+            for depth in [6usize, 10] {
+                let cfg =
+                    ForestConfig::classification(trees, dataset.n_features(), dataset.n_classes())
+                        .with_depth(depth);
+                shapes.push(RandomForest::synthetic_full(
+                    &cfg,
+                    0xFEED ^ trees as u64 ^ (depth as u64) << 8,
+                ));
+            }
+        }
+    }
+    shapes
+}
+
 impl QueryTrace {
     /// Wraps explicit queries.
     pub fn new(queries: Vec<TraceQuery>) -> Self {
         Self { queries }
     }
 
-    /// Generates `n` queries mixing the paper's model shapes (tree counts
-    /// 1–128, depths 6/10, both datasets) with a heavy-tailed batch-size
+    /// The raw `(shape index, batch size)` draws behind
+    /// [`QueryTrace::synthetic`]: shape indices are uniform over
+    /// `0..n_shapes` and batch sizes are log-uniform over `1..10^6` (heavy
+    /// small-query tail with occasional large scans). Exposed so workload
+    /// generators that need the *model identity* (the serving engine keys
+    /// its coalescer and artifact cache on the concrete bundle) can share
+    /// the exact query mix with the stats-only trace.
+    pub fn synthetic_draws(n: usize, seed: u64, n_shapes: usize) -> Vec<(usize, u64)> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        (0..n)
+            .map(|_| {
+                let shape = rng.gen_range(0..n_shapes);
+                let exponent: f64 = rng.gen_range(0.0..6.0);
+                (shape, 10f64.powf(exponent).round() as u64)
+            })
+            .collect()
+    }
+
+    /// Generates `n` queries mixing the paper's model shapes
+    /// ([`paper_shape_forests`]) with a heavy-tailed batch-size
     /// distribution: mostly small interactive lookups, occasionally huge
     /// analytical scans — the regime where static placement loses.
     pub fn synthetic(n: usize, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
-        let mut shapes = Vec::new();
-        for dataset in DatasetSpec::all() {
-            for trees in [1usize, 16, 128] {
-                for depth in [6usize, 10] {
-                    let cfg = ForestConfig::classification(
-                        trees,
-                        dataset.n_features(),
-                        dataset.n_classes(),
-                    )
-                    .with_depth(depth);
-                    shapes.push(ModelStats::of(&RandomForest::synthetic_full(
-                        &cfg,
-                        0xFEED ^ trees as u64 ^ (depth as u64) << 8,
-                    )));
-                }
-            }
-        }
-        let queries = (0..n)
-            .map(|_| {
-                let stats = shapes[rng.gen_range(0..shapes.len())];
-                // Log-uniform batch sizes over 1..10^6: heavy small-query
-                // tail with occasional large scans.
-                let exponent: f64 = rng.gen_range(0.0..6.0);
-                let n_records = 10f64.powf(exponent).round() as u64;
-                TraceQuery { stats, n_records }
+        let shapes: Vec<ModelStats> = paper_shape_forests().iter().map(ModelStats::of).collect();
+        let queries = Self::synthetic_draws(n, seed, shapes.len())
+            .into_iter()
+            .map(|(shape, n_records)| TraceQuery {
+                stats: shapes[shape],
+                n_records,
             })
             .collect();
         Self { queries }
@@ -138,11 +159,18 @@ impl TraceOutcome {
 /// # Panics
 ///
 /// Panics if some query has no supporting backend.
+#[deprecated(
+    since = "0.1.0",
+    note = "use mlscore-serve's ServeEngine (batch arrivals, serial device roster, coalescing \
+            off reproduces this makespan exactly) — the serving engine models queueing and \
+            device contention this loop ignores"
+)]
 pub fn replay(
     policy: &dyn Policy,
     trace: &QueryTrace,
     backends: &[Box<dyn ScoringBackend>],
 ) -> TraceOutcome {
+    #[allow(deprecated)]
     replay_traced(policy, trace, backends, &Tracer::disabled())
 }
 
@@ -156,6 +184,11 @@ pub fn replay(
 /// # Panics
 ///
 /// Panics if some query has no supporting backend.
+#[deprecated(
+    since = "0.1.0",
+    note = "use mlscore-serve's ServeEngine, which emits the same per-query spans plus \
+            queue-wait and per-device lanes"
+)]
 pub fn replay_traced(
     policy: &dyn Policy,
     trace: &QueryTrace,
@@ -223,9 +256,23 @@ pub fn replay_adaptive(
 }
 
 #[cfg(test)]
+#[allow(deprecated)] // the legacy replay loop stays covered until it is removed
 mod tests {
     use super::*;
     use crate::policy::{paper_backends, HeuristicPolicy, OraclePolicy};
+
+    #[test]
+    fn synthetic_draws_back_the_same_trace() {
+        let shapes = paper_shape_forests();
+        assert_eq!(shapes.len(), 12, "2 datasets x 3 tree counts x 2 depths");
+        let stats: Vec<ModelStats> = shapes.iter().map(ModelStats::of).collect();
+        let trace = QueryTrace::synthetic(50, 13);
+        let draws = QueryTrace::synthetic_draws(50, 13, shapes.len());
+        for (q, (shape, n_records)) in trace.queries().iter().zip(&draws) {
+            assert_eq!(q.stats, stats[*shape]);
+            assert_eq!(q.n_records, *n_records);
+        }
+    }
 
     #[test]
     fn synthetic_trace_is_deterministic_and_mixed() {

@@ -1,0 +1,181 @@
+//! Micro-batch coalescing: merging queued requests for the same compiled
+//! model into one device pass.
+//!
+//! Accelerator scoring pays large fixed per-call costs (CSR setup, model
+//! DMA, completion signalling, driver overhead — the paper's `O` and part
+//! of `L`), so `k` small same-model requests scored as one concatenated
+//! batch cost one set of fixed overheads instead of `k`. The merge is
+//! *bit-exact*: scoring the concatenation and splitting the predictions
+//! back per request yields exactly what scoring each request alone would
+//! (forest inference is row-independent).
+
+use serde::{Deserialize, Serialize};
+
+use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
+use mlscore_data::TabularFrame;
+use mlscore_forest::{Predictions, RandomForest};
+use mlscore_sim::SimDuration;
+
+/// Coalescer configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CoalesceConfig {
+    /// Master switch; disabled, every batch holds exactly one request.
+    pub enabled: bool,
+    /// Maximum requests merged into one device pass.
+    pub max_requests: usize,
+    /// Maximum merged records per pass. The first request always fits, so
+    /// an oversized single request still dispatches (as a batch of one).
+    pub max_records: u64,
+    /// How long a dispatchable batch head may be held back waiting for
+    /// more same-model arrivals. Zero (the default) dispatches as soon as
+    /// a device is free — coalescing then happens only when the queue has
+    /// already built up.
+    pub hold: SimDuration,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        Self {
+            enabled: true,
+            max_requests: 64,
+            max_records: 1_000_000,
+            hold: SimDuration::ZERO,
+        }
+    }
+}
+
+impl CoalesceConfig {
+    /// A configuration that never merges (every pass scores one request).
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::default()
+        }
+    }
+
+    /// The request cap arbitration sees: 1 when disabled.
+    pub fn effective_max_requests(&self) -> usize {
+        if self.enabled {
+            self.max_requests.max(1)
+        } else {
+            1
+        }
+    }
+
+    /// The record cap arbitration sees: unbounded when disabled (a single
+    /// request is never split).
+    pub fn effective_max_records(&self) -> u64 {
+        if self.enabled {
+            self.max_records.max(1)
+        } else {
+            u64::MAX
+        }
+    }
+}
+
+/// Functionally scores `frames` as one concatenated device pass on
+/// `backend` and splits the predictions back per input frame.
+///
+/// # Errors
+///
+/// Propagates backend scoring errors; mixed feature widths among `frames`
+/// surface as [`BackendError::Unsupported`].
+///
+/// # Panics
+///
+/// Panics if `frames` is empty.
+pub fn score_merged(
+    backend: &dyn ScoringBackend,
+    forest: &RandomForest,
+    frames: &[&TabularFrame],
+) -> Result<Vec<Predictions>, BackendError> {
+    assert!(!frames.is_empty(), "a merged pass needs at least one frame");
+    let n_features = frames[0].n_features();
+    let mut merged = Vec::with_capacity(frames.iter().map(|f| f.as_slice().len()).sum());
+    for frame in frames {
+        merged.extend_from_slice(frame.as_slice());
+    }
+    let merged = TabularFrame::from_rows(merged, n_features)
+        .map_err(|e| BackendError::unsupported(backend.name(), format!("merged frame: {e}")))?;
+    let request = ScoringRequest::new(forest, &merged)?;
+    let predictions = backend.score(&request)?;
+    Ok(split_predictions(
+        predictions,
+        frames.iter().map(|f| f.n_rows()),
+    ))
+}
+
+/// Splits one prediction vector back into per-request vectors by row
+/// count.
+fn split_predictions(merged: Predictions, counts: impl Iterator<Item = usize>) -> Vec<Predictions> {
+    let mut out = Vec::new();
+    let mut offset = 0usize;
+    match merged {
+        Predictions::Classes(all) => {
+            for n in counts {
+                out.push(Predictions::Classes(all[offset..offset + n].to_vec()));
+                offset += n;
+            }
+            debug_assert_eq!(offset, all.len());
+        }
+        Predictions::Values(all) => {
+            for n in counts {
+                out.push(Predictions::Values(all[offset..offset + n].to_vec()));
+                offset += n;
+            }
+            debug_assert_eq!(offset, all.len());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_backend::SklearnCpu;
+    use mlscore_forest::{ForestConfig, RandomForest};
+
+    fn frame(seed: u64, rows: usize, n_features: usize) -> TabularFrame {
+        let data = (0..rows * n_features)
+            .map(|i| ((i as u64 * 2_654_435_761 + seed * 97) % 1_000) as f32 / 1_000.0)
+            .collect();
+        TabularFrame::from_rows(data, n_features).unwrap()
+    }
+
+    #[test]
+    fn merged_scoring_is_bit_exact_per_request() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(16, 4, 3).with_depth(6), 21);
+        let backend = SklearnCpu::with_threads(2);
+        let frames = [frame(1, 13, 4), frame(2, 1, 4), frame(3, 40, 4)];
+        let refs: Vec<&TabularFrame> = frames.iter().collect();
+        let split = score_merged(&backend, &forest, &refs).unwrap();
+        assert_eq!(split.len(), 3);
+        for (frame, got) in frames.iter().zip(&split) {
+            let solo = forest.predict_batch(frame.as_slice());
+            assert_eq!(got, &solo);
+        }
+    }
+
+    #[test]
+    fn regression_predictions_split_too() {
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(8, 5).with_depth(5), 4);
+        let backend = SklearnCpu::with_threads(1);
+        let frames = [frame(7, 6, 5), frame(8, 9, 5)];
+        let refs: Vec<&TabularFrame> = frames.iter().collect();
+        let split = score_merged(&backend, &forest, &refs).unwrap();
+        assert_eq!(split[0].len(), 6);
+        assert_eq!(split[1].len(), 9);
+        assert_eq!(split[0], forest.predict_batch(frames[0].as_slice()));
+    }
+
+    #[test]
+    fn disabled_config_caps_batches_at_one() {
+        let on = CoalesceConfig::default();
+        let off = CoalesceConfig::disabled();
+        assert!(on.effective_max_requests() > 1);
+        assert_eq!(off.effective_max_requests(), 1);
+        assert_eq!(off.effective_max_records(), u64::MAX);
+        assert!(on.effective_max_records() < u64::MAX);
+    }
+}

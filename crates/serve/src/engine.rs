@@ -1,0 +1,1094 @@
+//! The discrete-event serving engine.
+//!
+//! One event loop, simulated time only: arrivals enter the admission
+//! queue, dispatch opportunities (arrivals, device completions, hold
+//! expiries) pull FIFO batches of same-model requests off the queue, an
+//! eligibility-masked arbitration picks the backend whose device has a
+//! free slot and whose amortized cost is lowest, and a
+//! [`DeviceLedger`] per device serializes the passes. Every duration is a
+//! cost-model output — the engine never calls a wall clock, so a run is a
+//! pure function of `(workload, config)`.
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+
+use rand::rngs::StdRng;
+
+use mlscore_backend::{artifact_key, ArtifactKey, CacheStats, ScoringBackend};
+use mlscore_forest::ModelStats;
+use mlscore_pipeline::PipelineParams;
+use mlscore_sched::{choose_amortized_eligible, AdaptiveScheduler, Choice};
+use mlscore_sim::{DeviceLedger, SimDuration, SimInstant, StageClass};
+use mlscore_telemetry::{Histogram, Tracer};
+
+use crate::coalesce::CoalesceConfig;
+use crate::device::DeviceRoster;
+use crate::queue::{Admission, AdmissionQueue, QueueConfig};
+use crate::report::{ClassReport, DeviceReport, DispatchRecord, ServingReport};
+use crate::request::{QueryClass, RequestId, ServeRequest};
+use crate::workload::{exponential, ArrivalProcess, ModelCatalog, WorkloadSpec};
+
+/// How dispatch picks a backend for each batch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ServePolicy {
+    /// Arbitrate on the backends' own cost models
+    /// ([`choose_amortized_eligible`]) — the planning upper bound.
+    Oracle,
+    /// Arbitrate on an online [`AdaptiveScheduler`] that learns costs from
+    /// the runs it dispatches (`alpha` is its smoothing factor).
+    Adaptive {
+        /// Smoothing factor in `(0, 1]`.
+        alpha: f64,
+    },
+}
+
+/// Engine configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Admission-queue capacity, shed policy, and per-class SLOs.
+    pub queue: QueueConfig,
+    /// Micro-batch coalescing.
+    pub coalesce: CoalesceConfig,
+    /// Dispatch arbitration.
+    pub policy: ServePolicy,
+    /// Concurrent passes on the shared CPU device (executor-pool seats).
+    pub cpu_seats: usize,
+    /// Concurrent passes on the shared GPU device (streams).
+    pub gpu_streams: usize,
+    /// Replace the whole topology with one single-slot device shared by
+    /// every backend — the legacy-replay equivalence mode.
+    pub serial_device: bool,
+    /// Model compile charging: on a simulated artifact-cache miss a pass
+    /// additionally pays `PipelineParams::model_preprocess_time`, on a hit
+    /// `PipelineParams::cache_lookup`. Off, compiles are free and the
+    /// cache model is bypassed entirely.
+    pub charge_compile: bool,
+    /// Capacity of the simulated artifact cache (compiled artifacts
+    /// resident across all backends), when `charge_compile` is on.
+    pub cache_entries: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self {
+            queue: QueueConfig::default(),
+            coalesce: CoalesceConfig::default(),
+            policy: ServePolicy::Oracle,
+            cpu_seats: mlscore_exec::pool::default_threads(),
+            gpu_streams: 4,
+            serial_device: false,
+            charge_compile: true,
+            cache_entries: 32,
+        }
+    }
+}
+
+/// The serving engine: a backend roster, a model catalog, and a
+/// configuration, run against workloads.
+///
+/// # Example
+///
+/// ```
+/// use mlscore_sched::paper_backends;
+/// use mlscore_serve::{
+///     ArrivalProcess, ModelCatalog, ServeConfig, ServeEngine, WorkloadSpec,
+/// };
+/// use mlscore_telemetry::Tracer;
+///
+/// let engine = ServeEngine::new(
+///     paper_backends(),
+///     ModelCatalog::paper_mix(),
+///     ServeConfig::default(),
+/// );
+/// let spec = WorkloadSpec {
+///     queries: 30,
+///     seed: 7,
+///     arrivals: ArrivalProcess::OpenPoisson { rate_qps: 50.0 },
+/// };
+/// let report = engine.run(&spec, &Tracer::disabled());
+/// assert!(report.is_conserved());
+/// assert_eq!(report.completed + report.shed() + report.unservable, 30);
+/// ```
+pub struct ServeEngine {
+    backends: Vec<Box<dyn ScoringBackend>>,
+    catalog: ModelCatalog,
+    config: ServeConfig,
+    params: PipelineParams,
+}
+
+impl ServeEngine {
+    /// Builds an engine over `backends` and `catalog`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an empty roster or catalog.
+    pub fn new(
+        backends: Vec<Box<dyn ScoringBackend>>,
+        catalog: ModelCatalog,
+        config: ServeConfig,
+    ) -> Self {
+        assert!(
+            !backends.is_empty(),
+            "the engine needs at least one backend"
+        );
+        assert!(!catalog.is_empty(), "the engine needs at least one model");
+        Self {
+            backends,
+            catalog,
+            config,
+            params: PipelineParams::default(),
+        }
+    }
+
+    /// Replaces the pipeline cost parameters (compile and cache-lookup
+    /// charges).
+    pub fn with_params(mut self, params: PipelineParams) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// The backend roster.
+    pub fn backends(&self) -> &[Box<dyn ScoringBackend>] {
+        &self.backends
+    }
+
+    /// The model catalog.
+    pub fn catalog(&self) -> &ModelCatalog {
+        &self.catalog
+    }
+
+    /// The device topology this configuration induces.
+    pub fn roster(&self) -> DeviceRoster {
+        if self.config.serial_device {
+            DeviceRoster::serial(&self.backends)
+        } else {
+            DeviceRoster::paper_default(
+                &self.backends,
+                self.config.cpu_seats,
+                self.config.gpu_streams,
+            )
+        }
+    }
+
+    /// Runs `spec` to completion, recording spans on `tracer` (pass
+    /// [`Tracer::disabled`] to skip telemetry).
+    pub fn run(&self, spec: &WorkloadSpec, tracer: &Tracer) -> ServingReport {
+        let mut run = Run::new(self, spec, tracer);
+        run.seed_arrivals(spec);
+        while let Some(Reverse(event)) = run.events.pop() {
+            let now = event.at;
+            if let EventKind::Arrival { draw, client } = event.kind {
+                run.arrive(now, draw, client);
+            }
+            // DeviceFree and HoldExpired carry no state of their own: they
+            // exist to create the dispatch opportunity below.
+            run.try_dispatch(now);
+        }
+        run.into_report()
+    }
+}
+
+/// Heap events, ordered by `(instant, insertion sequence)` — insertion
+/// order breaks simultaneous-event ties deterministically.
+#[derive(Debug, Clone, Copy)]
+enum EventKind {
+    Arrival { draw: usize, client: Option<usize> },
+    DeviceFree,
+    HoldExpired,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Event {
+    at: SimInstant,
+    seq: u64,
+    kind: EventKind,
+}
+
+impl PartialEq for Event {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl Eq for Event {}
+
+impl PartialOrd for Event {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Event {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.at.cmp(&other.at).then(self.seq.cmp(&other.seq))
+    }
+}
+
+/// A deterministic stand-in for the artifact cache: the same
+/// content-addressed [`ArtifactKey`]s and LRU policy as
+/// `mlscore_backend::ArtifactCache`, but tracking only residency — the
+/// engine charges modelled compile time instead of compiling.
+struct CacheModel {
+    capacity: usize,
+    resident: HashMap<ArtifactKey, u64>,
+    tick: u64,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+impl CacheModel {
+    fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "cache model capacity must be non-zero");
+        Self {
+            capacity,
+            resident: HashMap::new(),
+            tick: 0,
+            hits: 0,
+            misses: 0,
+            evictions: 0,
+        }
+    }
+
+    /// Would a lookup hit right now? (No counters touched — arbitration
+    /// peeks at many backends per dispatch.)
+    fn would_hit(&self, key: &ArtifactKey) -> bool {
+        self.resident.contains_key(key)
+    }
+
+    /// One lookup: bumps counters, inserts on miss, evicts LRU at
+    /// capacity. Returns `true` on a hit.
+    fn probe(&mut self, key: ArtifactKey) -> bool {
+        self.tick += 1;
+        if let Some(last_used) = self.resident.get_mut(&key) {
+            *last_used = self.tick;
+            self.hits += 1;
+            return true;
+        }
+        self.misses += 1;
+        while self.resident.len() >= self.capacity {
+            // min by (last_used, key display) — the display string breaks
+            // HashMap iteration-order ties deterministically.
+            let lru = self
+                .resident
+                .iter()
+                .min_by_key(|(k, &t)| (t, k.to_string()))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map at capacity");
+            self.resident.remove(&lru);
+            self.evictions += 1;
+        }
+        self.resident.insert(key, self.tick);
+        false
+    }
+
+    fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits,
+            misses: self.misses,
+            evictions: self.evictions,
+            entries: self.resident.len(),
+        }
+    }
+}
+
+/// Mutable state of one run.
+struct Run<'a> {
+    engine: &'a ServeEngine,
+    tracer: &'a Tracer,
+    roster: DeviceRoster,
+    ledgers: Vec<DeviceLedger>,
+    queue: AdmissionQueue,
+    events: BinaryHeap<Reverse<Event>>,
+    seq: u64,
+    draws: Vec<(usize, u64)>,
+    next_id: RequestId,
+    // Closed-loop state.
+    next_draw: usize,
+    think_rng: Option<StdRng>,
+    think_mean: f64,
+    // Arbitration state.
+    adaptive: Option<AdaptiveScheduler>,
+    cache: Option<CacheModel>,
+    holds: HashSet<RequestId>,
+    // Accounting.
+    admitted: u64,
+    completed: u64,
+    rejected: u64,
+    dropped: u64,
+    timed_out: u64,
+    unservable: u64,
+    records_scored: u64,
+    batches: u64,
+    coalesced_batches: u64,
+    batch_sizes: BTreeMap<usize, u64>,
+    latency: Histogram,
+    classes: Vec<ClassReport>,
+    picks: BTreeMap<String, u64>,
+    dispatches: Vec<DispatchRecord>,
+    last_completion: SimInstant,
+}
+
+impl<'a> Run<'a> {
+    fn new(engine: &'a ServeEngine, spec: &WorkloadSpec, tracer: &'a Tracer) -> Self {
+        let roster = engine.roster();
+        let ledgers = roster
+            .devices()
+            .iter()
+            .map(|d| DeviceLedger::new(d.slots))
+            .collect();
+        let adaptive = match engine.config.policy {
+            ServePolicy::Oracle => None,
+            ServePolicy::Adaptive { alpha } => Some(AdaptiveScheduler::new(alpha)),
+        };
+        let cache = engine
+            .config
+            .charge_compile
+            .then(|| CacheModel::new(engine.config.cache_entries));
+        Self {
+            engine,
+            tracer,
+            roster,
+            ledgers,
+            queue: AdmissionQueue::new(engine.config.queue),
+            events: BinaryHeap::new(),
+            seq: 0,
+            draws: spec.draws(engine.catalog.len()),
+            next_id: 0,
+            next_draw: 0,
+            think_rng: None,
+            think_mean: 0.0,
+            adaptive,
+            cache,
+            holds: HashSet::new(),
+            admitted: 0,
+            completed: 0,
+            rejected: 0,
+            dropped: 0,
+            timed_out: 0,
+            unservable: 0,
+            records_scored: 0,
+            batches: 0,
+            coalesced_batches: 0,
+            batch_sizes: BTreeMap::new(),
+            latency: Histogram::new(),
+            classes: QueryClass::all()
+                .into_iter()
+                .map(|class| ClassReport {
+                    class,
+                    completed: 0,
+                    timed_out: 0,
+                    slo_violations: 0,
+                    latency: Histogram::new(),
+                })
+                .collect(),
+            picks: BTreeMap::new(),
+            dispatches: Vec::new(),
+            last_completion: SimInstant::ZERO,
+        }
+    }
+
+    fn push_event(&mut self, at: SimInstant, kind: EventKind) {
+        let seq = self.seq;
+        self.seq += 1;
+        self.events.push(Reverse(Event { at, seq, kind }));
+    }
+
+    fn seed_arrivals(&mut self, spec: &WorkloadSpec) {
+        match spec.arrivals {
+            ArrivalProcess::Batch | ArrivalProcess::OpenPoisson { .. } => {
+                for (draw, at) in spec.open_arrival_times().into_iter().enumerate() {
+                    self.push_event(at, EventKind::Arrival { draw, client: None });
+                }
+                self.next_draw = spec.queries;
+            }
+            ArrivalProcess::ClosedLoop { clients, think } => {
+                assert!(clients > 0, "a closed loop needs at least one client");
+                let first = clients.min(spec.queries);
+                for client in 0..first {
+                    self.push_event(
+                        SimInstant::ZERO,
+                        EventKind::Arrival {
+                            draw: client,
+                            client: Some(client),
+                        },
+                    );
+                }
+                self.next_draw = first;
+                self.think_rng = Some(spec.think_rng());
+                self.think_mean = think.as_secs();
+            }
+        }
+    }
+
+    fn arrive(&mut self, now: SimInstant, draw: usize, client: Option<usize>) {
+        let (model, n_records) = self.draws[draw];
+        let id = self.next_id;
+        self.next_id += 1;
+        let request = ServeRequest {
+            id,
+            class: QueryClass::of(n_records),
+            model,
+            n_records,
+            arrival: now,
+            client,
+        };
+        match self.queue.offer(request) {
+            Admission::Admitted => self.admitted += 1,
+            Admission::Rejected(victim) => {
+                self.rejected += 1;
+                self.shed_span(now, &victim, "shed reject");
+                self.request_left(now, victim.client);
+            }
+            Admission::DroppedOldest(victim) => {
+                self.admitted += 1;
+                self.dropped += 1;
+                self.shed_span(now, &victim, "shed drop-oldest");
+                self.request_left(now, victim.client);
+            }
+        }
+    }
+
+    /// A request left the system without completing (shed) or completed;
+    /// for closed loops, its client thinks and then issues the next query.
+    fn request_left(&mut self, at: SimInstant, client: Option<usize>) {
+        let Some(client) = client else { return };
+        let Some(rng) = self.think_rng.as_mut() else {
+            return;
+        };
+        if self.next_draw >= self.draws.len() {
+            return;
+        }
+        let draw = self.next_draw;
+        self.next_draw += 1;
+        let think = exponential(rng, self.think_mean);
+        self.push_event(
+            at + think,
+            EventKind::Arrival {
+                draw,
+                client: Some(client),
+            },
+        );
+    }
+
+    fn shed_span(&self, now: SimInstant, victim: &ServeRequest, what: &str) {
+        self.tracer
+            .span(what, victim.arrival)
+            .track("serve", format!("class {}", victim.class.name()))
+            .meta("request", victim.id.to_string())
+            .meta("records", victim.n_records.to_string())
+            .finish(now);
+    }
+
+    fn class_mut(&mut self, class: QueryClass) -> &mut ClassReport {
+        self.classes
+            .iter_mut()
+            .find(|c| c.class == class)
+            .expect("all classes present")
+    }
+
+    /// The predicted one-time prepare charge arbitration folds in for
+    /// backend `i` on `model`: a warm lookup if the artifact is resident,
+    /// a full model pre-processing pass if not, nothing when compile
+    /// charging is off.
+    fn predict_prepare(&self, backend: usize, model: usize) -> SimDuration {
+        let Some(cache) = &self.cache else {
+            return SimDuration::ZERO;
+        };
+        let key = artifact_key(
+            self.engine.backends[backend].as_ref(),
+            self.engine.catalog.bundle(model),
+        );
+        if cache.would_hit(&key) {
+            self.engine.params.cache_lookup
+        } else {
+            self.engine
+                .params
+                .model_preprocess_time(self.engine.catalog.model_bytes(model))
+        }
+    }
+
+    fn arbitrate(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+        model: usize,
+        now: SimInstant,
+    ) -> Option<Choice> {
+        let eligible = |i: usize| self.ledgers[self.roster.device_of(i)].has_free_slot(now);
+        let reuse = self
+            .cache
+            .as_ref()
+            .map_or(1, |c| c.stats().expected_reuse());
+        match &self.adaptive {
+            None => choose_amortized_eligible(
+                stats,
+                n_records,
+                reuse,
+                &self.engine.backends,
+                &|i| self.predict_prepare(i, model),
+                &eligible,
+            ),
+            Some(scheduler) => scheduler.choose_amortized_among(
+                stats,
+                n_records,
+                reuse,
+                &self.engine.backends,
+                &eligible,
+            ),
+        }
+    }
+
+    fn supported_at_all(&self, stats: &ModelStats) -> bool {
+        self.engine
+            .backends
+            .iter()
+            .any(|b| b.supports(stats).is_ok())
+    }
+
+    /// Drains every dispatch opportunity available at `now`: expire lapsed
+    /// deadlines, then repeatedly scan the queue's per-model heads in FIFO
+    /// order and dispatch the first batch whose arbitration finds an
+    /// eligible backend. A head whose devices are all busy does not block
+    /// other models (no cross-model head-of-line blocking), but same-model
+    /// requests only ever leave in FIFO order.
+    fn try_dispatch(&mut self, now: SimInstant) {
+        for victim in self.queue.expire(now) {
+            self.timed_out += 1;
+            self.class_mut(victim.class).timed_out += 1;
+            self.shed_span(now, &victim, "deadline timeout");
+            self.request_left(now, victim.client);
+        }
+        let max_requests = self.engine.config.coalesce.effective_max_requests();
+        let max_records = self.engine.config.coalesce.effective_max_records();
+        let hold = if self.engine.config.coalesce.enabled {
+            self.engine.config.coalesce.hold
+        } else {
+            SimDuration::ZERO
+        };
+        loop {
+            let mut seen = HashSet::new();
+            let heads: Vec<ServeRequest> = self
+                .queue
+                .iter()
+                .filter(|r| seen.insert(r.model))
+                .copied()
+                .collect();
+            let mut dispatched = false;
+            for head in heads {
+                let (batch_requests, batch_records) =
+                    self.queue
+                        .preview_batch(head.model, max_requests, max_records);
+                // Hold back a partial batch while the coalescing window is
+                // open — more same-model arrivals may still merge in.
+                if !hold.is_zero()
+                    && batch_requests < max_requests
+                    && batch_records < max_records
+                    && now < head.arrival + hold
+                {
+                    if self.holds.insert(head.id) {
+                        self.push_event(head.arrival + hold, EventKind::HoldExpired);
+                    }
+                    continue;
+                }
+                let stats = *self.engine.catalog.stats(head.model);
+                match self.arbitrate(&stats, batch_records, head.model, now) {
+                    Some(choice) => {
+                        let batch = self.queue.take_batch(head.model, max_requests, max_records);
+                        self.dispatch(now, batch, choice);
+                        dispatched = true;
+                        break; // the queue changed: rescan heads
+                    }
+                    None if !self.supported_at_all(&stats) => {
+                        let batch = self.queue.take_batch(head.model, max_requests, max_records);
+                        for victim in batch {
+                            self.unservable += 1;
+                            self.shed_span(now, &victim, "unservable");
+                            self.request_left(now, victim.client);
+                        }
+                        dispatched = true; // the queue changed: rescan heads
+                        break;
+                    }
+                    // Supported but every eligible device is busy: wait for
+                    // a DeviceFree event.
+                    None => {}
+                }
+            }
+            if !dispatched {
+                break;
+            }
+        }
+    }
+
+    /// Executes one device pass for `batch` on `choice`.
+    fn dispatch(&mut self, now: SimInstant, batch: Vec<ServeRequest>, choice: Choice) {
+        let model = batch[0].model;
+        let stats = *self.engine.catalog.stats(model);
+        let total_records: u64 = batch.iter().map(|r| r.n_records).sum();
+
+        // Compile charge through the cache model.
+        let (prepare, prepare_span) = match &mut self.cache {
+            None => (SimDuration::ZERO, None),
+            Some(cache) => {
+                let key = artifact_key(
+                    self.engine.backends[choice.index].as_ref(),
+                    self.engine.catalog.bundle(model),
+                );
+                if cache.probe(key) {
+                    (self.engine.params.cache_lookup, Some("cache hit"))
+                } else {
+                    let cost = self
+                        .engine
+                        .params
+                        .model_preprocess_time(self.engine.catalog.model_bytes(model));
+                    (cost, Some("compile model"))
+                }
+            }
+        };
+        if prepare_span == Some("compile model") {
+            if let Some(scheduler) = &mut self.adaptive {
+                scheduler.observe_prepare(&stats, choice.index, prepare);
+            }
+        }
+
+        let breakdown = self.engine.backends[choice.index].estimate(&stats, total_records);
+        let score_time = breakdown.total();
+        if let Some(scheduler) = &mut self.adaptive {
+            scheduler.observe(&stats, choice.index, total_records, score_time);
+        }
+
+        let device = self.roster.device_of(choice.index);
+        let (start, end) = self.ledgers[device].reserve(now, prepare + score_time);
+        debug_assert_eq!(start, now, "arbitration only admits free devices");
+
+        // Telemetry: per-request queue-wait on the class lanes, then the
+        // pass phases on the device lane.
+        let lane = format!("device {}", self.roster.devices()[device].name);
+        for r in &batch {
+            self.tracer
+                .span("queue wait", r.arrival)
+                .track("serve", format!("class {}", r.class.name()))
+                .meta("request", r.id.to_string())
+                .meta("records", r.n_records.to_string())
+                .finish(start);
+        }
+        self.tracer
+            .span("coalesce", start)
+            .track("serve", lane.as_str())
+            .meta("backend", choice.name.as_str())
+            .meta("requests", batch.len().to_string())
+            .meta("records", total_records.to_string())
+            .finish(start);
+        let mut cursor = start;
+        if let Some(name) = prepare_span {
+            cursor = self
+                .tracer
+                .span(name, cursor)
+                .track("serve", lane.as_str())
+                .meta("backend", choice.name.as_str())
+                .finish_after(prepare);
+        }
+        for (name, class) in [
+            ("setup", StageClass::Overhead),
+            ("transfer", StageClass::Transfer),
+            ("compute", StageClass::Compute),
+            ("drain", StageClass::Pipeline),
+        ] {
+            let dur = breakdown.total_class(class);
+            if !dur.is_zero() {
+                cursor = self
+                    .tracer
+                    .span(name, cursor)
+                    .track("serve", lane.as_str())
+                    .meta("backend", choice.name.as_str())
+                    .meta("records", total_records.to_string())
+                    .finish_after(dur);
+            }
+        }
+        // The phase spans re-sum the breakdown per class, so the cursor can
+        // differ from `end` by float-addition-order ulps — never more.
+        debug_assert!(
+            (cursor.duration_since(SimInstant::ZERO).as_secs()
+                - end.duration_since(SimInstant::ZERO).as_secs())
+            .abs()
+                <= 1e-9 * end.duration_since(SimInstant::ZERO).as_secs().max(1.0),
+            "span phases must cover the reservation: {cursor:?} vs {end:?}"
+        );
+        let _ = cursor;
+
+        // Accounting.
+        let batch_seq = self.batches;
+        self.batches += 1;
+        if batch.len() > 1 {
+            self.coalesced_batches += 1;
+        }
+        *self.batch_sizes.entry(batch.len()).or_default() += 1;
+        *self.picks.entry(choice.name.clone()).or_default() += batch.len() as u64;
+        for r in &batch {
+            let latency = end - r.arrival;
+            self.latency.record(latency);
+            let violated = self
+                .engine
+                .config
+                .queue
+                .slo(r.class)
+                .latency_slo
+                .is_some_and(|slo| latency > slo);
+            let class = self.class_mut(r.class);
+            class.completed += 1;
+            class.latency.record(latency);
+            if violated {
+                class.slo_violations += 1;
+            }
+            self.completed += 1;
+            self.records_scored += r.n_records;
+            self.dispatches.push(DispatchRecord {
+                id: r.id,
+                class: r.class,
+                model,
+                backend: choice.name.clone(),
+                batch: batch_seq,
+                dispatched_at: start,
+            });
+        }
+        if end > self.last_completion {
+            self.last_completion = end;
+        }
+        for r in batch {
+            self.request_left(end, r.client);
+        }
+        self.push_event(end, EventKind::DeviceFree);
+    }
+
+    fn into_report(self) -> ServingReport {
+        let makespan = self.last_completion.duration_since(SimInstant::ZERO);
+        let devices = self
+            .roster
+            .devices()
+            .iter()
+            .zip(&self.ledgers)
+            .map(|(spec, ledger)| DeviceReport {
+                name: spec.name.clone(),
+                slots: spec.slots,
+                passes: ledger.reservations(),
+                busy: ledger.busy_time(),
+                utilization: ledger.utilization(makespan),
+            })
+            .collect();
+        ServingReport {
+            offered: self.next_id,
+            admitted: self.admitted,
+            completed: self.completed,
+            rejected: self.rejected,
+            dropped: self.dropped,
+            timed_out: self.timed_out,
+            unservable: self.unservable,
+            records_scored: self.records_scored,
+            makespan,
+            batches: self.batches,
+            coalesced_batches: self.coalesced_batches,
+            batch_sizes: self.batch_sizes,
+            latency: self.latency,
+            classes: self.classes,
+            picks: self.picks,
+            devices,
+            cache: self
+                .cache
+                .as_ref()
+                .map(CacheModel::stats)
+                .unwrap_or_default(),
+            expected_reuse: self
+                .cache
+                .as_ref()
+                .map_or(1, |c| c.stats().expected_reuse()),
+            dispatches: self.dispatches,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::queue::ShedPolicy;
+    use crate::request::ClassSlo;
+    use mlscore_sched::paper_backends;
+
+    fn fpga_only() -> Vec<Box<dyn ScoringBackend>> {
+        paper_backends()
+            .into_iter()
+            .filter(|b| b.name() == "FPGA")
+            .collect()
+    }
+
+    fn spec(queries: usize, arrivals: ArrivalProcess) -> WorkloadSpec {
+        WorkloadSpec {
+            queries,
+            seed: 42,
+            arrivals,
+        }
+    }
+
+    #[test]
+    fn open_loop_run_is_conserved_and_deterministic() {
+        let engine = ServeEngine::new(
+            paper_backends(),
+            ModelCatalog::paper_mix(),
+            ServeConfig::default(),
+        );
+        let w = spec(60, ArrivalProcess::OpenPoisson { rate_qps: 40.0 });
+        let a = engine.run(&w, &Tracer::disabled());
+        let b = engine.run(&w, &Tracer::disabled());
+        assert!(a.is_conserved());
+        assert_eq!(a.offered, 60);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.makespan, b.makespan);
+        assert_eq!(a.picks, b.picks);
+        assert_eq!(a.dispatches, b.dispatches);
+        assert!(a.makespan > SimDuration::ZERO);
+        // The mixed trace should use more than one backend.
+        assert!(a.picks.len() >= 2, "picks {:?}", a.picks);
+    }
+
+    #[test]
+    fn overload_with_bounded_queue_sheds() {
+        let config = ServeConfig {
+            queue: QueueConfig {
+                capacity: Some(4),
+                shed: ShedPolicy::RejectNew,
+                ..QueueConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+        let report = engine.run(
+            &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+            &Tracer::disabled(),
+        );
+        assert!(report.is_conserved());
+        assert!(report.rejected > 0, "queue of 4 at 5k qps must shed");
+        assert_eq!(report.shed(), report.rejected);
+    }
+
+    #[test]
+    fn drop_oldest_evicts_instead_of_rejecting() {
+        let config = ServeConfig {
+            queue: QueueConfig {
+                capacity: Some(4),
+                shed: ShedPolicy::DropOldest,
+                ..QueueConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+        let report = engine.run(
+            &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+            &Tracer::disabled(),
+        );
+        assert!(report.is_conserved());
+        assert!(report.dropped > 0);
+        assert_eq!(report.rejected, 0);
+    }
+
+    #[test]
+    fn deadlines_time_out_queued_requests() {
+        let slo = ClassSlo {
+            queue_deadline: Some(SimDuration::from_millis(1.0)),
+            latency_slo: Some(SimDuration::from_millis(2.0)),
+        };
+        let config = ServeConfig {
+            queue: QueueConfig {
+                interactive: slo,
+                analytical: slo,
+                ..QueueConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+        let report = engine.run(
+            &spec(150, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+            &Tracer::disabled(),
+        );
+        assert!(report.is_conserved());
+        assert!(report.timed_out > 0, "1 ms deadlines at 5k qps must lapse");
+        let per_class: u64 = report.classes.iter().map(|c| c.timed_out).sum();
+        assert_eq!(per_class, report.timed_out);
+        // With latency SLOs this tight, queued completions violate them.
+        let violations: u64 = report.classes.iter().map(|c| c.slo_violations).sum();
+        assert!(violations > 0);
+    }
+
+    #[test]
+    fn closed_loop_issues_every_query_and_self_throttles() {
+        let engine = ServeEngine::new(
+            paper_backends(),
+            ModelCatalog::paper_mix(),
+            ServeConfig::default(),
+        );
+        let report = engine.run(
+            &spec(
+                80,
+                ArrivalProcess::ClosedLoop {
+                    clients: 4,
+                    think: SimDuration::from_millis(5.0),
+                },
+            ),
+            &Tracer::disabled(),
+        );
+        assert!(report.is_conserved());
+        assert_eq!(report.offered, 80);
+        // Nothing sheds in a closed loop with an unbounded queue.
+        assert_eq!(report.completed, 80);
+        // At most `clients` requests are ever in flight, so no pass can
+        // merge more than that.
+        assert!(report.max_batch() <= 4);
+    }
+
+    #[test]
+    fn coalescing_merges_under_overload_and_disabled_never_does() {
+        let mk = |enabled| {
+            let config = ServeConfig {
+                coalesce: if enabled {
+                    CoalesceConfig::default()
+                } else {
+                    CoalesceConfig::disabled()
+                },
+                ..ServeConfig::default()
+            };
+            let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+            engine.run(
+                &spec(300, ArrivalProcess::OpenPoisson { rate_qps: 3_000.0 }),
+                &Tracer::disabled(),
+            )
+        };
+        let on = mk(true);
+        let off = mk(false);
+        assert!(on.is_conserved() && off.is_conserved());
+        assert!(
+            on.coalesced_batches > 0,
+            "overload must build mergeable queues"
+        );
+        assert!(on.max_batch() > 1);
+        assert_eq!(off.coalesced_batches, 0);
+        assert_eq!(off.max_batch(), 1);
+        assert!(off.batches >= on.batches, "merging cannot add passes");
+        // Fewer fixed per-pass overheads: the merged run finishes no later.
+        assert!(on.makespan <= off.makespan);
+    }
+
+    #[test]
+    fn hold_window_builds_bigger_batches_at_moderate_load() {
+        let mk = |hold| {
+            let config = ServeConfig {
+                coalesce: CoalesceConfig {
+                    hold,
+                    ..CoalesceConfig::default()
+                },
+                ..ServeConfig::default()
+            };
+            let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+            engine.run(
+                &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 300.0 }),
+                &Tracer::disabled(),
+            )
+        };
+        let eager = mk(SimDuration::ZERO);
+        let held = mk(SimDuration::from_millis(50.0));
+        assert!(held.is_conserved());
+        assert!(
+            held.mean_batch() > eager.mean_batch(),
+            "holding {:.3} vs eager {:.3}",
+            held.mean_batch(),
+            eager.mean_batch()
+        );
+    }
+
+    #[test]
+    fn adaptive_policy_serves_the_whole_workload() {
+        let config = ServeConfig {
+            policy: ServePolicy::Adaptive { alpha: 0.4 },
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
+        let w = spec(120, ArrivalProcess::OpenPoisson { rate_qps: 60.0 });
+        let report = engine.run(&w, &Tracer::disabled());
+        assert!(report.is_conserved());
+        assert_eq!(report.completed, 120);
+        // Exploration probes several backends.
+        assert!(report.picks.len() >= 3, "picks {:?}", report.picks);
+        // Determinism holds for the learner too.
+        let again = engine.run(&w, &Tracer::disabled());
+        assert_eq!(report.dispatches, again.dispatches);
+    }
+
+    #[test]
+    fn compile_charging_populates_the_cache_model() {
+        let engine = ServeEngine::new(
+            fpga_only(),
+            ModelCatalog::paper_mix(),
+            ServeConfig::default(),
+        );
+        let report = engine.run(
+            &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
+            &Tracer::disabled(),
+        );
+        assert!(report.is_conserved());
+        assert_eq!(report.cache.lookups(), report.batches);
+        assert!(
+            report.cache.hits > 0,
+            "12 models over 100 queries must re-hit"
+        );
+        // At most one artifact per (model, backend) pair.
+        assert!(report.cache.entries <= 12);
+        assert_eq!(report.expected_reuse, report.cache.expected_reuse());
+        // Compile charging off: the cache is bypassed entirely.
+        let free = ServeEngine::new(
+            fpga_only(),
+            ModelCatalog::paper_mix(),
+            ServeConfig {
+                charge_compile: false,
+                ..ServeConfig::default()
+            },
+        );
+        let free_report = free.run(
+            &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
+            &Tracer::disabled(),
+        );
+        assert_eq!(free_report.cache, CacheStats::default());
+        assert!(free_report.makespan <= report.makespan);
+    }
+
+    #[test]
+    fn serving_spans_land_on_device_and_class_lanes() {
+        let engine = ServeEngine::new(
+            paper_backends(),
+            ModelCatalog::paper_mix(),
+            ServeConfig::default(),
+        );
+        let tracer = Tracer::new();
+        let report = engine.run(
+            &spec(40, ArrivalProcess::OpenPoisson { rate_qps: 200.0 }),
+            &tracer,
+        );
+        let trace = tracer.take();
+        assert!(!trace.is_empty());
+        let lanes: HashSet<String> = trace
+            .events()
+            .iter()
+            .map(|e| e.track.lane.clone())
+            .collect();
+        assert!(lanes.iter().any(|l| l.starts_with("device ")), "{lanes:?}");
+        assert!(lanes.contains("class interactive") || lanes.contains("class analytical"));
+        let queue_waits = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "queue wait")
+            .count() as u64;
+        assert_eq!(queue_waits, report.completed);
+        let computes = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "compute")
+            .count() as u64;
+        assert_eq!(computes, report.batches);
+    }
+}

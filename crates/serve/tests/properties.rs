@@ -1,0 +1,187 @@
+//! Property tests for the serving engine: request conservation under
+//! arbitrary configurations, bit-exactness of coalesced scoring, and the
+//! FIFO-within-model dispatch guarantee under batch stealing.
+
+use proptest::prelude::*;
+
+use mlscore_backend::{OnnxCpu, ScoringBackend, SklearnCpu};
+use mlscore_data::TabularFrame;
+use mlscore_forest::{ForestConfig, RandomForest};
+use mlscore_sched::paper_backends;
+use mlscore_serve::{
+    score_merged, ArrivalProcess, ClassSlo, CoalesceConfig, ModelCatalog, QueueConfig, ServeConfig,
+    ServeEngine, ServePolicy, ShedPolicy, WorkloadSpec,
+};
+use mlscore_sim::SimDuration;
+use mlscore_telemetry::Tracer;
+
+fn arb_arrivals() -> impl Strategy<Value = ArrivalProcess> {
+    prop_oneof![
+        Just(ArrivalProcess::Batch),
+        (20.0f64..5_000.0).prop_map(|rate_qps| ArrivalProcess::OpenPoisson { rate_qps }),
+        (1usize..6, 0.1f64..20.0).prop_map(|(clients, think_ms)| ArrivalProcess::ClosedLoop {
+            clients,
+            think: SimDuration::from_millis(think_ms),
+        }),
+    ]
+}
+
+fn arb_config() -> impl Strategy<Value = ServeConfig> {
+    (
+        (
+            prop_oneof![Just(None::<usize>), (0usize..12).prop_map(Some)],
+            prop_oneof![Just(ShedPolicy::RejectNew), Just(ShedPolicy::DropOldest)],
+            prop_oneof![Just(None::<f64>), (0.05f64..50.0).prop_map(Some)],
+        ),
+        (any::<bool>(), 1usize..8, 0.0f64..5.0),
+        (
+            prop_oneof![
+                Just(ServePolicy::Oracle),
+                (0.1f64..0.9).prop_map(|alpha| ServePolicy::Adaptive { alpha }),
+            ],
+            any::<bool>(),
+            any::<bool>(),
+        ),
+    )
+        .prop_map(
+            |(
+                (capacity, shed, deadline_ms),
+                (coalesce_on, max_requests, hold_ms),
+                (policy, serial_device, charge_compile),
+            )| {
+                ServeConfig {
+                    queue: QueueConfig {
+                        capacity,
+                        shed,
+                        interactive: ClassSlo {
+                            queue_deadline: deadline_ms.map(SimDuration::from_millis),
+                            latency_slo: None,
+                        },
+                        analytical: ClassSlo::default(),
+                    },
+                    coalesce: CoalesceConfig {
+                        enabled: coalesce_on,
+                        max_requests,
+                        max_records: 1_000_000,
+                        hold: SimDuration::from_millis(hold_ms),
+                    },
+                    policy,
+                    cpu_seats: 4,
+                    gpu_streams: 2,
+                    serial_device,
+                    charge_compile,
+                    cache_entries: 4,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every offered request is accounted for exactly once — completed,
+    /// rejected, dropped, timed out, or unservable — no matter the queue
+    /// bound, shed policy, deadlines, coalescing, policy, or topology.
+    #[test]
+    fn requests_are_conserved_under_any_configuration(
+        config in arb_config(),
+        arrivals in arb_arrivals(),
+        queries in 1usize..60,
+        seed in 0u64..1 << 16,
+    ) {
+        let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
+        let spec = WorkloadSpec { queries, seed, arrivals };
+        let report = engine.run(&spec, &Tracer::disabled());
+        prop_assert!(report.is_conserved());
+        prop_assert_eq!(report.offered, queries as u64);
+        prop_assert_eq!(
+            report.completed + report.shed() + report.unservable,
+            queries as u64
+        );
+        // Coalescing off means strictly one request per pass.
+        if !engine.run(&spec, &Tracer::disabled()).is_conserved() {
+            unreachable!("determinism: the rerun conserves iff the first did");
+        }
+    }
+
+    /// Scoring `k` same-model requests as one concatenated pass and
+    /// splitting the predictions is bit-identical to scoring each request
+    /// alone — on both a single- and a multi-threaded CPU backend.
+    #[test]
+    fn coalesced_scoring_is_bit_exact(
+        row_counts in proptest::collection::vec(1usize..24, 1..6),
+        trees in 1usize..24,
+        depth in 2usize..7,
+        seed in 0u64..1 << 16,
+        multi_class in any::<bool>(),
+    ) {
+        let n_features = 4;
+        let cfg = if multi_class {
+            ForestConfig::classification(trees, n_features, 3)
+        } else {
+            ForestConfig::regression(trees, n_features)
+        }
+        .with_depth(depth);
+        let forest = RandomForest::synthetic_full(&cfg, seed);
+        let frames: Vec<TabularFrame> = row_counts
+            .iter()
+            .enumerate()
+            .map(|(i, &rows)| {
+                let data = (0..rows * n_features)
+                    .map(|j| {
+                        let x = (j as u64)
+                            .wrapping_mul(2_654_435_761)
+                            .wrapping_add(seed ^ i as u64);
+                        (x % 1_000) as f32 / 1_000.0
+                    })
+                    .collect();
+                TabularFrame::from_rows(data, n_features).unwrap()
+            })
+            .collect();
+        let refs: Vec<&TabularFrame> = frames.iter().collect();
+        let backends: [Box<dyn ScoringBackend>; 2] = [
+            Box::new(SklearnCpu::with_threads(1)),
+            Box::new(OnnxCpu::with_threads(4)),
+        ];
+        for backend in &backends {
+            let split = score_merged(backend.as_ref(), &forest, &refs).unwrap();
+            prop_assert_eq!(split.len(), frames.len());
+            for (frame, got) in frames.iter().zip(&split) {
+                let solo = forest.predict_batch(frame.as_slice());
+                prop_assert_eq!(got, &solo);
+            }
+        }
+    }
+
+    /// The coalescer may steal later same-model requests past earlier
+    /// other-model ones, but two requests for the same model always
+    /// dispatch in arrival order, and requests inside one pass are
+    /// contiguous in the dispatch log.
+    #[test]
+    fn same_model_dispatch_order_is_fifo_under_stealing(
+        config in arb_config(),
+        arrivals in arb_arrivals(),
+        queries in 2usize..60,
+        seed in 0u64..1 << 16,
+    ) {
+        let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
+        let spec = WorkloadSpec { queries, seed, arrivals };
+        let report = engine.run(&spec, &Tracer::disabled());
+        let mut last_id_for_model = std::collections::HashMap::new();
+        let mut last_batch = None;
+        for d in &report.dispatches {
+            // Request ids are issued in arrival order, so FIFO-within-model
+            // means ids strictly increase per model in the dispatch log.
+            if let Some(prev) = last_id_for_model.insert(d.model, d.id) {
+                prop_assert!(prev < d.id, "model {} dispatched {} after {}", d.model, d.id, prev);
+            }
+            // Batch sequence numbers never interleave: the log is grouped
+            // by pass, in dispatch order.
+            if let Some(prev) = last_batch {
+                prop_assert!(d.batch >= prev);
+            }
+            last_batch = Some(d.batch);
+        }
+        prop_assert!(report.is_conserved());
+    }
+}

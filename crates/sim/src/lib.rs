@@ -24,10 +24,12 @@
 
 pub mod breakdown;
 pub mod cache;
+pub mod device;
 pub mod rate;
 pub mod time;
 
 pub use breakdown::{Stage, StageClass, TimingBreakdown};
 pub use cache::{CacheHierarchy, CacheLevel};
+pub use device::DeviceLedger;
 pub use rate::{transfer_time, Bandwidth, ClockRate};
 pub use time::{SimDuration, SimInstant};

@@ -18,6 +18,8 @@
 //! * [`mlscore_offload`] — PCIe and offload-overhead models.
 //! * [`mlscore_pipeline`] — the end-to-end T-SQL query pipeline.
 //! * [`mlscore_sched`] — backend-selection policies.
+//! * [`mlscore_serve`] — discrete-event serving engine: arrival processes,
+//!   admission control, micro-batch coalescing, device contention.
 //! * [`mlscore_telemetry`] — span tracing, metrics, Perfetto trace export.
 //! * [`mlscore_core`] — experiment harness and paper figure generators.
 
@@ -34,6 +36,7 @@ pub use mlscore_gpu as gpu;
 pub use mlscore_offload as offload;
 pub use mlscore_pipeline as pipeline;
 pub use mlscore_sched as sched;
+pub use mlscore_serve as serve;
 pub use mlscore_sim as sim;
 pub use mlscore_telemetry as telemetry;
 
