@@ -15,6 +15,13 @@ cargo fmt --check
 echo "== cargo clippy --workspace -- -D warnings =="
 cargo clippy --workspace -- -D warnings
 
+echo "== workspace lints (repro analyze --check-baseline) =="
+# The determinism & hot-path lint pass (DESIGN.md section 10): fails on any
+# new finding AND on stale baseline entries, so the committed baseline can
+# only shrink.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    analyze --check-baseline
+
 echo "== bench smoke (repro bench --quick) =="
 # Quick measured sweep into a scratch file: exercises the wall-clock
 # harness end to end — including the warm+cold artifact-cache pair — and

@@ -1,0 +1,7 @@
+//! Standalone front end for the workspace lints; `repro analyze` is the
+//! same entry point reached through the bench CLI.
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(mlscore_analysis::cli::run(&args));
+}

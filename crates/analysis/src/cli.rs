@@ -1,0 +1,231 @@
+//! The `analyze` command-line front end, shared by the standalone
+//! `mlscore-analyze` binary and the `repro analyze` subcommand.
+
+use std::fs;
+use std::path::PathBuf;
+
+use mlscore_telemetry::json::write_escaped;
+
+use crate::{analyze_workspace, baseline, Finding, LINTS};
+
+/// Default baseline location, relative to the workspace root.
+pub const DEFAULT_BASELINE: &str = "analysis-baseline.json";
+
+const USAGE: &str = "\
+usage: analyze [options]
+
+Runs the mlscore workspace lints (see DESIGN.md \u{a7}10) over crates/*/src.
+
+options:
+  --json               emit machine-readable JSON instead of human diagnostics
+  --check-baseline     compare findings against the committed baseline; fail on
+                       new findings AND on stale baseline entries
+  --write-baseline     regenerate the baseline from current findings and exit
+  --baseline <file>    baseline path (default: analysis-baseline.json)
+  --root <dir>         workspace root (default: current directory)
+  --list-lints         print the lint catalog and exit
+  -h, --help           this text
+
+exit codes: 0 clean/pass, 1 findings or baseline mismatch, 2 usage/io error";
+
+struct Options {
+    json: bool,
+    check_baseline: bool,
+    write_baseline: bool,
+    baseline: Option<PathBuf>,
+    root: PathBuf,
+}
+
+/// Runs the analyzer CLI; returns the process exit code.
+pub fn run(args: &[String]) -> i32 {
+    let mut opts = Options {
+        json: false,
+        check_baseline: false,
+        write_baseline: false,
+        baseline: None,
+        root: PathBuf::from("."),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--json" => opts.json = true,
+            "--check-baseline" => opts.check_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--baseline" => match it.next() {
+                Some(path) => opts.baseline = Some(PathBuf::from(path)),
+                None => return usage_error("--baseline needs a path"),
+            },
+            "--root" => match it.next() {
+                Some(path) => opts.root = PathBuf::from(path),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--list-lints" => {
+                for lint in LINTS {
+                    println!("{}  {}", lint.code, lint.summary);
+                }
+                return 0;
+            }
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                return 0;
+            }
+            other => return usage_error(&format!("unknown option `{other}`")),
+        }
+    }
+
+    let findings = match analyze_workspace(&opts.root) {
+        Ok(findings) => findings,
+        Err(e) => {
+            eprintln!("analyze: {e}");
+            return 2;
+        }
+    };
+
+    let baseline_path = opts
+        .baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join(DEFAULT_BASELINE));
+
+    if opts.write_baseline {
+        let doc = baseline::to_json(&baseline::aggregate(&findings));
+        if let Err(e) = fs::write(&baseline_path, doc) {
+            eprintln!("analyze: writing {}: {e}", baseline_path.display());
+            return 2;
+        }
+        println!(
+            "analyze: wrote baseline for {} finding(s) to {}",
+            findings.len(),
+            baseline_path.display()
+        );
+        return 0;
+    }
+
+    if opts.json {
+        println!("{}", render_json(&findings));
+    } else {
+        for f in &findings {
+            println!("{f}");
+        }
+    }
+
+    if opts.check_baseline {
+        let doc = match fs::read_to_string(&baseline_path) {
+            Ok(doc) => doc,
+            Err(e) => {
+                eprintln!("analyze: reading {}: {e}", baseline_path.display());
+                return 2;
+            }
+        };
+        let entries = match baseline::parse(&doc) {
+            Ok(entries) => entries,
+            Err(e) => {
+                eprintln!("analyze: {}: {e}", baseline_path.display());
+                return 2;
+            }
+        };
+        let errors = baseline::check(&findings, &entries);
+        if errors.is_empty() {
+            if !opts.json {
+                println!(
+                    "analyze: clean ({} finding(s), all within baseline)",
+                    findings.len()
+                );
+            }
+            return 0;
+        }
+        for e in &errors {
+            eprintln!("analyze: {e}");
+        }
+        return 1;
+    }
+
+    if findings.is_empty() {
+        if !opts.json {
+            println!("analyze: clean (0 findings)");
+        }
+        0
+    } else {
+        if !opts.json {
+            println!("analyze: {} finding(s)", findings.len());
+        }
+        1
+    }
+}
+
+fn usage_error(msg: &str) -> i32 {
+    eprintln!("analyze: {msg}");
+    eprintln!("{USAGE}");
+    2
+}
+
+/// Renders findings as a stable JSON document with file:line spans.
+pub fn render_json(findings: &[Finding]) -> String {
+    let mut out = String::from("{\n  \"version\": 1,\n  \"total\": ");
+    out.push_str(&findings.len().to_string());
+    out.push_str(",\n  \"findings\": [");
+    for (i, f) in findings.iter().enumerate() {
+        out.push_str(if i == 0 { "\n" } else { ",\n" });
+        out.push_str("    { \"lint\": ");
+        write_escaped(&mut out, &f.lint);
+        out.push_str(", \"file\": ");
+        write_escaped(&mut out, &f.file);
+        out.push_str(&format!(", \"line\": {}, \"message\": ", f.line));
+        write_escaped(&mut out, &f.message);
+        out.push_str(" }");
+    }
+    if !findings.is_empty() {
+        out.push_str("\n  ");
+    }
+    out.push_str("]\n}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mlscore_telemetry::json;
+
+    #[test]
+    fn json_rendering_is_parseable_and_carries_spans() {
+        let findings = vec![Finding {
+            lint: "D001".to_string(),
+            file: "crates/a/src/x.rs".to_string(),
+            line: 7,
+            message: "wall-clock \"read\"".to_string(),
+        }];
+        let doc = json::parse(&render_json(&findings)).unwrap();
+        assert_eq!(
+            doc.get("total").and_then(json::JsonValue::as_f64),
+            Some(1.0)
+        );
+        let item = &doc
+            .get("findings")
+            .and_then(json::JsonValue::as_array)
+            .unwrap()[0];
+        assert_eq!(
+            item.get("lint").and_then(json::JsonValue::as_str),
+            Some("D001")
+        );
+        assert_eq!(
+            item.get("line").and_then(json::JsonValue::as_f64),
+            Some(7.0)
+        );
+        assert_eq!(
+            item.get("message").and_then(json::JsonValue::as_str),
+            Some("wall-clock \"read\"")
+        );
+    }
+
+    #[test]
+    fn empty_findings_render_an_empty_array() {
+        let doc = json::parse(&render_json(&[])).unwrap();
+        assert_eq!(
+            doc.get("total").and_then(json::JsonValue::as_f64),
+            Some(0.0)
+        );
+        assert_eq!(
+            doc.get("findings").and_then(json::JsonValue::as_array),
+            Some(&[][..])
+        );
+    }
+}

@@ -1,0 +1,445 @@
+//! A hand-rolled Rust lexer.
+//!
+//! The container is offline, so the analyzer cannot use `syn`; the lints in
+//! this crate only need a token stream with line numbers, not a syntax
+//! tree. The lexer is *lossless*: concatenating the `text` of every token
+//! reproduces the input byte-for-byte (pinned by a proptest in
+//! `tests/lexer_roundtrip.rs`), which guarantees no source region silently
+//! escapes scanning.
+//!
+//! Comments and string/char literals are single tokens, so lint passes that
+//! match identifiers can never fire on prose, doc examples, or string
+//! contents.
+
+use std::fmt;
+
+/// What a token is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Horizontal and vertical whitespace (including newlines).
+    Whitespace,
+    /// `// ...` up to (not including) the terminating newline. Doc comments
+    /// (`///`, `//!`) are line comments too.
+    LineComment,
+    /// `/* ... */`, nesting respected. Unterminated comments run to EOF.
+    BlockComment,
+    /// An identifier or keyword, including raw identifiers (`r#match`).
+    Ident,
+    /// A lifetime (`'a`, `'static`) or a loop label.
+    Lifetime,
+    /// An integer or float literal, with any suffix.
+    Number,
+    /// A string, raw string, byte string, or char literal.
+    Literal,
+    /// A single punctuation byte (`{`, `::` is two tokens, etc.).
+    Punct,
+    /// Any byte the lexer does not recognize (kept for losslessness).
+    Unknown,
+}
+
+/// One lossless token: its kind, exact source text, and 1-based start line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// The exact bytes of the token as they appear in the source.
+    pub text: String,
+    /// 1-based line of the token's first byte.
+    pub line: u32,
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.text)
+    }
+}
+
+/// Lexes `source` into a lossless token stream.
+///
+/// Never fails: malformed input degrades to `Unknown` single-char tokens,
+/// and unterminated literals/comments extend to end of input.
+pub fn lex(source: &str) -> Vec<Token> {
+    Lexer {
+        src: source,
+        bytes: source.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::new(),
+    }
+    .run()
+}
+
+/// Concatenates the tokens' text; equal to the lexed source by
+/// construction.
+pub fn render(tokens: &[Token]) -> String {
+    tokens.iter().map(|t| t.text.as_str()).collect()
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+impl Lexer<'_> {
+    fn run(mut self) -> Vec<Token> {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.next_kind();
+            let text = self.src[start..self.pos].to_string();
+            debug_assert!(self.pos > start, "lexer must always make progress");
+            self.line += text.bytes().filter(|&b| b == b'\n').count() as u32;
+            self.out.push(Token { kind, text, line });
+        }
+        self.out
+    }
+
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.bytes.get(self.pos + ahead).copied()
+    }
+
+    fn next_kind(&mut self) -> TokenKind {
+        let b = self.bytes[self.pos];
+        match b {
+            b' ' | b'\t' | b'\n' | b'\r' => {
+                while matches!(self.peek(0), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                    self.pos += 1;
+                }
+                TokenKind::Whitespace
+            }
+            b'/' if self.peek(1) == Some(b'/') => {
+                while !matches!(self.peek(0), None | Some(b'\n')) {
+                    self.pos += 1;
+                }
+                TokenKind::LineComment
+            }
+            b'/' if self.peek(1) == Some(b'*') => {
+                self.pos += 2;
+                let mut depth = 1usize;
+                while depth > 0 {
+                    match (self.peek(0), self.peek(1)) {
+                        (Some(b'/'), Some(b'*')) => {
+                            depth += 1;
+                            self.pos += 2;
+                        }
+                        (Some(b'*'), Some(b'/')) => {
+                            depth -= 1;
+                            self.pos += 2;
+                        }
+                        (Some(_), _) => self.pos += 1,
+                        (None, _) => break,
+                    }
+                }
+                TokenKind::BlockComment
+            }
+            b'"' => self.string_literal(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' if self.is_literal_prefix() => self.prefixed_literal(),
+            _ if is_ident_start(b) => {
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.pos += 1;
+                }
+                TokenKind::Ident
+            }
+            b'0'..=b'9' => self.number(),
+            _ if b.is_ascii() => {
+                self.pos += 1;
+                if b.is_ascii_punctuation() {
+                    TokenKind::Punct
+                } else {
+                    TokenKind::Unknown
+                }
+            }
+            _ => {
+                // Skip one whole UTF-8 scalar (input is &str, boundaries
+                // are valid).
+                let c_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                self.pos += c_len;
+                TokenKind::Unknown
+            }
+        }
+    }
+
+    /// True when the byte at `pos` starts `r"`, `r#"`, `r#ident`, `b"`,
+    /// `b'`, `br"`, or `br#"` rather than a plain identifier.
+    fn is_literal_prefix(&self) -> bool {
+        let b = self.bytes[self.pos];
+        match (b, self.peek(1)) {
+            (b'r', Some(b'"')) => true,
+            (b'r', Some(b'#')) => {
+                // r#"raw"# (literal) vs r#ident (raw identifier).
+                let mut i = 1;
+                while self.peek(i) == Some(b'#') {
+                    i += 1;
+                }
+                self.peek(i) == Some(b'"')
+            }
+            (b'b', Some(b'"' | b'\'')) => true,
+            (b'b', Some(b'r')) => matches!(self.peek(2), Some(b'"' | b'#')),
+            _ => false,
+        }
+    }
+
+    fn prefixed_literal(&mut self) -> TokenKind {
+        let raw = self.bytes[self.pos] == b'r'
+            || (self.bytes[self.pos] == b'b' && self.peek(1) == Some(b'r'));
+        while matches!(self.peek(0), Some(b'r' | b'b')) {
+            self.pos += 1;
+        }
+        if raw {
+            let mut hashes = 0usize;
+            while self.peek(0) == Some(b'#') {
+                hashes += 1;
+                self.pos += 1;
+            }
+            if self.peek(0) == Some(b'"') {
+                self.pos += 1;
+                loop {
+                    match self.peek(0) {
+                        None => break,
+                        Some(b'"') => {
+                            self.pos += 1;
+                            let mut closing = 0usize;
+                            while closing < hashes && self.peek(0) == Some(b'#') {
+                                closing += 1;
+                                self.pos += 1;
+                            }
+                            if closing == hashes {
+                                break;
+                            }
+                        }
+                        Some(_) => self.pos += 1,
+                    }
+                }
+            }
+            TokenKind::Literal
+        } else if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+            self.char_body();
+            TokenKind::Literal
+        } else {
+            self.string_literal()
+        }
+    }
+
+    fn string_literal(&mut self) -> TokenKind {
+        debug_assert_eq!(self.peek(0), Some(b'"'));
+        self.pos += 1;
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b'\\') => self.pos += 2.min(self.bytes.len() - self.pos),
+                Some(_) => self.pos += 1,
+            }
+        }
+        TokenKind::Literal
+    }
+
+    /// Consumes the body of a char literal after the opening `'`.
+    fn char_body(&mut self) {
+        match self.peek(0) {
+            Some(b'\\') => {
+                self.pos += 2.min(self.bytes.len() - self.pos);
+                // Escapes like \u{1F600} have a bracketed payload.
+                if self.peek(0) == Some(b'{') {
+                    while !matches!(self.peek(0), None | Some(b'}')) {
+                        self.pos += 1;
+                    }
+                    if self.peek(0) == Some(b'}') {
+                        self.pos += 1;
+                    }
+                }
+            }
+            Some(_) => {
+                let c_len = self.src[self.pos..]
+                    .chars()
+                    .next()
+                    .map_or(1, char::len_utf8);
+                self.pos += c_len;
+            }
+            None => return,
+        }
+        if self.peek(0) == Some(b'\'') {
+            self.pos += 1;
+        }
+    }
+
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        debug_assert_eq!(self.peek(0), Some(b'\''));
+        // `'a'` / `'\n'` are char literals; `'a` / `'static` are lifetimes.
+        if self.peek(1).is_some_and(is_ident_start) {
+            // Scan the identifier run; a trailing quote makes it a char.
+            let mut i = 1;
+            while self.peek(i).is_some_and(is_ident_continue) {
+                i += 1;
+            }
+            if self.peek(i) == Some(b'\'') && i == 2 {
+                self.pos += 1;
+                self.char_body();
+                return TokenKind::Literal;
+            }
+            if self.peek(i) == Some(b'\'') && i != 2 {
+                // Multi-char body like 'abc' is not valid Rust; treat as a
+                // literal anyway so the text stays one token.
+                self.pos += i + 1;
+                return TokenKind::Literal;
+            }
+            self.pos += i;
+            return TokenKind::Lifetime;
+        }
+        // `'\n'`, `'('`, `'0'`, unterminated `'` at EOF...
+        self.pos += 1;
+        if self.peek(0).is_some() {
+            self.char_body();
+        }
+        TokenKind::Literal
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, underscores, suffixes, hex/oct/bin bodies, and float
+        // forms. A `.` joins only when followed by a digit (so `0..n` and
+        // `x.0.clone()` split correctly); `+`/`-` join only directly after
+        // an exponent `e`/`E` in a decimal literal.
+        let hex = self.peek(0) == Some(b'0') && matches!(self.peek(1), Some(b'x' | b'X'));
+        loop {
+            match self.peek(0) {
+                Some(b'0'..=b'9' | b'_') => self.pos += 1,
+                Some(b'a'..=b'z' | b'A'..=b'Z') => {
+                    let is_exp = matches!(self.bytes[self.pos], b'e' | b'E') && !hex;
+                    self.pos += 1;
+                    if is_exp && matches!(self.peek(0), Some(b'+' | b'-')) {
+                        self.pos += 1;
+                    }
+                }
+                Some(b'.') if self.peek(1).is_some_and(|d| d.is_ascii_digit()) => self.pos += 1,
+                _ => break,
+            }
+        }
+        TokenKind::Number
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphabetic()
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b == b'_' || b.is_ascii_alphanumeric()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.kind, t.text))
+            .collect()
+    }
+
+    #[test]
+    fn roundtrips_representative_source() {
+        let src = r##"
+//! Module docs with `HashMap` in prose.
+use std::collections::HashMap; // trailing
+/* block /* nested */ still comment */
+fn f<'a>(x: &'a [u8]) -> u64 {
+    let s = "string with Instant::now() inside";
+    let r = r#"raw "quoted" body"#;
+    let b = b"bytes"; let c = 'x'; let nl = '\n';
+    let n = 0xFF_u64 + 1.5e-3 + 2.0f32 as f64 as u64;
+    x[0] as u64 + s.len() as u64 + r.len() as u64 + b.len() as u64
+        + c as u64 + nl as u64 + n
+}
+"##;
+        assert_eq!(render(&lex(src)), src);
+    }
+
+    #[test]
+    fn identifiers_inside_strings_and_comments_stay_opaque() {
+        let src = "// HashMap\nlet s = \"HashMap\"; /* HashMap */ let h = 1;";
+        let idents: Vec<String> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| t.text)
+            .collect();
+        assert_eq!(idents, ["let", "s", "let", "h"]);
+    }
+
+    #[test]
+    fn lifetimes_and_chars_disambiguate() {
+        let toks = kinds("'a 'static 'x' '\\n' '_'");
+        assert_eq!(
+            toks,
+            [
+                (TokenKind::Lifetime, "'a".to_string()),
+                (TokenKind::Lifetime, "'static".to_string()),
+                (TokenKind::Literal, "'x'".to_string()),
+                (TokenKind::Literal, "'\\n'".to_string()),
+                (TokenKind::Literal, "'_'".to_string()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents_not_literals() {
+        let toks = kinds("r#match r\"str\" br#\"raw\"#");
+        assert_eq!(toks[0], (TokenKind::Ident, "r".to_string()));
+        assert_eq!(toks[1], (TokenKind::Punct, "#".to_string()));
+        assert_eq!(toks[2], (TokenKind::Ident, "match".to_string()));
+        assert_eq!(toks[3], (TokenKind::Literal, "r\"str\"".to_string()));
+        assert_eq!(toks[4], (TokenKind::Literal, "br#\"raw\"#".to_string()));
+    }
+
+    #[test]
+    fn line_numbers_track_every_token_kind() {
+        let src = "a\n\"two\nlines\"\nb /* c\nd */ e";
+        let lines: Vec<(String, u32)> = lex(src)
+            .into_iter()
+            .filter(|t| t.kind != TokenKind::Whitespace)
+            .map(|t| (t.text, t.line))
+            .collect();
+        assert_eq!(
+            lines,
+            [
+                ("a".to_string(), 1),
+                ("\"two\nlines\"".to_string(), 2),
+                ("b".to_string(), 4),
+                ("/* c\nd */".to_string(), 4),
+                ("e".to_string(), 5),
+            ]
+        );
+    }
+
+    #[test]
+    fn numeric_ranges_split_and_floats_join() {
+        let toks = kinds("0..10 1.5e-3 1.0e+4 0xA_B 1_000u64 x.0.y");
+        let texts: Vec<&str> = toks.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            texts,
+            [
+                "0", ".", ".", "10", "1.5e-3", "1.0e+4", "0xA_B", "1_000u64", "x", ".", "0", ".",
+                "y"
+            ]
+        );
+    }
+
+    #[test]
+    fn unterminated_inputs_do_not_loop_or_drop_bytes() {
+        for src in ["\"open", "/* open", "r#\"open", "'", "b'"] {
+            assert_eq!(render(&lex(src)), src, "lossless on {src:?}");
+        }
+    }
+}

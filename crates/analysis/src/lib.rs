@@ -1,0 +1,390 @@
+//! `mlscore-analysis`: workspace-specific static analysis.
+//!
+//! The reproduction's headline claims — same `(seed, config)` ⇒
+//! byte-identical exports, bit-exact scoring, zero-alloc kernels — are
+//! invariants of the *source*, not just of the tests that sample them.
+//! This crate enforces them mechanically with a hand-rolled lexer (the
+//! container is offline, so no `syn`) and a small set of repo-specific
+//! lints:
+//!
+//! | Lint | Invariant |
+//! |------|-----------|
+//! | D001 | no wall-clock reads (`Instant::now`/`SystemTime`) outside allowlisted measurement sites |
+//! | D002 | no `HashMap`/`HashSet` in report/export-building crates (`serve`, `core`) |
+//! | D003 | no ambient/unseeded RNG construction |
+//! | P001 | no `unwrap`/`expect`/`panic!`/plain-indexing on `serve`/`pipeline`/`exec` request paths |
+//! | H001 | no allocation inside `// analyze: hot` regions |
+//! | T001 | every telemetry `.span(...)` reaches a `finish`/`finish_after` |
+//! | A000 | every `// analyze:` directive is well-formed and carries a reason |
+//!
+//! Legitimate exceptions are annotated inline:
+//!
+//! ```text
+//! // analyze: allow(D001, reason="bench boundary: this is the measurement")
+//! let t0 = Instant::now();
+//! ```
+//!
+//! and a reason is mandatory — an `allow` without one both fails to
+//! suppress and raises `A000`. Findings are compared against a committed
+//! `analysis-baseline.json` in CI (see [`baseline`]); the baseline is
+//! empty and may only shrink.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cli;
+pub mod lexer;
+pub mod lints;
+pub mod scan;
+pub mod walk;
+
+use std::fmt;
+use std::fs;
+use std::io;
+use std::path::Path;
+
+use scan::FileScan;
+
+/// One lint hit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Lint code (`D001`, ...).
+    pub lint: String,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+}
+
+/// A lint's catalog entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LintInfo {
+    /// The code findings and `allow` directives use.
+    pub code: &'static str,
+    /// One-line description.
+    pub summary: &'static str,
+}
+
+/// Every lint the analyzer knows, in report order.
+pub const LINTS: &[LintInfo] = &[
+    LintInfo {
+        code: "A000",
+        summary: "malformed `// analyze:` directive (missing or empty reason, unknown lint)",
+    },
+    LintInfo {
+        code: "D001",
+        summary: "wall-clock read outside an allowlisted measurement site",
+    },
+    LintInfo {
+        code: "D002",
+        summary: "unordered map in a report/export-building crate",
+    },
+    LintInfo {
+        code: "D003",
+        summary: "ambient or unseeded RNG construction",
+    },
+    LintInfo {
+        code: "P001",
+        summary: "panic path (unwrap/expect/panic!/plain indexing) in request-serving code",
+    },
+    LintInfo {
+        code: "H001",
+        summary: "allocation inside a `// analyze: hot` region",
+    },
+    LintInfo {
+        code: "T001",
+        summary: "telemetry span opened without a matching finish",
+    },
+];
+
+/// Analyzes one file's source text. `rel_path` decides crate-scoped lints
+/// (`crates/serve/src/...` puts the file in the `serve` crate).
+pub fn analyze_source(rel_path: &str, source: &str) -> Vec<Finding> {
+    lints::run_lints(rel_path, &FileScan::of(source))
+}
+
+/// Analyzes the whole workspace rooted at `root`; findings come back
+/// sorted by `(file, line, lint)`.
+///
+/// # Errors
+///
+/// Propagates I/O failures from the traversal or file reads.
+pub fn analyze_workspace(root: &Path) -> io::Result<Vec<Finding>> {
+    let mut findings = Vec::new();
+    for rel in walk::source_files(root)? {
+        let source = fs::read_to_string(root.join(&rel))?;
+        findings.extend(analyze_source(&rel, &source));
+    }
+    findings.sort_by(|a, b| (&a.file, a.line, &a.lint).cmp(&(&b.file, b.line, &b.lint)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    //! Per-lint fixture tests: positive, negative, suppressed-with-reason,
+    //! and suppressed-without-reason (which must still fail). Deleting any
+    //! lint implementation breaks at least one `..._fires` test here.
+
+    use super::*;
+
+    /// Fixture path inside the `serve` crate — in scope for every
+    /// crate-scoped lint.
+    const SERVE: &str = "crates/serve/src/fixture.rs";
+    /// Fixture path outside all crate-scoped lints.
+    const NEUTRAL: &str = "crates/telemetry/src/fixture.rs";
+
+    fn codes(path: &str, src: &str) -> Vec<String> {
+        analyze_source(path, src)
+            .into_iter()
+            .map(|f| f.lint)
+            .collect()
+    }
+
+    #[test]
+    fn d001_fires_on_wall_clock_reads() {
+        let f = analyze_source(NEUTRAL, "fn f() { let t = Instant::now(); }\n");
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].lint, "D001");
+        assert_eq!(f[0].line, 1);
+        assert_eq!(
+            codes(NEUTRAL, "use std::time::SystemTime;\n"),
+            vec!["D001".to_string()]
+        );
+    }
+
+    #[test]
+    fn d001_negative_and_test_code() {
+        assert!(codes(NEUTRAL, "fn f() { let t = SimInstant::ZERO; }\n").is_empty());
+        // `Instant` without `::now` (e.g. a type mention) is fine.
+        assert!(codes(NEUTRAL, "fn f(t: Instant) -> Instant { t }\n").is_empty());
+        // Test code may touch the real clock.
+        assert!(codes(
+            NEUTRAL,
+            "#[cfg(test)]\nmod tests {\n  fn f() { let t = Instant::now(); }\n}\n"
+        )
+        .is_empty());
+    }
+
+    #[test]
+    fn d001_suppression_needs_a_reason() {
+        let ok = "// analyze: allow(D001, reason=\"measurement site\")\nlet t = Instant::now();\n";
+        assert!(codes(NEUTRAL, ok).is_empty());
+        let bad = "// analyze: allow(D001)\nlet t = Instant::now();\n";
+        let codes = codes(NEUTRAL, bad);
+        assert!(
+            codes.contains(&"D001".to_string()),
+            "must still fire: {codes:?}"
+        );
+        assert!(
+            codes.contains(&"A000".to_string()),
+            "must flag the bad allow: {codes:?}"
+        );
+    }
+
+    #[test]
+    fn d002_fires_in_report_building_crates_only() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(codes(SERVE, src), vec!["D002".to_string()]);
+        assert_eq!(
+            codes("crates/core/src/fixture.rs", "let s: HashSet<u32> = x;\n"),
+            vec!["D002".to_string()]
+        );
+        // Out-of-scope crate: backends may hash freely.
+        assert!(codes("crates/backend/src/fixture.rs", src).is_empty());
+        // BTreeMap is the blessed alternative.
+        assert!(codes(SERVE, "use std::collections::BTreeMap;\n").is_empty());
+    }
+
+    #[test]
+    fn d002_suppression_needs_a_reason() {
+        let ok = "// analyze: allow(D002, reason=\"indexed only, never iterated\")\n\
+                  use std::collections::HashMap;\n";
+        assert!(codes(SERVE, ok).is_empty());
+        let bad = "// analyze: allow(D002, reason=)\nuse std::collections::HashMap;\n";
+        assert!(codes(SERVE, bad).contains(&"D002".to_string()));
+    }
+
+    #[test]
+    fn d003_fires_on_ambient_rng() {
+        assert_eq!(
+            codes(NEUTRAL, "fn f() { let mut rng = thread_rng(); }\n"),
+            vec!["D003".to_string()]
+        );
+        assert_eq!(
+            codes(NEUTRAL, "let rng = StdRng::from_entropy();\n"),
+            vec!["D003".to_string()]
+        );
+        assert_eq!(
+            codes(NEUTRAL, "let x: f64 = rand::random();\n"),
+            vec!["D003".to_string()]
+        );
+    }
+
+    #[test]
+    fn d003_negative_and_suppressed() {
+        assert!(codes(NEUTRAL, "let rng = StdRng::seed_from_u64(7);\n").is_empty());
+        let ok = "// analyze: allow(D003, reason=\"demo binary, not a measurement\")\n\
+                  let rng = thread_rng();\n";
+        assert!(codes(NEUTRAL, ok).is_empty());
+        let bad = "// analyze: allow(D003, reason= )\nlet rng = thread_rng();\n";
+        assert!(codes(NEUTRAL, bad).contains(&"D003".to_string()));
+    }
+
+    #[test]
+    fn p001_fires_on_panic_paths_in_request_crates() {
+        assert_eq!(
+            codes(SERVE, "fn f() { x.unwrap(); }\n"),
+            vec!["P001".to_string()]
+        );
+        assert_eq!(
+            codes(SERVE, "fn f() { x.expect(\"msg\"); }\n"),
+            vec!["P001".to_string()]
+        );
+        assert_eq!(
+            codes(SERVE, "fn f() { panic!(\"boom\"); }\n"),
+            vec!["P001".to_string()]
+        );
+        assert_eq!(
+            codes(
+                "crates/pipeline/src/fixture.rs",
+                "fn f() { unreachable!(); }\n"
+            ),
+            vec!["P001".to_string()]
+        );
+        // Plain indexing in serve/pipeline...
+        assert_eq!(
+            codes(SERVE, "fn f(xs: &[u64], i: usize) -> u64 { xs[i] }\n"),
+            vec!["P001".to_string()]
+        );
+    }
+
+    #[test]
+    fn p001_negative_cases() {
+        // Out-of-scope crate.
+        assert!(codes(NEUTRAL, "fn f() { x.unwrap(); }\n").is_empty());
+        // Range slicing is not plain indexing.
+        assert!(codes(SERVE, "fn f(xs: &[u64]) -> &[u64] { &xs[1..3] }\n").is_empty());
+        // `get` is the blessed form; unwrap_or_else is not unwrap.
+        assert!(codes(SERVE, "fn f() { x.get(i).unwrap_or_else(d); }\n").is_empty());
+        // Array-literal and attribute brackets are not indexing.
+        assert!(codes(SERVE, "#[derive(Debug)]\nfn f() { for x in [1, 2] {} }\n").is_empty());
+        // exec is in unwrap scope but not indexing scope (kernels index by
+        // design).
+        assert!(codes(
+            "crates/exec/src/fixture.rs",
+            "fn f(xs: &[u64]) -> u64 { xs[0] }\n"
+        )
+        .is_empty());
+        assert_eq!(
+            codes("crates/exec/src/fixture.rs", "fn f() { x.unwrap(); }\n"),
+            vec!["P001".to_string()]
+        );
+    }
+
+    #[test]
+    fn p001_suppression_needs_a_reason() {
+        let ok = "fn f() {\n  // analyze: allow(P001, reason=\"invariant: built in new()\")\n  \
+                  x.unwrap();\n}\n";
+        assert!(codes(SERVE, ok).is_empty());
+        let bad = "fn f() {\n  // analyze: allow(P001)\n  x.unwrap();\n}\n";
+        assert!(codes(SERVE, bad).contains(&"P001".to_string()));
+    }
+
+    #[test]
+    fn h001_fires_only_inside_hot_regions() {
+        let hot = "// analyze: hot\nfn walk(xs: &[u64]) -> Vec<u64> {\n  xs.to_vec()\n}\n";
+        assert_eq!(codes(NEUTRAL, hot), vec!["H001".to_string()]);
+        let constructors = "// analyze: hot\nfn f() {\n  let v = Vec::new();\n  \
+                            let s = vec![0u8; 4];\n  let c = x.clone();\n}\n";
+        assert_eq!(codes(NEUTRAL, constructors).len(), 3);
+        // The same code outside a hot region is fine.
+        assert!(codes(NEUTRAL, "fn cold(xs: &[u64]) -> Vec<u64> { xs.to_vec() }\n").is_empty());
+        // Scratch reuse is the blessed pattern.
+        let reuse = "// analyze: hot\nfn f(buf: &mut Vec<u64>) {\n  buf.clear();\n  \
+                     buf.resize(4, 0);\n}\n";
+        assert!(codes(NEUTRAL, reuse).is_empty());
+    }
+
+    #[test]
+    fn h001_suppression_needs_a_reason() {
+        let ok = "// analyze: hot\nfn f() {\n  \
+                  // analyze: allow(H001, reason=\"amortized: once per batch, not per record\")\n  \
+                  let v = Vec::new();\n}\n";
+        assert!(codes(NEUTRAL, ok).is_empty());
+        let bad = "// analyze: hot\nfn f() {\n  // analyze: allow(H001, reason=\"\")\n  \
+                   let v = Vec::new();\n}\n";
+        assert!(codes(NEUTRAL, bad).contains(&"H001".to_string()));
+    }
+
+    #[test]
+    fn t001_fires_on_unfinished_spans() {
+        let open = "fn f(tracer: &Tracer) {\n  tracer.span(\"work\", t0).scope(Scope::Query);\n}\n";
+        assert_eq!(codes(NEUTRAL, open), vec!["T001".to_string()]);
+    }
+
+    #[test]
+    fn t001_negative_cases() {
+        // Chained finish, with nested parens in the args.
+        let chained = "fn f() {\n  tracer.span(format!(\"q {i}\"), t0).scope(s).finish(t1);\n}\n";
+        assert!(codes(NEUTRAL, chained).is_empty());
+        let after = "fn f() {\n  tracer.span(\"w\", t0).finish_after(dur);\n}\n";
+        assert!(codes(NEUTRAL, after).is_empty());
+        // Let-bound guard finished later in the block.
+        let bound = "fn f() {\n  let g = tracer.span(\"w\", t0).scope(s);\n  work();\n  \
+                     g.finish(t1);\n}\n";
+        assert!(codes(NEUTRAL, bound).is_empty());
+        // ...but a bound guard that is never finished still fires.
+        let leaked = "fn f() {\n  let g = tracer.span(\"w\", t0);\n  work();\n}\n";
+        assert_eq!(codes(NEUTRAL, leaked), vec!["T001".to_string()]);
+    }
+
+    #[test]
+    fn t001_suppression_needs_a_reason() {
+        let ok =
+            "fn f() {\n  // analyze: allow(T001, reason=\"guard moved into the event heap\")\n  \
+                  tracer.span(\"w\", t0);\n}\n";
+        assert!(codes(NEUTRAL, ok).is_empty());
+        let bad = "fn f() {\n  // analyze: allow(T001, reason)\n  tracer.span(\"w\", t0);\n}\n";
+        assert!(codes(NEUTRAL, bad).contains(&"T001".to_string()));
+    }
+
+    #[test]
+    fn a000_fires_on_unknown_directives() {
+        assert_eq!(
+            codes(NEUTRAL, "// analyze: frobnicate\nfn f() {}\n"),
+            vec!["A000"]
+        );
+        assert_eq!(
+            codes(
+                NEUTRAL,
+                "// analyze: allow(Q999, reason=\"x\")\nfn f() {}\n"
+            ),
+            vec!["A000"]
+        );
+    }
+
+    #[test]
+    fn findings_sort_and_render_with_spans() {
+        let src = "fn f() { let t = Instant::now(); let r = thread_rng(); }\n";
+        let f = analyze_source(NEUTRAL, src);
+        assert_eq!(f.len(), 2);
+        let shown = f[0].to_string();
+        assert!(
+            shown.starts_with("crates/telemetry/src/fixture.rs:1: D001:"),
+            "{shown}"
+        );
+    }
+}

@@ -1,0 +1,346 @@
+//! The lint implementations.
+//!
+//! Every lint is a pattern over one file's significant-token stream (see
+//! [`FileScan`]); none needs a full AST. Findings inside `#[cfg(test)]` /
+//! `#[test]` regions are dropped (test code may panic, index, and allocate
+//! freely), and findings covered by a well-formed
+//! `// analyze: allow(LINT, reason=...)` are suppressed.
+
+use crate::lexer::TokenKind;
+use crate::scan::FileScan;
+use crate::Finding;
+
+/// Crates whose map contents reach a `ServingReport`, a Perfetto export,
+/// or bench JSON — iteration order there must be deterministic.
+const D002_CRATES: &[&str] = &["serve", "core"];
+/// Crates with request paths that must return errors instead of panicking.
+const P001_CRATES: &[&str] = &["serve", "pipeline", "exec"];
+/// Crates where plain `x[i]` indexing is flagged too. The exec kernels
+/// index heavily by design and are governed by `H001` hot regions instead.
+const P001_INDEX_CRATES: &[&str] = &["serve", "pipeline"];
+
+/// Identifiers that precede `[` without forming an index expression.
+const NON_INDEX_KEYWORDS: &[&str] = &[
+    "as", "box", "break", "const", "continue", "crate", "dyn", "else", "enum", "fn", "if", "impl",
+    "in", "let", "loop", "match", "move", "mut", "pub", "ref", "return", "static", "struct",
+    "trait", "type", "unsafe", "use", "where", "while", "yield",
+];
+
+/// Container types whose `::new` / `::with_capacity` allocate.
+const ALLOC_TYPES: &[&str] = &[
+    "Vec", "String", "Box", "VecDeque", "HashMap", "HashSet", "BTreeMap", "BTreeSet", "Arc", "Rc",
+];
+/// Methods that allocate on the callee.
+const ALLOC_METHODS: &[&str] = &["to_vec", "to_string", "to_owned", "collect", "clone"];
+
+/// The crate a workspace-relative path belongs to (`crates/serve/src/x.rs`
+/// -> `serve`; anything else -> `""`).
+pub fn crate_of(rel_path: &str) -> &str {
+    rel_path
+        .strip_prefix("crates/")
+        .and_then(|rest| rest.split('/').next())
+        .unwrap_or("")
+}
+
+/// Runs every lint over one scanned file and returns the surviving
+/// findings (test regions and suppressions already applied), sorted by
+/// line.
+pub fn run_lints(rel_path: &str, scan: &FileScan) -> Vec<Finding> {
+    let krate = crate_of(rel_path);
+    let mut raw: Vec<(&'static str, u32, String)> = Vec::new();
+
+    d001(scan, &mut raw);
+    if D002_CRATES.contains(&krate) {
+        d002(scan, &mut raw);
+    }
+    d003(scan, &mut raw);
+    if P001_CRATES.contains(&krate) {
+        p001(scan, P001_INDEX_CRATES.contains(&krate), &mut raw);
+    }
+    h001(scan, &mut raw);
+    t001(scan, &mut raw);
+
+    let mut findings: Vec<Finding> = raw
+        .into_iter()
+        .filter(|(lint, line, _)| !scan.in_test(*line) && !scan.suppressed(lint, *line))
+        .map(|(lint, line, message)| Finding {
+            lint: lint.to_string(),
+            file: rel_path.to_string(),
+            line,
+            message,
+        })
+        .collect();
+
+    // Malformed directives always fire: a suppression that cannot state
+    // its reason must not silently rot.
+    findings.extend(scan.bad_directives.iter().map(|d| Finding {
+        lint: "A000".to_string(),
+        file: rel_path.to_string(),
+        line: d.line,
+        message: d.message.clone(),
+    }));
+
+    findings.sort_by(|a, b| (a.line, &a.lint).cmp(&(b.line, &b.lint)));
+    findings
+}
+
+/// D001: wall-clock reads. Simulated components must take time from
+/// `SimInstant` / an injected `Clock`; only annotated measurement sites may
+/// touch the real clock.
+fn d001(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        if scan.ident(i, "Instant")
+            && scan.punct(i + 1, ":")
+            && scan.punct(i + 2, ":")
+            && scan.ident(i + 3, "now")
+        {
+            out.push((
+                "D001",
+                scan.tok(i).line,
+                "wall-clock read `Instant::now` outside an allowlisted measurement site \
+                 (route through `mlscore_sim::Clock` or `SimInstant`)"
+                    .to_string(),
+            ));
+        }
+        if scan.ident(i, "SystemTime") {
+            out.push((
+                "D001",
+                scan.tok(i).line,
+                "`SystemTime` use outside an allowlisted measurement site \
+                 (simulated components must use `SimInstant`)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// D002: unordered map types in report/export-building crates. Their
+/// iteration order is nondeterministic across runs, which leaks into
+/// serialized artifacts.
+fn d002(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        for ty in ["HashMap", "HashSet"] {
+            if scan.ident(i, ty) {
+                out.push((
+                    "D002",
+                    scan.tok(i).line,
+                    format!(
+                        "`{ty}` in a report-building crate: iteration order can leak into \
+                         exports (use `BTreeMap`/`BTreeSet` or sort before emitting)"
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// D003: ambient or unseeded RNG construction. Every random stream must
+/// derive from an explicit seed.
+fn d003(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        for f in ["thread_rng", "from_entropy"] {
+            if scan.ident(i, f) {
+                out.push((
+                    "D003",
+                    scan.tok(i).line,
+                    format!("ambient RNG `{f}`: seed explicitly (e.g. `StdRng::seed_from_u64`)"),
+                ));
+            }
+        }
+        if scan.ident(i, "rand")
+            && scan.punct(i + 1, ":")
+            && scan.punct(i + 2, ":")
+            && scan.ident(i + 3, "random")
+        {
+            out.push((
+                "D003",
+                scan.tok(i).line,
+                "ambient RNG `rand::random`: seed explicitly (e.g. `StdRng::seed_from_u64`)"
+                    .to_string(),
+            ));
+        }
+    }
+}
+
+/// P001: panic paths in request-serving code. `serve`, `pipeline`, and
+/// `exec` request paths must surface the crate's error type instead.
+fn p001(scan: &FileScan, flag_indexing: bool, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        if scan.punct(i, ".")
+            && (scan.ident(i + 1, "unwrap") || scan.ident(i + 1, "expect"))
+            && scan.punct(i + 2, "(")
+        {
+            out.push((
+                "P001",
+                scan.tok(i + 1).line,
+                format!(
+                    "`.{}()` on a request path: return the crate's error type instead",
+                    scan.tok(i + 1).text
+                ),
+            ));
+        }
+        for mac in ["panic", "unreachable", "todo", "unimplemented"] {
+            if scan.ident(i, mac) && scan.punct(i + 1, "!") {
+                out.push((
+                    "P001",
+                    scan.tok(i).line,
+                    format!("`{mac}!` on a request path: return the crate's error type instead"),
+                ));
+            }
+        }
+        if flag_indexing && scan.punct(i, "[") && i > 0 && is_index_base(scan, i - 1) {
+            if let Some(close) = scan.match_group(i, "[", "]") {
+                let is_range = (i + 1..close).any(|j| scan.punct(j, ".") && scan.punct(j + 1, "."));
+                if !is_range {
+                    out.push((
+                        "P001",
+                        scan.tok(i).line,
+                        "plain indexing on a request path can panic: use `.get(...)` and \
+                         surface the crate's error type"
+                            .to_string(),
+                    ));
+                }
+            }
+        }
+    }
+}
+
+/// True when the significant token at `i` can be the base expression of an
+/// index (`x[i]`, `f()[i]`, `a[i][j]`).
+fn is_index_base(scan: &FileScan, i: usize) -> bool {
+    let t = scan.tok(i);
+    match t.kind {
+        TokenKind::Ident => !NON_INDEX_KEYWORDS.contains(&t.text.as_str()),
+        TokenKind::Punct => t.text == ")" || t.text == "]",
+        _ => false,
+    }
+}
+
+/// H001: allocation inside a `// analyze: hot` region. The exec kernels
+/// and flat-forest walkers must reuse scratch buffers (`clear`/`resize`),
+/// never allocate per record.
+fn h001(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    if scan.hot_ranges.is_empty() {
+        return;
+    }
+    for i in 0..scan.len() {
+        let line = scan.tok(i).line;
+        if !scan.in_hot(line) {
+            continue;
+        }
+        if scan.tok(i).kind == TokenKind::Ident
+            && ALLOC_TYPES.contains(&scan.tok(i).text.as_str())
+            && scan.punct(i + 1, ":")
+            && scan.punct(i + 2, ":")
+            && (scan.ident(i + 3, "new") || scan.ident(i + 3, "with_capacity"))
+        {
+            out.push((
+                "H001",
+                line,
+                format!(
+                    "allocation `{}::{}` in a hot region: hoist and reuse scratch buffers",
+                    scan.tok(i).text,
+                    scan.tok(i + 3).text
+                ),
+            ));
+        }
+        for mac in ["vec", "format"] {
+            if scan.ident(i, mac) && scan.punct(i + 1, "!") {
+                out.push((
+                    "H001",
+                    line,
+                    format!("allocation `{mac}!` in a hot region: hoist and reuse scratch buffers"),
+                ));
+            }
+        }
+        if scan.punct(i, ".")
+            && scan.punct(i + 2, "(")
+            && ALLOC_METHODS.iter().any(|m| scan.ident(i + 1, m))
+        {
+            out.push((
+                "H001",
+                scan.tok(i + 1).line,
+                format!(
+                    "allocating call `.{}()` in a hot region: hoist and reuse scratch buffers",
+                    scan.tok(i + 1).text
+                ),
+            ));
+        }
+    }
+}
+
+/// T001: span-guard imbalance. Every `.span(...)` builder chain must reach
+/// `.finish(...)` / `.finish_after(...)`, either in the same chain or on a
+/// `let`-bound guard later in the file.
+fn t001(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        if !(scan.punct(i, ".") && scan.ident(i + 1, "span") && scan.punct(i + 2, "(")) {
+            continue;
+        }
+        let Some(args_close) = scan.match_group(i + 2, "(", ")") else {
+            continue;
+        };
+        if chain_reaches_finish(scan, args_close + 1) || let_bound_finish(scan, i, args_close) {
+            continue;
+        }
+        out.push((
+            "T001",
+            scan.tok(i + 1).line,
+            "span opened without a matching `finish`/`finish_after` \
+             (every span guard must be closed)"
+                .to_string(),
+        ));
+    }
+}
+
+/// Walks a method chain starting at significant index `j` (just past a
+/// call's closing paren); true if the chain contains `finish`/
+/// `finish_after`.
+fn chain_reaches_finish(scan: &FileScan, mut j: usize) -> bool {
+    while scan.punct(j, ".") {
+        if scan.ident(j + 1, "finish") || scan.ident(j + 1, "finish_after") {
+            return true;
+        }
+        if scan.punct(j + 2, "(") {
+            match scan.match_group(j + 2, "(", ")") {
+                Some(close) => j = close + 1,
+                None => return false,
+            }
+        } else {
+            // Field access or `.await`; keep walking.
+            j += 2;
+        }
+    }
+    false
+}
+
+/// True when the `.span(` at significant index `dot` sits in a
+/// `let name = ...` statement and `name.finish(...)` /
+/// `name.finish_after(...)` appears later in the file.
+fn let_bound_finish(scan: &FileScan, dot: usize, args_close: usize) -> bool {
+    // Find the statement start: walk back to the nearest `;`, `{`, or `}`.
+    let mut k = dot;
+    while k > 0 {
+        if scan.punct(k - 1, ";") || scan.punct(k - 1, "{") || scan.punct(k - 1, "}") {
+            break;
+        }
+        k -= 1;
+    }
+    if !scan.ident(k, "let") {
+        return false;
+    }
+    let name_idx = if scan.ident(k + 1, "mut") {
+        k + 2
+    } else {
+        k + 1
+    };
+    if name_idx >= scan.len() || scan.tok(name_idx).kind != TokenKind::Ident {
+        return false;
+    }
+    let name = scan.tok(name_idx).text.clone();
+    (args_close + 1..scan.len().saturating_sub(2)).any(|j| {
+        scan.ident(j, &name)
+            && scan.punct(j + 1, ".")
+            && (scan.ident(j + 2, "finish") || scan.ident(j + 2, "finish_after"))
+    })
+}

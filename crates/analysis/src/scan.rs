@@ -1,0 +1,380 @@
+//! File-level scanning shared by every lint: the significant-token view,
+//! `// analyze:` directive parsing (suppressions and hot markers), and
+//! `#[cfg(test)]` / `#[test]` region detection.
+
+use crate::lexer::{lex, Token, TokenKind};
+use crate::LINTS;
+
+/// An inline suppression parsed from `// analyze: allow(LINT, reason=...)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Suppression {
+    /// The lint code the comment allows.
+    pub lint: String,
+    /// The mandatory justification. Suppressions without one do not
+    /// suppress (they raise `A000` instead), so this is always non-empty.
+    pub reason: String,
+    /// Line of the comment itself.
+    pub line: u32,
+    /// Lines the suppression covers: the comment's own line and the next
+    /// line holding a significant token.
+    pub covers: Vec<u32>,
+}
+
+/// A malformed `// analyze:` directive (missing reason, unknown lint,
+/// unknown directive). Reported as lint `A000` and never suppresses.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BadDirective {
+    /// Line of the comment.
+    pub line: u32,
+    /// What is wrong with it.
+    pub message: String,
+}
+
+/// Inclusive line range.
+pub type LineRange = (u32, u32);
+
+/// Everything the lints need to know about one file.
+#[derive(Debug)]
+pub struct FileScan {
+    /// The full lossless token stream.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of significant tokens (no whitespace, no
+    /// comments) — what the lint patterns match over.
+    pub sig: Vec<usize>,
+    /// Parsed, well-formed suppressions.
+    pub suppressions: Vec<Suppression>,
+    /// Malformed directives (become `A000` findings).
+    pub bad_directives: Vec<BadDirective>,
+    /// Brace-balanced regions following `// analyze: hot` markers.
+    pub hot_ranges: Vec<LineRange>,
+    /// Brace-balanced regions under `#[cfg(test)]` / `#[test]`.
+    pub test_ranges: Vec<LineRange>,
+}
+
+impl FileScan {
+    /// Lexes and scans one file.
+    pub fn of(source: &str) -> Self {
+        let tokens = lex(source);
+        let sig: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| {
+                !matches!(
+                    t.kind,
+                    TokenKind::Whitespace | TokenKind::LineComment | TokenKind::BlockComment
+                )
+            })
+            .map(|(i, _)| i)
+            .collect();
+
+        let mut scan = FileScan {
+            tokens,
+            sig,
+            suppressions: Vec::new(),
+            bad_directives: Vec::new(),
+            hot_ranges: Vec::new(),
+            test_ranges: Vec::new(),
+        };
+        scan.collect_directives();
+        scan.collect_test_ranges();
+        scan
+    }
+
+    /// The significant token at significant-index `i`.
+    pub fn tok(&self, i: usize) -> &Token {
+        &self.tokens[self.sig[i]]
+    }
+
+    /// Number of significant tokens.
+    pub fn len(&self) -> usize {
+        self.sig.len()
+    }
+
+    /// True when the file has no significant tokens.
+    pub fn is_empty(&self) -> bool {
+        self.sig.is_empty()
+    }
+
+    /// True when the significant token at `i` is a punct with this exact
+    /// text.
+    pub fn punct(&self, i: usize, text: &str) -> bool {
+        i < self.len() && self.tok(i).kind == TokenKind::Punct && self.tok(i).text == text
+    }
+
+    /// True when the significant token at `i` is an identifier with this
+    /// exact text.
+    pub fn ident(&self, i: usize, text: &str) -> bool {
+        i < self.len() && self.tok(i).kind == TokenKind::Ident && self.tok(i).text == text
+    }
+
+    /// True when `line` falls inside any `#[cfg(test)]` / `#[test]` region.
+    pub fn in_test(&self, line: u32) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// True when `line` falls inside any `// analyze: hot` region.
+    pub fn in_hot(&self, line: u32) -> bool {
+        self.hot_ranges
+            .iter()
+            .any(|&(a, b)| (a..=b).contains(&line))
+    }
+
+    /// True when a well-formed suppression for `lint` covers `line`.
+    pub fn suppressed(&self, lint: &str, line: u32) -> bool {
+        self.suppressions
+            .iter()
+            .any(|s| s.lint == lint && s.covers.contains(&line))
+    }
+
+    /// The line of the first significant token strictly after `line`.
+    fn next_sig_line(&self, line: u32) -> Option<u32> {
+        self.sig
+            .iter()
+            .map(|&i| self.tokens[i].line)
+            .find(|&l| l > line)
+    }
+
+    /// Starting from the significant token at `from`, finds the matching
+    /// close for the first `open` punct, honoring nesting of
+    /// `open`/`close`. Returns the significant index of the close.
+    pub fn match_group(&self, from: usize, open: &str, close: &str) -> Option<usize> {
+        let mut i = from;
+        while i < self.len() && !self.punct(i, open) {
+            i += 1;
+        }
+        if i >= self.len() {
+            return None;
+        }
+        let mut depth = 0usize;
+        while i < self.len() {
+            if self.punct(i, open) {
+                depth += 1;
+            } else if self.punct(i, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            i += 1;
+        }
+        None
+    }
+
+    fn collect_directives(&mut self) {
+        // Borrow-friendly: gather (line, directive text) first.
+        let comments: Vec<(u32, String)> = self
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::LineComment)
+            .filter_map(|t| {
+                let body = t.text.trim_start_matches('/').trim();
+                body.strip_prefix("analyze:")
+                    .map(|d| (t.line, d.trim().to_string()))
+            })
+            .collect();
+
+        for (line, directive) in comments {
+            if directive == "hot" {
+                if let Some(range) = self.brace_region_after(line) {
+                    self.hot_ranges.push(range);
+                } else {
+                    self.bad_directives.push(BadDirective {
+                        line,
+                        message: "`analyze: hot` marker with no following `{ ... }` region"
+                            .to_string(),
+                    });
+                }
+                continue;
+            }
+            match parse_allow(&directive) {
+                Ok((lint, reason)) => {
+                    if !LINTS.iter().any(|l| l.code == lint) {
+                        self.bad_directives.push(BadDirective {
+                            line,
+                            message: format!("unknown lint `{lint}` in allow directive"),
+                        });
+                        continue;
+                    }
+                    let mut covers = vec![line];
+                    covers.extend(self.next_sig_line(line));
+                    self.suppressions.push(Suppression {
+                        lint,
+                        reason,
+                        line,
+                        covers,
+                    });
+                }
+                Err(msg) => self
+                    .bad_directives
+                    .push(BadDirective { line, message: msg }),
+            }
+        }
+        self.hot_ranges.sort_unstable();
+        self.suppressions.sort_by_key(|s| s.line);
+        self.bad_directives.sort_by_key(|d| d.line);
+    }
+
+    /// The `{ ... }` region opened by the first brace after `line`.
+    fn brace_region_after(&self, line: u32) -> Option<LineRange> {
+        let from = self.sig.iter().position(|&i| self.tokens[i].line > line)?;
+        let mut open = from;
+        while open < self.len() && !self.punct(open, "{") {
+            open += 1;
+        }
+        let close = self.match_group(open, "{", "}")?;
+        Some((self.tok(open).line, self.tok(close).line))
+    }
+
+    fn collect_test_ranges(&mut self) {
+        let mut ranges = Vec::new();
+        let mut i = 0;
+        while i < self.len() {
+            if self.punct(i, "#") && self.punct(i + 1, "[") {
+                let Some(attr_close) = self.match_group(i + 1, "[", "]") else {
+                    break;
+                };
+                let idents: Vec<&str> = (i + 2..attr_close)
+                    .filter(|&j| self.tok(j).kind == TokenKind::Ident)
+                    .map(|j| self.tok(j).text.as_str())
+                    .collect();
+                let is_test_attr =
+                    idents == ["test"] || (idents.contains(&"cfg") && idents.contains(&"test"));
+                if is_test_attr {
+                    // The attached item body: next `{` before any `;`.
+                    let mut j = attr_close + 1;
+                    while j < self.len() && !self.punct(j, "{") && !self.punct(j, ";") {
+                        j += 1;
+                    }
+                    if self.punct(j, "{") {
+                        if let Some(close) = self.match_group(j, "{", "}") {
+                            ranges.push((self.tok(i).line, self.tok(close).line));
+                            i = close + 1;
+                            continue;
+                        }
+                    }
+                }
+                i = attr_close + 1;
+                continue;
+            }
+            i += 1;
+        }
+        self.test_ranges = ranges;
+    }
+}
+
+/// Parses `allow(LINT, reason=...)`; returns `(lint, reason)`.
+fn parse_allow(directive: &str) -> Result<(String, String), String> {
+    let inner = directive
+        .strip_prefix("allow(")
+        .and_then(|rest| rest.strip_suffix(')'))
+        .ok_or_else(|| {
+            format!(
+                "unrecognized analyze directive `{directive}` \
+                 (expected `hot` or `allow(LINT, reason=...)`)"
+            )
+        })?;
+    let (lint, rest) = inner
+        .split_once(',')
+        .ok_or_else(|| "allow directive is missing the mandatory reason".to_string())?;
+    let lint = lint.trim().to_string();
+    let reason = rest
+        .trim()
+        .strip_prefix("reason")
+        .and_then(|r| r.trim_start().strip_prefix('='))
+        .map(|r| r.trim().trim_matches('"').trim().to_string())
+        .ok_or_else(|| "allow directive is missing the mandatory reason".to_string())?;
+    if reason.is_empty() {
+        return Err("allow directive has an empty reason".to_string());
+    }
+    Ok((lint.to_string(), reason))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_suppressions_with_coverage() {
+        let src = "\
+// analyze: allow(D001, reason=\"bench measurement site\")
+let t = Instant::now();
+";
+        let scan = FileScan::of(src);
+        assert_eq!(scan.suppressions.len(), 1);
+        let s = &scan.suppressions[0];
+        assert_eq!(s.lint, "D001");
+        assert_eq!(s.reason, "bench measurement site");
+        assert_eq!(s.covers, vec![1, 2]);
+        assert!(scan.suppressed("D001", 2));
+        assert!(!scan.suppressed("D002", 2));
+        assert!(scan.bad_directives.is_empty());
+    }
+
+    #[test]
+    fn trailing_same_line_suppression_covers_its_own_line() {
+        let src = "let t = Instant::now(); // analyze: allow(D001, reason=wall clock ok here)\n";
+        let scan = FileScan::of(src);
+        assert!(scan.suppressed("D001", 1));
+    }
+
+    #[test]
+    fn missing_reason_is_a_bad_directive_and_does_not_suppress() {
+        for bad in [
+            "// analyze: allow(D001)",
+            "// analyze: allow(D001, reason=)",
+            "// analyze: allow(D001, reason= \"\" )",
+            "// analyze: allow(Z999, reason=\"x\")",
+            "// analyze: allos(D001, reason=\"x\")",
+        ] {
+            let src = format!("{bad}\nlet t = Instant::now();\n");
+            let scan = FileScan::of(&src);
+            assert!(!scan.suppressed("D001", 2), "must not suppress for {bad}");
+            assert_eq!(scan.bad_directives.len(), 1, "must flag {bad}");
+        }
+    }
+
+    #[test]
+    fn hot_marker_attaches_to_the_next_brace_region() {
+        let src = "\
+fn cold() { x(); }
+// analyze: hot
+fn walk(xs: &[u64]) -> u64 {
+    xs.iter().sum()
+}
+fn cold2() { y(); }
+";
+        let scan = FileScan::of(src);
+        assert_eq!(scan.hot_ranges, vec![(3, 5)]);
+        assert!(scan.in_hot(4));
+        assert!(!scan.in_hot(1));
+        assert!(!scan.in_hot(6));
+    }
+
+    #[test]
+    fn cfg_test_modules_and_test_fns_are_ranged() {
+        let src = "\
+fn live() {}
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn t() { panic!(\"fine in tests\"); }
+}
+";
+        let scan = FileScan::of(src);
+        assert!(scan.in_test(5));
+        assert!(!scan.in_test(1));
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_does_not_swallow_the_file() {
+        let src = "\
+#[cfg(test)]
+use foo::bar;
+fn live() {}
+";
+        let scan = FileScan::of(src);
+        assert!(!scan.in_test(3));
+    }
+}

@@ -1,0 +1,84 @@
+//! Deterministic workspace traversal: which files the analyzer scans.
+//!
+//! Scope is every `crates/*/src/**/*.rs` (library and bin sources),
+//! excluding `tests/`, `benches/`, and `examples/` directories and the
+//! vendored dependency stand-ins under `vendor/` — integration tests and
+//! vendor stubs are not request-path code. Paths come back sorted and
+//! workspace-relative so output and baselines are byte-stable.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Collects the workspace-relative paths of every source file to analyze.
+///
+/// # Errors
+///
+/// Propagates I/O failures; a missing `crates/` directory is an error (it
+/// means `root` is not the workspace root).
+pub fn source_files(root: &Path) -> io::Result<Vec<String>> {
+    let crates_dir = root.join("crates");
+    if !crates_dir.is_dir() {
+        return Err(io::Error::new(
+            io::ErrorKind::NotFound,
+            format!(
+                "{} has no crates/ directory (not a workspace root?)",
+                root.display()
+            ),
+        ));
+    }
+    let mut crate_dirs: Vec<PathBuf> = fs::read_dir(&crates_dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .filter(|p| p.is_dir())
+        .collect();
+    crate_dirs.sort();
+
+    let mut files = Vec::new();
+    for crate_dir in crate_dirs {
+        let src = crate_dir.join("src");
+        if src.is_dir() {
+            collect_rs(&src, &mut files)?;
+        }
+    }
+
+    let mut rel: Vec<String> = files
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|r| r.to_string_lossy().replace('\\', "/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn walking_a_non_workspace_dir_is_an_error() {
+        let err = source_files(Path::new("/definitely/not/a/workspace")).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::NotFound);
+    }
+}

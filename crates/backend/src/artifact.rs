@@ -25,10 +25,10 @@ use std::any::Any;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use std::time::{Duration, Instant};
 
 use mlscore_exec::FlatImage;
 use mlscore_forest::{ModelBundle, ModelStats, QuantizedForest, RandomForest};
+use mlscore_sim::{Clock, SimDuration, WallClock};
 use mlscore_telemetry::MetricsRegistry;
 
 use crate::error::BackendError;
@@ -43,7 +43,7 @@ pub const METRIC_EVICTIONS: &str = "artifact.evictions";
 
 /// The identity a compiled model was built under: which bytes, which
 /// backend, which backend configuration.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ArtifactKey {
     /// FNV-1a content hash of the serialized bundle bytes.
     pub content_hash: u64,
@@ -199,13 +199,14 @@ impl CompiledModel {
     }
 }
 
-/// Wall-clock cost of the two compile sub-steps. Zero on a cache hit.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+/// Measured cost of the two compile sub-steps, on the timeline of the
+/// [`Clock`] that timed them. Zero on a cache hit.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct PrepareTiming {
     /// Time spent in [`ModelBundle::deserialize`].
-    pub deserialize: Duration,
+    pub deserialize: SimDuration,
     /// Time spent in [`ScoringBackend::lower`] (plus `supports`).
-    pub lower: Duration,
+    pub lower: SimDuration,
 }
 
 /// How a query's model was obtained.
@@ -234,7 +235,10 @@ pub fn compile<B: ScoringBackend + ?Sized>(
 }
 
 /// [`compile`], additionally reporting how long each sub-step took so the
-/// pipeline can attribute cold-path compile spans.
+/// pipeline can attribute cold-path compile spans. Timing comes from
+/// [`WallClock`] — call this only at the `repro`/bench measurement
+/// boundary; everything else should inject a clock via
+/// [`compile_timed_with`] or [`ArtifactCache::with_clock`].
 ///
 /// # Errors
 ///
@@ -243,14 +247,29 @@ pub fn compile_timed<B: ScoringBackend + ?Sized>(
     backend: &B,
     bundle: &ModelBundle,
 ) -> Result<(Arc<CompiledModel>, PrepareTiming), BackendError> {
-    let t0 = Instant::now();
+    compile_timed_with(backend, bundle, &WallClock::new())
+}
+
+/// [`compile_timed`] with an injected time source, so callers that must
+/// stay deterministic (tests, the serving simulation) can time the pass on
+/// a [`ManualClock`](mlscore_sim::ManualClock).
+///
+/// # Errors
+///
+/// Fails exactly when [`compile`] fails.
+pub fn compile_timed_with<B: ScoringBackend + ?Sized>(
+    backend: &B,
+    bundle: &ModelBundle,
+    clock: &dyn Clock,
+) -> Result<(Arc<CompiledModel>, PrepareTiming), BackendError> {
+    let t0 = clock.now();
     let forest = bundle.deserialize().map_err(BackendError::from)?;
-    let deserialize = t0.elapsed();
+    let deserialize = clock.now().duration_since(t0);
     let stats = ModelStats::of(&forest);
-    let t1 = Instant::now();
+    let t1 = clock.now();
     backend.supports(&stats)?;
     let lowered = backend.lower(&forest)?;
-    let lower = t1.elapsed();
+    let lower = clock.now().duration_since(t1);
     let key = artifact_key(backend, bundle);
     let model = Arc::new(CompiledModel::new(
         key,
@@ -346,6 +365,7 @@ pub struct ArtifactCache {
     inner: Mutex<CacheInner>,
     capacity: usize,
     metrics: Option<Arc<MetricsRegistry>>,
+    clock: Arc<dyn Clock>,
 }
 
 impl fmt::Debug for ArtifactCache {
@@ -370,6 +390,7 @@ impl ArtifactCache {
             inner: Mutex::new(CacheInner::default()),
             capacity,
             metrics: None,
+            clock: Arc::new(WallClock::new()),
         }
     }
 
@@ -377,6 +398,14 @@ impl ArtifactCache {
     /// [`METRIC_HITS`], [`METRIC_MISSES`], and [`METRIC_EVICTIONS`].
     pub fn with_metrics(mut self, metrics: Arc<MetricsRegistry>) -> Self {
         self.metrics = Some(metrics);
+        self
+    }
+
+    /// Replaces the time source that stamps [`PrepareTiming`] on misses.
+    /// Defaults to [`WallClock`] (the cache sits at the measurement
+    /// boundary); inject a manual clock for deterministic tests.
+    pub fn with_clock(mut self, clock: Arc<dyn Clock>) -> Self {
+        self.clock = clock;
         self
     }
 
@@ -439,7 +468,7 @@ impl ArtifactCache {
         // Compile outside the lock: misses on distinct bundles proceed in
         // parallel. A racing miss on the same key wastes one compile but
         // stays correct — last insert wins and both callers hold valid Arcs.
-        let (model, timing) = compile_timed(backend, bundle)?;
+        let (model, timing) = compile_timed_with(backend, bundle, self.clock.as_ref())?;
         let evicted = {
             let mut inner = self.inner.lock().expect("artifact cache poisoned");
             inner.tick += 1;

@@ -467,14 +467,16 @@ fn serve(args: &[String]) {
             },
         );
         let tracer = Tracer::new();
-        engine.run(
-            &WorkloadSpec {
-                queries: if quick { 150 } else { 500 },
-                seed: serve_bench::SEED,
-                arrivals: ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 },
-            },
-            &tracer,
-        );
+        engine
+            .run(
+                &WorkloadSpec {
+                    queries: if quick { 150 } else { 500 },
+                    seed: serve_bench::SEED,
+                    arrivals: ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 },
+                },
+                &tracer,
+            )
+            .expect("the overload trace workload is a fixed valid spec");
         let span_trace = tracer.take();
         let trace_json = perfetto::to_json(&span_trace);
         std::fs::write(&path, &trace_json).unwrap_or_else(|e| {
@@ -520,6 +522,9 @@ fn usage() -> String {
                         BENCH_serving.json; --check validates an existing\n\
                         report; --trace-out exports a Perfetto timeline of\n\
                         the FPGA overload run (per-device lanes)\n\
+       analyze [--json] [--check-baseline] [--write-baseline]\n\
+                        run the workspace determinism & hot-path lints\n\
+                        (mlscore-analyze; see DESIGN.md section 10)\n\
        csv [dir]        write every figure as CSV (default dir: figures_out)\n\
        help             this message"
         .to_string()
@@ -541,6 +546,7 @@ fn main() {
         "trace" => trace(&args[2..]),
         "bench" => bench(&args[2..]),
         "serve" => serve(&args[2..]),
+        "analyze" => std::process::exit(mlscore_analysis::cli::run(&args[2..])),
         "csv" => {
             let dir = args
                 .get(2)

@@ -202,7 +202,9 @@ fn run_point(
         seed: SEED,
         arrivals: ArrivalProcess::OpenPoisson { rate_qps },
     };
-    engine.run(&spec, &Tracer::disabled())
+    engine
+        .run(&spec, &Tracer::disabled())
+        .expect("sweep workloads are validated by construction")
 }
 
 /// Runs the sweep and the FPGA overload experiment, printing one progress

@@ -5,7 +5,7 @@
 //! fixes the *experimental protocol*: which models stand in for the paper's
 //! trained models, and which record/tree sweeps the figures run.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::sync::{Mutex, OnceLock};
 
 use mlscore_data::DatasetSpec;
@@ -47,9 +47,9 @@ pub const IRIS_DISTINCT_SAMPLES: usize = 95;
 pub fn paper_model(dataset: DatasetSpec, n_trees: usize, depth: usize) -> RandomForest {
     // Sweeps evaluate the same handful of shapes hundreds of times; cache
     // the (deterministic) builds.
-    type ModelCache = Mutex<HashMap<(DatasetSpec, usize, usize), RandomForest>>;
+    type ModelCache = Mutex<BTreeMap<(DatasetSpec, usize, usize), RandomForest>>;
     static CACHE: OnceLock<ModelCache> = OnceLock::new();
-    let cache = CACHE.get_or_init(|| Mutex::new(HashMap::new()));
+    let cache = CACHE.get_or_init(|| Mutex::new(BTreeMap::new()));
     if let Some(model) = cache
         .lock()
         .expect("calibration cache poisoned")

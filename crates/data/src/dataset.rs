@@ -8,7 +8,7 @@ use crate::higgs;
 use crate::iris;
 
 /// Static description of a dataset family — the two the paper evaluates.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum DatasetSpec {
     /// IRIS-like: 4 features, 3 classes (§IV-A). Not supported by
     /// GPU-RAPIDS in the paper (multi-class).

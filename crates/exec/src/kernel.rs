@@ -221,6 +221,7 @@ impl std::fmt::Debug for FlatImage {
 /// across records (memory-level parallelism) instead of serializing down
 /// one root-to-leaf chain at a time. Leaf self-loops let all lanes run the
 /// same fixed step count.
+// analyze: hot
 #[inline]
 fn walk_flat_lanes(tree: &WalkTree, data: &[f32], n_features: usize, row0: usize) -> [f32; LANES] {
     let nodes = tree.nodes.as_slice();
@@ -246,6 +247,7 @@ fn walk_flat_lanes(tree: &WalkTree, data: &[f32], n_features: usize, row0: usize
 
 /// Scores one record block of a flat classification forest into `votes`.
 /// `walk` is the decoded image of `forest.trees()`, index for index.
+// analyze: hot
 #[allow(clippy::too_many_arguments)]
 fn flat_classify_block(
     walk: &[WalkTree],
@@ -291,6 +293,7 @@ fn flat_classify_block(
 
 /// Scores one record block of a flat regression forest into `acc`.
 /// `walk` is the decoded image of `forest.trees()`, index for index.
+// analyze: hot
 fn flat_regress_block(
     walk: &[WalkTree],
     forest: &FlatForest,
@@ -497,6 +500,7 @@ pub fn score_forest_batch(
                                     s.acc[r] += tree
                                         .predict(frame.row(rows.start + r))
                                         .as_value()
+                                        // analyze: allow(P001, reason="Task::Regression forests hold Value leaves by construction; a Class leaf is model corruption, not load")
                                         .expect("regression leaf");
                                 }
                             }

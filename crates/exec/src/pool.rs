@@ -28,7 +28,7 @@
 use std::collections::VecDeque;
 use std::ops::Range;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Condvar, Mutex, OnceLock};
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, OnceLock, PoisonError};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
@@ -88,6 +88,13 @@ pub fn default_threads() -> usize {
     std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(1)
+}
+
+/// Locks `m`, recovering the guard from a poisoned mutex. The pool's
+/// mutexes only guard deques and counters — a panic in a caller's task
+/// closure must not wedge every later scoring call on the shared pool.
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
 }
 
 /// A borrowed task callable with its lifetime erased, so parked workers
@@ -193,7 +200,7 @@ impl Job {
                     stolen.start + take..stolen.end,
                 );
                 if !later.is_empty() {
-                    self.queues[me].lock().unwrap().push_front(later);
+                    lock_recover(&self.queues[me]).push_front(later);
                 }
                 return Some(now);
             }
@@ -202,7 +209,7 @@ impl Job {
     }
 
     fn pop_front_block(&self, me: usize) -> Option<Range<usize>> {
-        let mut q = self.queues[me].lock().unwrap();
+        let mut q = lock_recover(&self.queues[me]);
         let range = q.pop_front()?;
         if range.len() > self.block {
             q.push_front(range.start + self.block..range.end);
@@ -214,7 +221,7 @@ impl Job {
 
     /// Steals the back half of the victim's last (largest-remaining) range.
     fn steal_back_half(&self, victim: usize) -> Option<Range<usize>> {
-        let mut q = self.queues[victim].lock().unwrap();
+        let mut q = lock_recover(&self.queues[victim]);
         let range = q.pop_back()?;
         if range.len() <= self.block {
             return Some(range);
@@ -243,7 +250,7 @@ impl Job {
                         // Last rows executed: wake the caller. Locking the
                         // mutex orders this notify against the caller's
                         // check-then-wait.
-                        let mut done = self.done.lock().unwrap();
+                        let mut done = lock_recover(&self.done);
                         *done = true;
                         self.done_cv.notify_all();
                     }
@@ -259,7 +266,7 @@ impl Job {
                 }
             }
         }
-        *self.stats[me].lock().unwrap() = local;
+        *lock_recover(&self.stats[me]) = local;
         self.stats_written.fetch_add(1, Ordering::AcqRel);
     }
 }
@@ -325,6 +332,7 @@ impl ExecPool {
                 std::thread::Builder::new()
                     .name(format!("mlscore-exec-{id}"))
                     .spawn(move || worker_loop(&shared, id))
+                    // analyze: allow(P001, reason="a host that cannot spawn threads cannot run the pool at all; failing construction loudly is the contract")
                     .expect("spawning executor worker")
             })
             .collect();
@@ -366,6 +374,7 @@ impl ExecPool {
             .threads
             .clamp(1, self.max_workers)
             .min(n_items.div_ceil(block).max(1));
+        // analyze: allow(D001, reason="the executor measures real host occupancy; wall-clock worker spans are the product here, not a determinism hazard")
         let started = Instant::now();
         if n_items == 0 {
             return RunReport::empty();
@@ -377,7 +386,7 @@ impl ExecPool {
             return RunReport::single(n_items, elapsed);
         }
 
-        let _serial = self.run_lock.lock().unwrap();
+        let _serial = lock_recover(&self.run_lock);
         // SAFETY: `run` joins the job below (waits until `remaining == 0`,
         // and range claims are the only path to a task invocation), so the
         // erased borrow outlives every call through it.
@@ -404,16 +413,19 @@ impl ExecPool {
             done_cv: Condvar::new(),
         });
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_recover(&self.shared.state);
             state.epoch += 1;
             state.job = Some(Arc::clone(&job));
             self.shared.wake.notify_all();
         }
         // The caller is worker 0.
         job.work(0);
-        let mut done = job.done.lock().unwrap();
+        let mut done = lock_recover(&job.done);
         while job.remaining.load(Ordering::Acquire) != 0 {
-            done = job.done_cv.wait(done).unwrap();
+            done = job
+                .done_cv
+                .wait(done)
+                .unwrap_or_else(PoisonError::into_inner);
         }
         drop(done);
         // All rows are executed; wait (briefly) for the other participants
@@ -425,7 +437,7 @@ impl ExecPool {
         let workers = job
             .stats
             .iter()
-            .map(|s| WorkerReport::from_raw(*s.lock().unwrap()))
+            .map(|s| WorkerReport::from_raw(*lock_recover(s)))
             .collect();
         RunReport::new(n_items, elapsed, workers)
     }
@@ -434,7 +446,7 @@ impl ExecPool {
 impl Drop for ExecPool {
     fn drop(&mut self) {
         {
-            let mut state = self.shared.state.lock().unwrap();
+            let mut state = lock_recover(&self.shared.state);
             state.shutdown = true;
             self.shared.wake.notify_all();
         }
@@ -465,7 +477,7 @@ fn worker_loop(shared: &PoolShared, id: usize) {
     let mut seen_epoch = 0u64;
     loop {
         let job = {
-            let mut state = shared.state.lock().unwrap();
+            let mut state = lock_recover(&shared.state);
             loop {
                 if state.shutdown {
                     return;
@@ -476,7 +488,10 @@ fn worker_loop(shared: &PoolShared, id: usize) {
                         break job;
                     }
                 }
-                state = shared.wake.wait(state).unwrap();
+                state = shared
+                    .wake
+                    .wait(state)
+                    .unwrap_or_else(PoisonError::into_inner);
             }
         };
         // Workers beyond the job's shard count sit this one out.

@@ -148,6 +148,7 @@ impl FlatTree {
     /// # Panics
     ///
     /// Panics if a decision record references a feature beyond `x.len()`.
+    // analyze: hot
     pub fn score(&self, x: &[f32]) -> f32 {
         let mut idx = 0usize;
         loop {
@@ -169,6 +170,7 @@ impl FlatTree {
 
     /// Scores one record, counting node records visited (used by cycle
     /// models).
+    // analyze: hot
     pub fn score_counting(&self, x: &[f32]) -> (f32, usize) {
         let mut idx = 0usize;
         let mut visited = 1usize;
@@ -314,6 +316,7 @@ impl FlatForest {
     /// buffer is cleared and resized to the class count on every call
     /// (regression ignores it), so a loop can pass the same `Vec` for
     /// every record and never reallocate.
+    // analyze: hot
     pub fn score_one_with(&self, x: &[f32], votes: &mut Vec<u32>) -> f32 {
         match self.task {
             Task::Classification { n_classes } => {

@@ -1,12 +1,11 @@
 //! The query pipeline: functional execution plus the Fig. 11 breakdown.
 
 use std::sync::Arc;
-use std::time::Duration;
 
 use mlscore_backend::{ArtifactCache, BackendError, CacheOutcome, PrepareTiming, ScoringBackend};
 use mlscore_data::TabularFrame;
 use mlscore_forest::{ModelBundle, ModelStats, Predictions};
-use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
+use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
 use crate::error::PipelineError;
@@ -306,14 +305,14 @@ impl<B: ScoringBackend> QueryPipeline<B> {
             .scope(Scope::Compile)
             .track("pipeline", "compile")
             .meta("model_bytes", model_bytes.to_string())
-            .finish_after(wall(timing.deserialize));
+            .finish_after(timing.deserialize);
         tracer
             .span("lower model", t)
             .stage(Stage::ModelPreprocessing)
             .scope(Scope::Compile)
             .track("pipeline", "compile")
             .meta("backend", self.backend.name())
-            .finish_after(wall(timing.lower));
+            .finish_after(timing.lower);
     }
 
     /// Records one `Query` span per Fig. 11 stage. The outbound marshalling
@@ -454,11 +453,6 @@ fn lift(e: BackendError) -> PipelineError {
         BackendError::Forest(e) => PipelineError::Model(e),
         other => PipelineError::Backend(other),
     }
-}
-
-/// Maps measured wall-clock onto the simulated timeline, 1 ns ↦ 1 ns.
-fn wall(d: Duration) -> SimDuration {
-    SimDuration::from_nanos(d.as_nanos() as f64)
 }
 
 #[cfg(test)]

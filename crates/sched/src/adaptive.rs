@@ -9,11 +9,10 @@
 //! learned estimates.
 
 use std::collections::HashMap;
-use std::time::Instant;
 
 use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
 use mlscore_forest::{ModelStats, Predictions};
-use mlscore_sim::SimDuration;
+use mlscore_sim::{Clock, SimDuration};
 
 use crate::policy::Choice;
 
@@ -157,10 +156,14 @@ impl AdaptiveScheduler {
     }
 
     /// Executes `request` on `backends[backend_index]` *for real*, measures
-    /// the wall-clock scoring time, and folds the measurement into the
-    /// estimates — the calibration path for functionally real backends
-    /// (the CPU engines running on the executor pool), where modelled cost
-    /// and achieved cost can drift.
+    /// the scoring time on the injected `clock`, and folds the measurement
+    /// into the estimates — the calibration path for functionally real
+    /// backends (the CPU engines running on the executor pool), where
+    /// modelled cost and achieved cost can drift.
+    ///
+    /// The scheduler itself never touches the wall clock: the
+    /// `repro`/bench boundary injects [`mlscore_sim::WallClock`], tests
+    /// inject a [`mlscore_sim::ManualClock`].
     ///
     /// Returns the predictions and the measured duration (1 s measured ↦
     /// 1 s simulated).
@@ -179,10 +182,11 @@ impl AdaptiveScheduler {
         backend_index: usize,
         backends: &[Box<dyn ScoringBackend>],
         request: &ScoringRequest<'_>,
+        clock: &dyn Clock,
     ) -> Result<(Predictions, SimDuration), BackendError> {
-        let t0 = Instant::now();
+        let t0 = clock.now();
         let predictions = backends[backend_index].score(request)?;
-        let measured = SimDuration::from_secs(t0.elapsed().as_secs_f64());
+        let measured = clock.now().duration_since(t0);
         self.observe(stats, backend_index, request.n_records() as u64, measured);
         Ok((predictions, measured))
     }
@@ -390,8 +394,13 @@ mod tests {
             Box::new(OnnxCpu::single_thread()),
         ];
         let mut sched = AdaptiveScheduler::new(0.5);
+        // Calibration against the host is the point here, so this test IS
+        // the measurement boundary: inject the real clock.
+        let clock = mlscore_sim::WallClock::new();
         for i in 0..backends.len() {
-            let (preds, measured) = sched.observe_measured(&s, i, &backends, &request).unwrap();
+            let (preds, measured) = sched
+                .observe_measured(&s, i, &backends, &request, &clock)
+                .unwrap();
             assert_eq!(preds, forest.predict_batch(frame.as_slice()));
             assert!(measured > SimDuration::ZERO);
         }

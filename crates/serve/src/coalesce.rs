@@ -16,6 +16,8 @@ use mlscore_data::TabularFrame;
 use mlscore_forest::{Predictions, RandomForest};
 use mlscore_sim::SimDuration;
 
+use crate::error::ServeError;
+
 /// Coalescer configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
 pub struct CoalesceConfig {
@@ -78,19 +80,16 @@ impl CoalesceConfig {
 ///
 /// # Errors
 ///
-/// Propagates backend scoring errors; mixed feature widths among `frames`
-/// surface as [`BackendError::Unsupported`].
-///
-/// # Panics
-///
-/// Panics if `frames` is empty.
+/// Returns [`ServeError::EmptyBatch`] for zero frames; backend scoring
+/// errors (including mixed feature widths among `frames`, which surface
+/// as [`BackendError::Unsupported`]) propagate as
+/// [`ServeError::Backend`].
 pub fn score_merged(
     backend: &dyn ScoringBackend,
     forest: &RandomForest,
     frames: &[&TabularFrame],
-) -> Result<Vec<Predictions>, BackendError> {
-    assert!(!frames.is_empty(), "a merged pass needs at least one frame");
-    let n_features = frames[0].n_features();
+) -> Result<Vec<Predictions>, ServeError> {
+    let n_features = frames.first().ok_or(ServeError::EmptyBatch)?.n_features();
     let mut merged = Vec::with_capacity(frames.iter().map(|f| f.as_slice().len()).sum());
     for frame in frames {
         merged.extend_from_slice(frame.as_slice());
@@ -167,6 +166,16 @@ mod tests {
         assert_eq!(split[0].len(), 6);
         assert_eq!(split[1].len(), 9);
         assert_eq!(split[0], forest.predict_batch(frames[0].as_slice()));
+    }
+
+    #[test]
+    fn empty_merge_is_an_error_not_a_panic() {
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(4, 3).with_depth(4), 1);
+        let backend = SklearnCpu::with_threads(1);
+        assert!(matches!(
+            score_merged(&backend, &forest, &[]),
+            Err(ServeError::EmptyBatch)
+        ));
     }
 
     #[test]

@@ -84,13 +84,23 @@ impl DeviceRoster {
     }
 
     /// The device index backing backend `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is not a roster backend index — the mapping is built
+    /// with exactly one entry per backend at construction.
     pub fn device_of(&self, backend: usize) -> usize {
+        // analyze: allow(P001, reason="by_backend is built with one entry per roster backend at construction; a miss is an engine bug, not load")
         self.by_backend[backend]
     }
 
-    /// The device name backing backend `i`.
+    /// The device name backing backend `i` (`"?"` for an index outside
+    /// the roster).
     pub fn device_name(&self, backend: usize) -> &str {
-        &self.devices[self.by_backend[backend]].name
+        self.by_backend
+            .get(backend)
+            .and_then(|&d| self.devices.get(d))
+            .map_or("?", |d| d.name.as_str())
     }
 }
 

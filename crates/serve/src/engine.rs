@@ -10,7 +10,7 @@
 //! pure function of `(workload, config)`.
 
 use std::cmp::Reverse;
-use std::collections::{BTreeMap, BinaryHeap, HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
 
 use rand::rngs::StdRng;
 
@@ -23,6 +23,7 @@ use mlscore_telemetry::{Histogram, Tracer};
 
 use crate::coalesce::CoalesceConfig;
 use crate::device::DeviceRoster;
+use crate::error::ServeError;
 use crate::queue::{Admission, AdmissionQueue, QueueConfig};
 use crate::report::{ClassReport, DeviceReport, DispatchRecord, ServingReport};
 use crate::request::{QueryClass, RequestId, ServeRequest};
@@ -105,7 +106,7 @@ impl Default for ServeConfig {
 ///     seed: 7,
 ///     arrivals: ArrivalProcess::OpenPoisson { rate_qps: 50.0 },
 /// };
-/// let report = engine.run(&spec, &Tracer::disabled());
+/// let report = engine.run(&spec, &Tracer::disabled()).expect("servable spec");
 /// assert!(report.is_conserved());
 /// assert_eq!(report.completed + report.shed() + report.unservable, 30);
 /// ```
@@ -172,9 +173,15 @@ impl ServeEngine {
 
     /// Runs `spec` to completion, recording spans on `tracer` (pass
     /// [`Tracer::disabled`] to skip telemetry).
-    pub fn run(&self, spec: &WorkloadSpec, tracer: &Tracer) -> ServingReport {
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidWorkload`] — before any event runs —
+    /// for a spec [`WorkloadSpec::validate`] rejects; a malformed spec is
+    /// load a serving endpoint refuses, not a panic.
+    pub fn run(&self, spec: &WorkloadSpec, tracer: &Tracer) -> Result<ServingReport, ServeError> {
         let mut run = Run::new(self, spec, tracer);
-        run.seed_arrivals(spec);
+        run.seed_arrivals(spec)?;
         while let Some(Reverse(event)) = run.events.pop() {
             let now = event.at;
             if let EventKind::Arrival { draw, client } = event.kind {
@@ -184,7 +191,7 @@ impl ServeEngine {
             // exist to create the dispatch opportunity below.
             run.try_dispatch(now);
         }
-        run.into_report()
+        Ok(run.into_report())
     }
 }
 
@@ -230,7 +237,10 @@ impl Ord for Event {
 /// engine charges modelled compile time instead of compiling.
 struct CacheModel {
     capacity: usize,
-    resident: HashMap<ArtifactKey, u64>,
+    /// `BTreeMap`, not `HashMap`: residency feeds the report's cache
+    /// counters and the LRU scan, so iteration order must be a function
+    /// of content alone.
+    resident: BTreeMap<ArtifactKey, u64>,
     tick: u64,
     hits: u64,
     misses: u64,
@@ -242,7 +252,7 @@ impl CacheModel {
         assert!(capacity > 0, "cache model capacity must be non-zero");
         Self {
             capacity,
-            resident: HashMap::new(),
+            resident: BTreeMap::new(),
             tick: 0,
             hits: 0,
             misses: 0,
@@ -267,14 +277,15 @@ impl CacheModel {
         }
         self.misses += 1;
         while self.resident.len() >= self.capacity {
-            // min by (last_used, key display) — the display string breaks
-            // HashMap iteration-order ties deterministically.
+            // min_by_key keeps the first minimum in iteration order, and
+            // BTreeMap iterates in key order — last-used ties break on the
+            // smallest key, deterministically.
             let lru = self
                 .resident
                 .iter()
-                .min_by_key(|(k, &t)| (t, k.to_string()))
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map at capacity");
+                .min_by_key(|&(_, &t)| t)
+                .map(|(k, _)| k.clone());
+            let Some(lru) = lru else { break };
             self.resident.remove(&lru);
             self.evictions += 1;
         }
@@ -289,6 +300,17 @@ impl CacheModel {
             evictions: self.evictions,
             entries: self.resident.len(),
         }
+    }
+}
+
+/// A zeroed per-class accounting slice.
+fn empty_class(class: QueryClass) -> ClassReport {
+    ClassReport {
+        class,
+        completed: 0,
+        timed_out: 0,
+        slo_violations: 0,
+        latency: Histogram::new(),
     }
 }
 
@@ -310,7 +332,7 @@ struct Run<'a> {
     // Arbitration state.
     adaptive: Option<AdaptiveScheduler>,
     cache: Option<CacheModel>,
-    holds: HashSet<RequestId>,
+    holds: BTreeSet<RequestId>,
     // Accounting.
     admitted: u64,
     completed: u64,
@@ -323,7 +345,10 @@ struct Run<'a> {
     coalesced_batches: u64,
     batch_sizes: BTreeMap<usize, u64>,
     latency: Histogram,
-    classes: Vec<ClassReport>,
+    /// Per-class accounting as named fields — `class_mut` is a total
+    /// match over [`QueryClass`], so no lookup can miss.
+    interactive: ClassReport,
+    analytical: ClassReport,
     picks: BTreeMap<String, u64>,
     dispatches: Vec<DispatchRecord>,
     last_completion: SimInstant,
@@ -360,7 +385,7 @@ impl<'a> Run<'a> {
             think_mean: 0.0,
             adaptive,
             cache,
-            holds: HashSet::new(),
+            holds: BTreeSet::new(),
             admitted: 0,
             completed: 0,
             rejected: 0,
@@ -372,16 +397,8 @@ impl<'a> Run<'a> {
             coalesced_batches: 0,
             batch_sizes: BTreeMap::new(),
             latency: Histogram::new(),
-            classes: QueryClass::all()
-                .into_iter()
-                .map(|class| ClassReport {
-                    class,
-                    completed: 0,
-                    timed_out: 0,
-                    slo_violations: 0,
-                    latency: Histogram::new(),
-                })
-                .collect(),
+            interactive: empty_class(QueryClass::Interactive),
+            analytical: empty_class(QueryClass::Analytical),
             picks: BTreeMap::new(),
             dispatches: Vec::new(),
             last_completion: SimInstant::ZERO,
@@ -394,16 +411,16 @@ impl<'a> Run<'a> {
         self.events.push(Reverse(Event { at, seq, kind }));
     }
 
-    fn seed_arrivals(&mut self, spec: &WorkloadSpec) {
+    fn seed_arrivals(&mut self, spec: &WorkloadSpec) -> Result<(), ServeError> {
+        spec.validate()?;
         match spec.arrivals {
             ArrivalProcess::Batch | ArrivalProcess::OpenPoisson { .. } => {
-                for (draw, at) in spec.open_arrival_times().into_iter().enumerate() {
+                for (draw, at) in spec.open_arrival_times()?.into_iter().enumerate() {
                     self.push_event(at, EventKind::Arrival { draw, client: None });
                 }
                 self.next_draw = spec.queries;
             }
             ArrivalProcess::ClosedLoop { clients, think } => {
-                assert!(clients > 0, "a closed loop needs at least one client");
                 let first = clients.min(spec.queries);
                 for client in 0..first {
                     self.push_event(
@@ -419,9 +436,11 @@ impl<'a> Run<'a> {
                 self.think_mean = think.as_secs();
             }
         }
+        Ok(())
     }
 
     fn arrive(&mut self, now: SimInstant, draw: usize, client: Option<usize>) {
+        // analyze: allow(P001, reason="arrival events only carry draw indices seed_arrivals/request_left generated below draws.len()")
         let (model, n_records) = self.draws[draw];
         let id = self.next_id;
         self.next_id += 1;
@@ -481,10 +500,16 @@ impl<'a> Run<'a> {
     }
 
     fn class_mut(&mut self, class: QueryClass) -> &mut ClassReport {
-        self.classes
-            .iter_mut()
-            .find(|c| c.class == class)
-            .expect("all classes present")
+        match class {
+            QueryClass::Interactive => &mut self.interactive,
+            QueryClass::Analytical => &mut self.analytical,
+        }
+    }
+
+    /// The backend at roster index `i`.
+    fn backend(&self, i: usize) -> &dyn ScoringBackend {
+        // analyze: allow(P001, reason="arbitration only yields indices obtained by enumerating this roster")
+        self.engine.backends[i].as_ref()
     }
 
     /// The predicted one-time prepare charge arbitration folds in for
@@ -495,10 +520,7 @@ impl<'a> Run<'a> {
         let Some(cache) = &self.cache else {
             return SimDuration::ZERO;
         };
-        let key = artifact_key(
-            self.engine.backends[backend].as_ref(),
-            self.engine.catalog.bundle(model),
-        );
+        let key = artifact_key(self.backend(backend), self.engine.catalog.bundle(model));
         if cache.would_hit(&key) {
             self.engine.params.cache_lookup
         } else {
@@ -515,7 +537,11 @@ impl<'a> Run<'a> {
         model: usize,
         now: SimInstant,
     ) -> Option<Choice> {
-        let eligible = |i: usize| self.ledgers[self.roster.device_of(i)].has_free_slot(now);
+        let eligible = |i: usize| {
+            self.ledgers
+                .get(self.roster.device_of(i))
+                .is_some_and(|l| l.has_free_slot(now))
+        };
         let reuse = self
             .cache
             .as_ref()
@@ -567,7 +593,7 @@ impl<'a> Run<'a> {
             SimDuration::ZERO
         };
         loop {
-            let mut seen = HashSet::new();
+            let mut seen = BTreeSet::new();
             let heads: Vec<ServeRequest> = self
                 .queue
                 .iter()
@@ -620,30 +646,32 @@ impl<'a> Run<'a> {
         }
     }
 
-    /// Executes one device pass for `batch` on `choice`.
+    /// Executes one device pass for `batch` on `choice`. An empty batch is
+    /// a no-op — `try_dispatch` only hands over non-empty FIFO batches.
     fn dispatch(&mut self, now: SimInstant, batch: Vec<ServeRequest>, choice: Choice) {
-        let model = batch[0].model;
+        let Some(head) = batch.first() else { return };
+        let model = head.model;
         let stats = *self.engine.catalog.stats(model);
         let total_records: u64 = batch.iter().map(|r| r.n_records).sum();
 
         // Compile charge through the cache model.
-        let (prepare, prepare_span) = match &mut self.cache {
-            None => (SimDuration::ZERO, None),
-            Some(cache) => {
-                let key = artifact_key(
-                    self.engine.backends[choice.index].as_ref(),
-                    self.engine.catalog.bundle(model),
-                );
-                if cache.probe(key) {
-                    (self.engine.params.cache_lookup, Some("cache hit"))
-                } else {
-                    let cost = self
-                        .engine
-                        .params
-                        .model_preprocess_time(self.engine.catalog.model_bytes(model));
-                    (cost, Some("compile model"))
-                }
+        let (prepare, prepare_span) = if self.cache.is_some() {
+            let key = artifact_key(
+                self.backend(choice.index),
+                self.engine.catalog.bundle(model),
+            );
+            let hit = self.cache.as_mut().is_some_and(|cache| cache.probe(key));
+            if hit {
+                (self.engine.params.cache_lookup, Some("cache hit"))
+            } else {
+                let cost = self
+                    .engine
+                    .params
+                    .model_preprocess_time(self.engine.catalog.model_bytes(model));
+                (cost, Some("compile model"))
             }
+        } else {
+            (SimDuration::ZERO, None)
         };
         if prepare_span == Some("compile model") {
             if let Some(scheduler) = &mut self.adaptive {
@@ -651,19 +679,26 @@ impl<'a> Run<'a> {
             }
         }
 
-        let breakdown = self.engine.backends[choice.index].estimate(&stats, total_records);
+        let breakdown = self.backend(choice.index).estimate(&stats, total_records);
         let score_time = breakdown.total();
         if let Some(scheduler) = &mut self.adaptive {
             scheduler.observe(&stats, choice.index, total_records, score_time);
         }
 
         let device = self.roster.device_of(choice.index);
+        // analyze: allow(P001, reason="ledgers are built one-to-one from roster devices, so device_of indices cannot miss")
         let (start, end) = self.ledgers[device].reserve(now, prepare + score_time);
         debug_assert_eq!(start, now, "arbitration only admits free devices");
 
         // Telemetry: per-request queue-wait on the class lanes, then the
         // pass phases on the device lane.
-        let lane = format!("device {}", self.roster.devices()[device].name);
+        let lane = format!(
+            "device {}",
+            self.roster
+                .devices()
+                .get(device)
+                .map_or("?", |d| d.name.as_str())
+        );
         for r in &batch {
             self.tracer
                 .span("queue wait", r.arrival)
@@ -789,7 +824,7 @@ impl<'a> Run<'a> {
             coalesced_batches: self.coalesced_batches,
             batch_sizes: self.batch_sizes,
             latency: self.latency,
-            classes: self.classes,
+            classes: vec![self.interactive, self.analytical],
             picks: self.picks,
             devices,
             cache: self
@@ -836,8 +871,8 @@ mod tests {
             ServeConfig::default(),
         );
         let w = spec(60, ArrivalProcess::OpenPoisson { rate_qps: 40.0 });
-        let a = engine.run(&w, &Tracer::disabled());
-        let b = engine.run(&w, &Tracer::disabled());
+        let a = engine.run(&w, &Tracer::disabled()).unwrap();
+        let b = engine.run(&w, &Tracer::disabled()).unwrap();
         assert!(a.is_conserved());
         assert_eq!(a.offered, 60);
         assert_eq!(a.completed, b.completed);
@@ -860,10 +895,12 @@ mod tests {
             ..ServeConfig::default()
         };
         let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
-        let report = engine.run(
-            &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
-            &Tracer::disabled(),
-        );
+        let report = engine
+            .run(
+                &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert!(report.is_conserved());
         assert!(report.rejected > 0, "queue of 4 at 5k qps must shed");
         assert_eq!(report.shed(), report.rejected);
@@ -880,10 +917,12 @@ mod tests {
             ..ServeConfig::default()
         };
         let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
-        let report = engine.run(
-            &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
-            &Tracer::disabled(),
-        );
+        let report = engine
+            .run(
+                &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert!(report.is_conserved());
         assert!(report.dropped > 0);
         assert_eq!(report.rejected, 0);
@@ -904,10 +943,12 @@ mod tests {
             ..ServeConfig::default()
         };
         let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
-        let report = engine.run(
-            &spec(150, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
-            &Tracer::disabled(),
-        );
+        let report = engine
+            .run(
+                &spec(150, ArrivalProcess::OpenPoisson { rate_qps: 5_000.0 }),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert!(report.is_conserved());
         assert!(report.timed_out > 0, "1 ms deadlines at 5k qps must lapse");
         let per_class: u64 = report.classes.iter().map(|c| c.timed_out).sum();
@@ -924,16 +965,18 @@ mod tests {
             ModelCatalog::paper_mix(),
             ServeConfig::default(),
         );
-        let report = engine.run(
-            &spec(
-                80,
-                ArrivalProcess::ClosedLoop {
-                    clients: 4,
-                    think: SimDuration::from_millis(5.0),
-                },
-            ),
-            &Tracer::disabled(),
-        );
+        let report = engine
+            .run(
+                &spec(
+                    80,
+                    ArrivalProcess::ClosedLoop {
+                        clients: 4,
+                        think: SimDuration::from_millis(5.0),
+                    },
+                ),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert!(report.is_conserved());
         assert_eq!(report.offered, 80);
         // Nothing sheds in a closed loop with an unbounded queue.
@@ -955,10 +998,12 @@ mod tests {
                 ..ServeConfig::default()
             };
             let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
-            engine.run(
-                &spec(300, ArrivalProcess::OpenPoisson { rate_qps: 3_000.0 }),
-                &Tracer::disabled(),
-            )
+            engine
+                .run(
+                    &spec(300, ArrivalProcess::OpenPoisson { rate_qps: 3_000.0 }),
+                    &Tracer::disabled(),
+                )
+                .unwrap()
         };
         let on = mk(true);
         let off = mk(false);
@@ -986,10 +1031,12 @@ mod tests {
                 ..ServeConfig::default()
             };
             let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
-            engine.run(
-                &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 300.0 }),
-                &Tracer::disabled(),
-            )
+            engine
+                .run(
+                    &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 300.0 }),
+                    &Tracer::disabled(),
+                )
+                .unwrap()
         };
         let eager = mk(SimDuration::ZERO);
         let held = mk(SimDuration::from_millis(50.0));
@@ -1010,13 +1057,13 @@ mod tests {
         };
         let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
         let w = spec(120, ArrivalProcess::OpenPoisson { rate_qps: 60.0 });
-        let report = engine.run(&w, &Tracer::disabled());
+        let report = engine.run(&w, &Tracer::disabled()).unwrap();
         assert!(report.is_conserved());
         assert_eq!(report.completed, 120);
         // Exploration probes several backends.
         assert!(report.picks.len() >= 3, "picks {:?}", report.picks);
         // Determinism holds for the learner too.
-        let again = engine.run(&w, &Tracer::disabled());
+        let again = engine.run(&w, &Tracer::disabled()).unwrap();
         assert_eq!(report.dispatches, again.dispatches);
     }
 
@@ -1027,10 +1074,12 @@ mod tests {
             ModelCatalog::paper_mix(),
             ServeConfig::default(),
         );
-        let report = engine.run(
-            &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
-            &Tracer::disabled(),
-        );
+        let report = engine
+            .run(
+                &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert!(report.is_conserved());
         assert_eq!(report.cache.lookups(), report.batches);
         assert!(
@@ -1049,10 +1098,12 @@ mod tests {
                 ..ServeConfig::default()
             },
         );
-        let free_report = free.run(
-            &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
-            &Tracer::disabled(),
-        );
+        let free_report = free
+            .run(
+                &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
+                &Tracer::disabled(),
+            )
+            .unwrap();
         assert_eq!(free_report.cache, CacheStats::default());
         assert!(free_report.makespan <= report.makespan);
     }
@@ -1065,13 +1116,15 @@ mod tests {
             ServeConfig::default(),
         );
         let tracer = Tracer::new();
-        let report = engine.run(
-            &spec(40, ArrivalProcess::OpenPoisson { rate_qps: 200.0 }),
-            &tracer,
-        );
+        let report = engine
+            .run(
+                &spec(40, ArrivalProcess::OpenPoisson { rate_qps: 200.0 }),
+                &tracer,
+            )
+            .unwrap();
         let trace = tracer.take();
         assert!(!trace.is_empty());
-        let lanes: HashSet<String> = trace
+        let lanes: BTreeSet<String> = trace
             .events()
             .iter()
             .map(|e| e.track.lane.clone())

@@ -38,7 +38,7 @@
 //!     seed: 1,
 //!     arrivals: ArrivalProcess::OpenPoisson { rate_qps: 100.0 },
 //! };
-//! let report = engine.run(&spec, &Tracer::disabled());
+//! let report = engine.run(&spec, &Tracer::disabled()).expect("servable spec");
 //! assert!(report.is_conserved());
 //! ```
 
@@ -48,6 +48,7 @@
 pub mod coalesce;
 pub mod device;
 pub mod engine;
+pub mod error;
 pub mod queue;
 pub mod report;
 pub mod request;
@@ -56,6 +57,7 @@ pub mod workload;
 pub use coalesce::{score_merged, CoalesceConfig};
 pub use device::{DeviceRoster, DeviceSpec};
 pub use engine::{ServeConfig, ServeEngine, ServePolicy};
+pub use error::ServeError;
 pub use queue::{Admission, AdmissionQueue, QueueConfig, ShedPolicy};
 pub use report::{ClassReport, DeviceReport, DispatchRecord, ServingReport};
 pub use request::{ClassSlo, QueryClass, RequestId, ServeRequest, ANALYTICAL_MIN_RECORDS};

@@ -150,6 +150,7 @@ impl ServingReport {
         self.classes
             .iter()
             .find(|c| c.class == class)
+            // analyze: allow(P001, reason="documented panic: the engine emits one ClassReport per QueryClass::all() entry; absence is a construction bug, not load")
             .expect("engine reports carry every class")
     }
 

@@ -16,6 +16,8 @@ use mlscore_forest::{ModelBundle, ModelStats, RandomForest};
 use mlscore_sched::{paper_shape_forests, QueryTrace};
 use mlscore_sim::{SimDuration, SimInstant};
 
+use crate::error::ServeError;
+
 /// The concrete models a workload's queries reference.
 ///
 /// Each entry holds the forest (for functional scoring), its serialized
@@ -58,22 +60,43 @@ impl ModelCatalog {
     }
 
     /// Shape statistics of model `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range — model indices come from
+    /// [`WorkloadSpec::draws`] over this catalog's length.
     pub fn stats(&self, i: usize) -> &ModelStats {
+        // analyze: allow(P001, reason="model indices are drawn modulo this catalog's length; a miss is an engine bug, not load")
         &self.stats[i]
     }
 
     /// The deserialized model `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (see [`ModelCatalog::stats`]).
     pub fn forest(&self, i: usize) -> &Arc<RandomForest> {
+        // analyze: allow(P001, reason="model indices are drawn modulo this catalog's length; a miss is an engine bug, not load")
         &self.forests[i]
     }
 
     /// The serialized bundle of model `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (see [`ModelCatalog::stats`]).
     pub fn bundle(&self, i: usize) -> &ModelBundle {
+        // analyze: allow(P001, reason="model indices are drawn modulo this catalog's length; a miss is an engine bug, not load")
         &self.bundles[i]
     }
 
     /// Serialized size of model `i`, in bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i` is out of range (see [`ModelCatalog::stats`]).
     pub fn model_bytes(&self, i: usize) -> u64 {
+        // analyze: allow(P001, reason="model indices are drawn modulo this catalog's length; a miss is an engine bug, not load")
         self.bundles[i].len() as u64
     }
 }
@@ -131,32 +154,70 @@ impl WorkloadSpec {
         QueryTrace::synthetic_draws(self.queries, self.seed, n_models)
     }
 
+    /// Checks that the specification is servable: an open Poisson process
+    /// needs a positive finite rate, and a closed loop needs at least one
+    /// client and a non-negative finite think time.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::InvalidWorkload`] describing the first
+    /// problem found.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        match self.arrivals {
+            ArrivalProcess::Batch => Ok(()),
+            ArrivalProcess::OpenPoisson { rate_qps } => {
+                if rate_qps > 0.0 && rate_qps.is_finite() {
+                    Ok(())
+                } else {
+                    Err(ServeError::workload(format!(
+                        "Poisson rate must be positive and finite, got {rate_qps}"
+                    )))
+                }
+            }
+            ArrivalProcess::ClosedLoop { clients, think } => {
+                if clients == 0 {
+                    Err(ServeError::workload(
+                        "a closed loop needs at least one client",
+                    ))
+                } else if !think.as_secs().is_finite() || think.as_secs() < 0.0 {
+                    Err(ServeError::workload(format!(
+                        "closed-loop think time must be finite and non-negative, got {} s",
+                        think.as_secs()
+                    )))
+                } else {
+                    Ok(())
+                }
+            }
+        }
+    }
+
     /// Arrival instants for the open processes, one per query, in issue
     /// order ([`ArrivalProcess::Batch`]: all zero;
     /// [`ArrivalProcess::OpenPoisson`]: cumulative exponential gaps).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics on [`ArrivalProcess::ClosedLoop`], whose arrivals depend on
-    /// completions and exist only inside the engine, and on a
-    /// non-positive Poisson rate.
-    pub fn open_arrival_times(&self) -> Vec<SimInstant> {
+    /// Returns [`ServeError::InvalidWorkload`] on a non-positive or
+    /// non-finite Poisson rate, and on [`ArrivalProcess::ClosedLoop`],
+    /// whose arrivals depend on completions and exist only inside the
+    /// engine.
+    pub fn open_arrival_times(&self) -> Result<Vec<SimInstant>, ServeError> {
+        self.validate()?;
         match self.arrivals {
-            ArrivalProcess::Batch => vec![SimInstant::ZERO; self.queries],
+            ArrivalProcess::Batch => Ok(vec![SimInstant::ZERO; self.queries]),
             ArrivalProcess::OpenPoisson { rate_qps } => {
-                assert!(rate_qps > 0.0, "Poisson rate must be positive");
                 let mut rng = StdRng::seed_from_u64(self.seed ^ ARRIVAL_STREAM);
                 let mut t = SimInstant::ZERO;
-                (0..self.queries)
+                Ok((0..self.queries)
                     .map(|_| {
                         t += exponential(&mut rng, 1.0 / rate_qps);
                         t
                     })
-                    .collect()
+                    .collect())
             }
-            ArrivalProcess::ClosedLoop { .. } => {
-                panic!("closed-loop arrivals are completion-driven; the engine generates them")
-            }
+            ArrivalProcess::ClosedLoop { .. } => Err(ServeError::workload(
+                "closed-loop arrivals are completion-driven; the engine generates them",
+            )),
         }
     }
 
@@ -217,7 +278,10 @@ mod tests {
             seed: 1,
             arrivals: ArrivalProcess::Batch,
         };
-        assert_eq!(spec.open_arrival_times(), vec![SimInstant::ZERO; 5]);
+        assert_eq!(
+            spec.open_arrival_times().unwrap(),
+            vec![SimInstant::ZERO; 5]
+        );
     }
 
     #[test]
@@ -227,8 +291,8 @@ mod tests {
             seed: 3,
             arrivals: ArrivalProcess::OpenPoisson { rate_qps },
         };
-        let slow = spec(10.0).open_arrival_times();
-        let fast = spec(100.0).open_arrival_times();
+        let slow = spec(10.0).open_arrival_times().unwrap();
+        let fast = spec(100.0).open_arrival_times().unwrap();
         assert!(slow.windows(2).all(|w| w[0] <= w[1]));
         // Same seed, 10x the rate: the same exponential draws shrink 10x.
         let ratio = slow
@@ -266,13 +330,15 @@ mod tests {
         };
         assert_eq!(spec.draws(12), batch.draws(12));
         // ...and deterministic arrival times.
-        assert_eq!(spec.open_arrival_times(), spec.open_arrival_times());
+        assert_eq!(
+            spec.open_arrival_times().unwrap(),
+            spec.open_arrival_times().unwrap()
+        );
     }
 
     #[test]
-    #[should_panic(expected = "completion-driven")]
     fn closed_loop_has_no_open_arrival_times() {
-        WorkloadSpec {
+        let err = WorkloadSpec {
             queries: 4,
             seed: 0,
             arrivals: ArrivalProcess::ClosedLoop {
@@ -280,6 +346,39 @@ mod tests {
                 think: SimDuration::from_millis(1.0),
             },
         }
-        .open_arrival_times();
+        .open_arrival_times()
+        .unwrap_err();
+        assert!(format!("{err}").contains("completion-driven"), "{err}");
+    }
+
+    #[test]
+    fn validation_rejects_malformed_specs() {
+        let spec = |arrivals| WorkloadSpec {
+            queries: 4,
+            seed: 0,
+            arrivals,
+        };
+        for arrivals in [
+            ArrivalProcess::OpenPoisson { rate_qps: 0.0 },
+            ArrivalProcess::OpenPoisson { rate_qps: -3.0 },
+            ArrivalProcess::OpenPoisson {
+                rate_qps: f64::INFINITY,
+            },
+            ArrivalProcess::OpenPoisson { rate_qps: f64::NAN },
+            ArrivalProcess::ClosedLoop {
+                clients: 0,
+                think: SimDuration::from_millis(1.0),
+            },
+        ] {
+            let err = spec(arrivals).validate().unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidWorkload { .. }),
+                "{arrivals:?} must be rejected, got {err:?}"
+            );
+        }
+        assert!(spec(ArrivalProcess::Batch).validate().is_ok());
+        assert!(spec(ArrivalProcess::OpenPoisson { rate_qps: 50.0 })
+            .validate()
+            .is_ok());
     }
 }

@@ -91,7 +91,7 @@ proptest! {
     ) {
         let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
         let spec = WorkloadSpec { queries, seed, arrivals };
-        let report = engine.run(&spec, &Tracer::disabled());
+        let report = engine.run(&spec, &Tracer::disabled()).unwrap();
         prop_assert!(report.is_conserved());
         prop_assert_eq!(report.offered, queries as u64);
         prop_assert_eq!(
@@ -99,7 +99,7 @@ proptest! {
             queries as u64
         );
         // Coalescing off means strictly one request per pass.
-        if !engine.run(&spec, &Tracer::disabled()).is_conserved() {
+        if !engine.run(&spec, &Tracer::disabled()).unwrap().is_conserved() {
             unreachable!("determinism: the rerun conserves iff the first did");
         }
     }
@@ -166,7 +166,7 @@ proptest! {
     ) {
         let engine = ServeEngine::new(paper_backends(), ModelCatalog::paper_mix(), config);
         let spec = WorkloadSpec { queries, seed, arrivals };
-        let report = engine.run(&spec, &Tracer::disabled());
+        let report = engine.run(&spec, &Tracer::disabled()).unwrap();
         let mut last_id_for_model = std::collections::HashMap::new();
         let mut last_batch = None;
         for d in &report.dispatches {

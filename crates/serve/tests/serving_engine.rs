@@ -1,0 +1,93 @@
+//! Engine-level error handling and determinism regressions.
+//!
+//! A malformed [`WorkloadSpec`] is load a serving endpoint refuses with an
+//! error, never a panic — the serve crate's `P001` contract. And two runs
+//! of the same spec must agree byte for byte, down to the exported
+//! Perfetto trace — the serve crate's `D00x` contract.
+
+use mlscore_sched::paper_backends;
+use mlscore_serve::{
+    ArrivalProcess, ModelCatalog, ServeConfig, ServeEngine, ServeError, WorkloadSpec,
+};
+use mlscore_sim::SimDuration;
+use mlscore_telemetry::{perfetto, Tracer};
+
+fn engine() -> ServeEngine {
+    ServeEngine::new(
+        paper_backends(),
+        ModelCatalog::paper_mix(),
+        ServeConfig::default(),
+    )
+}
+
+fn spec(arrivals: ArrivalProcess) -> WorkloadSpec {
+    WorkloadSpec {
+        queries: 25,
+        seed: 11,
+        arrivals,
+    }
+}
+
+#[test]
+fn malformed_workloads_error_instead_of_panicking() {
+    let engine = engine();
+    let malformed = [
+        ArrivalProcess::OpenPoisson { rate_qps: 0.0 },
+        ArrivalProcess::OpenPoisson { rate_qps: -250.0 },
+        ArrivalProcess::OpenPoisson {
+            rate_qps: f64::INFINITY,
+        },
+        ArrivalProcess::OpenPoisson { rate_qps: f64::NAN },
+        // A negative or NaN think time is unconstructible through
+        // SimDuration::from_secs (it debug-asserts), so the zero-client
+        // loop is the reachable malformed closed-loop spec.
+        ArrivalProcess::ClosedLoop {
+            clients: 0,
+            think: SimDuration::from_secs(0.01),
+        },
+    ];
+    for arrivals in malformed {
+        let err = engine
+            .run(&spec(arrivals), &Tracer::disabled())
+            .expect_err("a malformed spec must be refused");
+        assert!(
+            matches!(err, ServeError::InvalidWorkload { .. }),
+            "{arrivals:?} yielded the wrong error: {err}"
+        );
+        // The error formats into something a caller can log.
+        assert!(format!("{err}").starts_with("invalid workload: "));
+    }
+}
+
+#[test]
+fn valid_workloads_still_run() {
+    let report = engine()
+        .run(
+            &spec(ArrivalProcess::OpenPoisson { rate_qps: 400.0 }),
+            &Tracer::disabled(),
+        )
+        .expect("a valid spec runs");
+    assert!(report.is_conserved());
+}
+
+#[test]
+fn traced_reruns_are_byte_identical() {
+    let spec = spec(ArrivalProcess::OpenPoisson { rate_qps: 900.0 });
+    let render = || {
+        let engine = engine();
+        let tracer = Tracer::new();
+        let report = engine.run(&spec, &tracer).expect("valid spec");
+        let json = perfetto::to_json(&tracer.take());
+        (report, json)
+    };
+    let (a, trace_a) = render();
+    let (b, trace_b) = render();
+    assert_eq!(a.completed, b.completed);
+    assert_eq!(a.makespan, b.makespan);
+    assert_eq!(a.dispatches, b.dispatches);
+    assert_eq!(
+        trace_a, trace_b,
+        "the exported Perfetto trace must be byte-identical across reruns"
+    );
+    assert!(!trace_a.is_empty());
+}

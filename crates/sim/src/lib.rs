@@ -24,12 +24,14 @@
 
 pub mod breakdown;
 pub mod cache;
+pub mod clock;
 pub mod device;
 pub mod rate;
 pub mod time;
 
 pub use breakdown::{Stage, StageClass, TimingBreakdown};
 pub use cache::{CacheHierarchy, CacheLevel};
+pub use clock::{Clock, ManualClock, WallClock};
 pub use device::DeviceLedger;
 pub use rate::{transfer_time, Bandwidth, ClockRate};
 pub use time::{SimDuration, SimInstant};

@@ -26,14 +26,16 @@ fn serial_batch_run_reproduces_legacy_replay() {
             ..ServeConfig::default()
         },
     );
-    let report = engine.run(
-        &WorkloadSpec {
-            queries,
-            seed,
-            arrivals: ArrivalProcess::Batch,
-        },
-        &Tracer::disabled(),
-    );
+    let report = engine
+        .run(
+            &WorkloadSpec {
+                queries,
+                seed,
+                arrivals: ArrivalProcess::Batch,
+            },
+            &Tracer::disabled(),
+        )
+        .expect("batch specs are always valid");
     let legacy = mlscore::sched::replay(
         &OraclePolicy,
         &QueryTrace::synthetic(queries, seed),
@@ -84,14 +86,16 @@ fn serving_exports_are_byte_identical_across_runs() {
             },
         );
         let tracer = Tracer::new();
-        let report = engine.run(
-            &WorkloadSpec {
-                queries: 80,
-                seed: 7,
-                arrivals: ArrivalProcess::OpenPoisson { rate_qps: 900.0 },
-            },
-            &tracer,
-        );
+        let report = engine
+            .run(
+                &WorkloadSpec {
+                    queries: 80,
+                    seed: 7,
+                    arrivals: ArrivalProcess::OpenPoisson { rate_qps: 900.0 },
+                },
+                &tracer,
+            )
+            .expect("a positive finite Poisson rate is valid");
         (perfetto::to_json(&tracer.take()), report)
     };
     let (json_a, report_a) = run_once();
@@ -128,14 +132,16 @@ fn coalescing_raises_fpga_throughput_under_overload() {
                 ..ServeConfig::default()
             },
         );
-        engine.run(
-            &WorkloadSpec {
-                queries: 300,
-                seed: 42,
-                arrivals: ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 },
-            },
-            &Tracer::disabled(),
-        )
+        engine
+            .run(
+                &WorkloadSpec {
+                    queries: 300,
+                    seed: 42,
+                    arrivals: ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 },
+                },
+                &Tracer::disabled(),
+            )
+            .expect("a positive finite Poisson rate is valid")
     };
     let on = run_fpga(true);
     let off = run_fpga(false);
