@@ -35,6 +35,10 @@ cargo run --release -q -p mlscore-bench --bin repro -- \
 # valid cache-stats block.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check BENCH_cpu_scoring.json
+# Regression diff self-check: a report diffed against itself is clean, so
+# the gate only ever fires on real throughput loss.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    bench --diff BENCH_cpu_scoring.json BENCH_cpu_scoring.json
 
 echo "== serve smoke (repro serve --quick) =="
 # Quick load sweep through the discrete-event serving engine into a scratch
@@ -54,6 +58,23 @@ cargo run --release -q -p mlscore-bench --bin repro -- \
 # per-request queue-wait spans.
 grep -q '"device FPGA"' target/trace_serve.json
 grep -q '"queue wait"' target/trace_serve.json
+# ...and the causal flow events linking each coalesced request's queue-wait
+# span (flow start, ph:"s") to the device pass that scored it (flow finish,
+# ph:"f" with enclosing-slice binding).
+grep -q '"ph":"s","cat":"flow","name":"request"' target/trace_serve.json
+grep -q '"ph":"f","bp":"e","cat":"flow","name":"request"' target/trace_serve.json
+grep -q '"device pass"' target/trace_serve.json
+
+echo "== report smoke (repro report --quick, twice) =="
+# The run report is a pure function of (seed, options): rendering it twice
+# must produce byte-identical JSON, and the document must self-validate
+# (>= 2 windows, per-class attainment, >= 1 slowest-request breakdown).
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    report --quick --out target/run_report.a.json >/dev/null
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    report --quick --out target/run_report.b.json >/dev/null
+cmp target/run_report.a.json target/run_report.b.json
+grep -q '"slo_alert"\|"alerts"' target/run_report.a.json
 
 echo "== trace smoke (repro trace --cold / --warm) =="
 # Both halves of the two-phase split must render a timeline.

@@ -15,6 +15,7 @@
 //! | P001 | no `unwrap`/`expect`/`panic!`/plain-indexing on `serve`/`pipeline`/`exec` request paths |
 //! | H001 | no allocation inside `// analyze: hot` regions |
 //! | T001 | every telemetry `.span(...)` reaches a `finish`/`finish_after` |
+//! | T002 | every request-lifecycle journal `.emit(...)` in `serve` carries a request id |
 //! | A000 | every `// analyze:` directive is well-formed and carries a reason |
 //!
 //! Legitimate exceptions are annotated inline:
@@ -107,6 +108,10 @@ pub const LINTS: &[LintInfo] = &[
     LintInfo {
         code: "T001",
         summary: "telemetry span opened without a matching finish",
+    },
+    LintInfo {
+        code: "T002",
+        summary: "request-lifecycle journal emit without a request id",
     },
 ];
 
@@ -359,6 +364,44 @@ mod tests {
         assert!(codes(NEUTRAL, ok).is_empty());
         let bad = "fn f() {\n  // analyze: allow(T001, reason)\n  tracer.span(\"w\", t0);\n}\n";
         assert!(codes(NEUTRAL, bad).contains(&"T001".to_string()));
+    }
+
+    #[test]
+    fn t002_fires_on_anonymous_journal_emits() {
+        // A sequence number is not a request id.
+        assert_eq!(
+            codes(SERVE, "fn f() { j.emit(now, seq, kind); }\n"),
+            vec!["T002".to_string()]
+        );
+        assert_eq!(
+            codes(
+                SERVE,
+                "fn f() { self.journal.emit(now, 0, JournalKind::Admitted); }\n"
+            ),
+            vec!["T002".to_string()]
+        );
+    }
+
+    #[test]
+    fn t002_negative_cases() {
+        // The request's id, in any spelling the serve crate uses.
+        assert!(codes(SERVE, "fn f() { j.emit(now, r.id, kind); }\n").is_empty());
+        assert!(codes(SERVE, "fn f() { j.emit(now, victim.id, kind); }\n").is_empty());
+        assert!(codes(SERVE, "fn f() { j.emit(now, request_id, kind); }\n").is_empty());
+        // Out-of-scope crate: `emit` methods elsewhere are not the journal.
+        assert!(codes(NEUTRAL, "fn f() { sink.emit(now, seq, kind); }\n").is_empty());
+    }
+
+    #[test]
+    fn t002_suppression_needs_a_reason() {
+        let ok = "fn f() {\n  \
+                  // analyze: allow(T002, reason=\"engine-level event, no single request\")\n  \
+                  j.emit(now, seq, kind);\n}\n";
+        assert!(codes(SERVE, ok).is_empty());
+        let bad = "fn f() {\n  // analyze: allow(T002)\n  j.emit(now, seq, kind);\n}\n";
+        let found = codes(SERVE, bad);
+        assert!(found.contains(&"T002".to_string()), "{found:?}");
+        assert!(found.contains(&"A000".to_string()), "{found:?}");
     }
 
     #[test]

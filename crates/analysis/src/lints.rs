@@ -15,6 +15,10 @@ use crate::Finding;
 const D002_CRATES: &[&str] = &["serve", "core"];
 /// Crates with request paths that must return errors instead of panicking.
 const P001_CRATES: &[&str] = &["serve", "pipeline", "exec"];
+/// Crates whose request-lifecycle journal emits are audited: every
+/// `.emit(...)` must carry the request's id, or the causal chain the
+/// journal reconstructs (arrival -> ... -> completed) breaks.
+const T002_CRATES: &[&str] = &["serve"];
 /// Crates where plain `x[i]` indexing is flagged too. The exec kernels
 /// index heavily by design and are governed by `H001` hot regions instead.
 const P001_INDEX_CRATES: &[&str] = &["serve", "pipeline"];
@@ -59,6 +63,9 @@ pub fn run_lints(rel_path: &str, scan: &FileScan) -> Vec<Finding> {
     }
     h001(scan, &mut raw);
     t001(scan, &mut raw);
+    if T002_CRATES.contains(&krate) {
+        t002(scan, &mut raw);
+    }
 
     let mut findings: Vec<Finding> = raw
         .into_iter()
@@ -290,6 +297,33 @@ fn t001(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
              (every span guard must be closed)"
                 .to_string(),
         ));
+    }
+}
+
+/// T002: request-lifecycle journal emit without a request id. Every
+/// `.emit(...)` call in the serve crate must pass the request's id (an
+/// `id` / `request_id` identifier somewhere in its argument list) so the
+/// journal's causal chain — arrival through completion, and the report's
+/// slowest-request reconstruction — never has an anonymous link.
+fn t002(scan: &FileScan, out: &mut Vec<(&'static str, u32, String)>) {
+    for i in 0..scan.len() {
+        if !(scan.punct(i, ".") && scan.ident(i + 1, "emit") && scan.punct(i + 2, "(")) {
+            continue;
+        }
+        let Some(args_close) = scan.match_group(i + 2, "(", ")") else {
+            continue;
+        };
+        let has_id =
+            (i + 3..args_close).any(|j| scan.ident(j, "id") || scan.ident(j, "request_id"));
+        if !has_id {
+            out.push((
+                "T002",
+                scan.tok(i + 1).line,
+                "journal emit without a request id: every lifecycle entry must carry \
+                 `id`/`request_id` so the causal chain stays reconstructible"
+                    .to_string(),
+            ));
+        }
     }
 }
 

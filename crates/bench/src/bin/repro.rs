@@ -275,17 +275,23 @@ fn trace(args: &[String]) {
     }
 }
 
-/// `repro bench [--quick] [--out FILE] [--check FILE]`
+/// `repro bench [--quick] [--out FILE] [--check FILE]
+///              [--diff OLD NEW [--tolerance T]]`
 ///
 /// Runs the measured CPU scoring sweep ([`mlscore_bench::cpu_bench`]) and
-/// writes `BENCH_cpu_scoring.json`, or — with `--check` — validates an
-/// existing report file (the CI smoke gate).
+/// writes `BENCH_cpu_scoring.json`; with `--check` it validates an
+/// existing report file (the CI smoke gate), and with `--diff` it
+/// compares two report files cell by cell and exits non-zero when any
+/// throughput number regressed beyond the relative tolerance.
 fn bench(args: &[String]) {
     use mlscore_bench::cpu_bench::{self, BenchOptions, CaseResult};
+    use mlscore_bench::diff;
 
     let mut quick = false;
     let mut out_path = "BENCH_cpu_scoring.json".to_string();
     let mut check: Option<String> = None;
+    let mut diff_paths: Option<(String, String)> = None;
+    let mut tolerance = diff::DEFAULT_TOLERANCE;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -304,12 +310,63 @@ fn bench(args: &[String]) {
                     std::process::exit(2);
                 }
             },
+            "--diff" => match (it.next(), it.next()) {
+                (Some(old), Some(new)) => diff_paths = Some((old.clone(), new.clone())),
+                _ => {
+                    eprintln!("--diff needs two file paths (old new)");
+                    std::process::exit(2);
+                }
+            },
+            "--tolerance" => match it.next().map(|t| t.parse::<f64>()) {
+                Some(Ok(t)) => tolerance = t,
+                _ => {
+                    eprintln!("--tolerance needs a fraction in [0, 1)");
+                    std::process::exit(2);
+                }
+            },
             other => {
                 eprintln!("unknown bench flag '{other}'");
-                eprintln!("usage: repro bench [--quick] [--out FILE] [--check FILE]");
+                eprintln!(
+                    "usage: repro bench [--quick] [--out FILE] [--check FILE] \
+                     [--diff OLD NEW [--tolerance T]]"
+                );
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some((old_path, new_path)) = diff_paths {
+        let read = |path: &str| {
+            std::fs::read_to_string(path).unwrap_or_else(|e| {
+                eprintln!("cannot read {path}: {e}");
+                std::process::exit(1);
+            })
+        };
+        let (old_text, new_text) = (read(&old_path), read(&new_path));
+        match diff::diff(&old_text, &new_text, tolerance) {
+            Ok(regressions) if regressions.is_empty() => {
+                println!(
+                    "{new_path}: no regressions vs {old_path} \
+                     (tolerance {:.0}%)",
+                    tolerance * 100.0
+                );
+            }
+            Ok(regressions) => {
+                eprintln!(
+                    "{new_path}: {} regression(s) vs {old_path}:",
+                    regressions.len()
+                );
+                for line in &regressions {
+                    eprintln!("  {line}");
+                }
+                std::process::exit(1);
+            }
+            Err(e) => {
+                eprintln!("cannot diff: {e}");
+                std::process::exit(1);
+            }
+        }
+        return;
     }
 
     if let Some(path) = check {
@@ -490,6 +547,64 @@ fn serve(args: &[String]) {
     }
 }
 
+/// `repro report [--quick] [--out FILE] [--top N]`
+///
+/// Runs the observed FPGA overload workload ([`mlscore_bench::run_report`])
+/// and prints the human-readable run report; `--out` additionally writes
+/// the JSON document (`mlscore/run-report/v1`), which is byte-identical
+/// across reruns — CI regenerates it twice and compares.
+fn report(args: &[String]) {
+    use mlscore_bench::run_report::{self, RunReportOptions};
+
+    let mut opts = RunReportOptions::default();
+    let mut out_path: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => opts.quick = true,
+            "--out" => match it.next() {
+                Some(path) => out_path = Some(path.clone()),
+                None => {
+                    eprintln!("--out needs a file path");
+                    std::process::exit(2);
+                }
+            },
+            "--top" => match it.next().map(|n| n.parse::<usize>()) {
+                Some(Ok(n)) if n > 0 => opts.top_n = n,
+                _ => {
+                    eprintln!("--top needs a positive integer");
+                    std::process::exit(2);
+                }
+            },
+            other => {
+                eprintln!("unknown report flag '{other}'");
+                eprintln!("usage: repro report [--quick] [--out FILE] [--top N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    println!(
+        "== Serving run report ({} mode) ==",
+        if opts.quick { "quick" } else { "full" }
+    );
+    let report = run_report::run(&opts);
+    print!("{}", run_report::to_text(&report, &opts));
+    if let Some(path) = out_path {
+        let json = run_report::to_json(&report, &opts);
+        std::fs::write(&path, &json).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        println!(
+            "\nwrote {path}: {} window(s), {} alert(s), top-{} slowest",
+            report.series.len(),
+            report.alerts.len(),
+            opts.top_n
+        );
+    }
+}
+
 fn usage() -> String {
     "usage: repro [target]\n\
      targets:\n\
@@ -509,11 +624,13 @@ fn usage() -> String {
                          suffixes; backends: cpu sklearn onnx1 gpu gpu-rapids fpga;\n\
                          --warm replays an artifact-cache hit: no bundle marshal,\n\
                          model pre-processing collapsed to a cache probe)\n\
-       bench [--quick] [--out FILE] [--check FILE]\n\
+       bench [--quick] [--out FILE] [--check FILE] [--diff OLD NEW [--tolerance T]]\n\
                         measure real CPU kernel throughput (naive seed path vs\n\
                         blocked executor) plus a warm/cold artifact-cache pair,\n\
                         and write BENCH_cpu_scoring.json; --check validates an\n\
-                        existing report instead\n\
+                        existing report instead; --diff compares two reports\n\
+                        cell by cell and exits non-zero on any throughput\n\
+                        regression beyond the relative tolerance (default 25%)\n\
        serve [--quick] [--out FILE] [--check FILE] [--trace-out FILE]\n\
                         sweep offered load through the discrete-event serving\n\
                         engine (admission control, micro-batch coalescing,\n\
@@ -521,7 +638,14 @@ fn usage() -> String {
                         FPGA-only overload comparison, and write\n\
                         BENCH_serving.json; --check validates an existing\n\
                         report; --trace-out exports a Perfetto timeline of\n\
-                        the FPGA overload run (per-device lanes)\n\
+                        the FPGA overload run (per-device lanes, request\n\
+                        flow arrows from queue wait to device pass)\n\
+       report [--quick] [--out FILE] [--top N]\n\
+                        run the observed FPGA overload workload and render\n\
+                        the serving run report: windowed metrics, per-class\n\
+                        SLO attainment, budget-burn alerts, and the top-N\n\
+                        slowest requests with journal stage breakdowns;\n\
+                        --out writes the deterministic JSON document\n\
        analyze [--json] [--check-baseline] [--write-baseline]\n\
                         run the workspace determinism & hot-path lints\n\
                         (mlscore-analyze; see DESIGN.md section 10)\n\
@@ -546,6 +670,7 @@ fn main() {
         "trace" => trace(&args[2..]),
         "bench" => bench(&args[2..]),
         "serve" => serve(&args[2..]),
+        "report" => report(&args[2..]),
         "analyze" => std::process::exit(mlscore_analysis::cli::run(&args[2..])),
         "csv" => {
             let dir = args

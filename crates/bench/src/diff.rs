@@ -1,0 +1,186 @@
+//! Benchmark regression diffing (`repro bench --diff`).
+//!
+//! Compares two `BENCH_cpu_scoring.json` documents cell by cell: cases are
+//! keyed by `(dataset, trees, depth, records)` and their thread runs by
+//! thread count, and each throughput number in the new report must come
+//! within a relative tolerance of the old one. Missing cases or runs are
+//! regressions too — a report cannot "improve" by silently dropping the
+//! slow cells. Improvements are never flagged; the diff is a one-sided
+//! perf gate, wired into CI as a self-diff smoke.
+
+use std::collections::BTreeMap;
+
+use mlscore_telemetry::json::{self, JsonValue};
+
+/// Default relative tolerance: a cell may lose up to 25% throughput
+/// before the diff calls it a regression. Wall-clock benchmarks on shared
+/// CI hosts jitter; a quarter is far outside noise for the blocked
+/// kernels this gate protects.
+pub const DEFAULT_TOLERANCE: f64 = 0.25;
+
+/// One case's comparable numbers: throughput per thread count.
+#[derive(Debug, Clone, Default)]
+struct CaseCells {
+    /// `threads -> (flat_records_per_sec, forest_records_per_sec)`.
+    runs: BTreeMap<u64, (f64, f64)>,
+}
+
+/// `(dataset, trees, depth, records)` -> cells, for one report document.
+type CaseMap = BTreeMap<(String, u64, u64, u64), CaseCells>;
+
+fn num(v: &JsonValue, key: &str, what: &str) -> Result<f64, String> {
+    v.get(key)
+        .and_then(JsonValue::as_f64)
+        .ok_or_else(|| format!("{what}: missing numeric \"{key}\""))
+}
+
+/// Indexes a CPU-scoring report's cases for comparison.
+fn index(text: &str, label: &str) -> Result<CaseMap, String> {
+    let doc = json::parse(text).map_err(|e| format!("{label}: {e}"))?;
+    match doc.get("schema").and_then(JsonValue::as_str) {
+        Some("mlscore/bench-cpu-scoring/v1") => {}
+        other => return Err(format!("{label}: unexpected schema {other:?}")),
+    }
+    let cases = doc
+        .get("cases")
+        .and_then(JsonValue::as_array)
+        .ok_or_else(|| format!("{label}: missing \"cases\" array"))?;
+    let mut map = CaseMap::new();
+    for (i, case) in cases.iter().enumerate() {
+        let what = format!("{label}: case {i}");
+        let dataset = case
+            .get("dataset")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("{what}: missing \"dataset\""))?
+            .to_string();
+        let key = (
+            dataset,
+            num(case, "trees", &what)? as u64,
+            num(case, "depth", &what)? as u64,
+            num(case, "records", &what)? as u64,
+        );
+        let runs = case
+            .get("runs")
+            .and_then(JsonValue::as_array)
+            .ok_or_else(|| format!("{what}: missing \"runs\" array"))?;
+        let mut cells = CaseCells::default();
+        for run in runs {
+            cells.runs.insert(
+                num(run, "threads", &what)? as u64,
+                (
+                    num(run, "flat_records_per_sec", &what)?,
+                    num(run, "forest_records_per_sec", &what)?,
+                ),
+            );
+        }
+        map.insert(key, cells);
+    }
+    Ok(map)
+}
+
+/// Compares `new_text` against `old_text` with relative `tolerance`.
+///
+/// Returns one human-readable line per regression (empty: the gate
+/// passes). A cell regresses when its new throughput falls below
+/// `old * (1 - tolerance)`; cases or thread runs present in the old
+/// report but absent from the new one regress unconditionally.
+///
+/// # Errors
+///
+/// Returns a description of the first structural problem in either
+/// document (bad JSON, wrong schema, missing fields).
+pub fn diff(old_text: &str, new_text: &str, tolerance: f64) -> Result<Vec<String>, String> {
+    if !(0.0..1.0).contains(&tolerance) {
+        return Err(format!("tolerance {tolerance} outside [0, 1)"));
+    }
+    let old = index(old_text, "old")?;
+    let new = index(new_text, "new")?;
+    let mut regressions = Vec::new();
+    for (key, old_cells) in &old {
+        let (dataset, trees, depth, records) = key;
+        let label = format!("{dataset} x{trees} trees depth {depth} @{records}");
+        let Some(new_cells) = new.get(key) else {
+            regressions.push(format!("{label}: case missing from new report"));
+            continue;
+        };
+        for (&threads, &(old_flat, old_forest)) in &old_cells.runs {
+            let Some(&(new_flat, new_forest)) = new_cells.runs.get(&threads) else {
+                regressions.push(format!(
+                    "{label}: {threads}-thread run missing from new report"
+                ));
+                continue;
+            };
+            for (metric, old_v, new_v) in [
+                ("flat_records_per_sec", old_flat, new_flat),
+                ("forest_records_per_sec", old_forest, new_forest),
+            ] {
+                let floor = old_v * (1.0 - tolerance);
+                if new_v < floor {
+                    regressions.push(format!(
+                        "{label}: {threads}-thread {metric} regressed \
+                         {old_v:.0} -> {new_v:.0} ({:+.1}%, tolerance {:.0}%)",
+                        (new_v / old_v - 1.0) * 100.0,
+                        tolerance * 100.0,
+                    ));
+                }
+            }
+        }
+    }
+    Ok(regressions)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(flat: f64, forest: f64) -> String {
+        format!(
+            "{{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"schema_version\": 2,\n\
+             \"cases\": [\n\
+               {{\"dataset\": \"higgs\", \"trees\": 128, \"depth\": 10, \"records\": 10000,\n\
+                \"runs\": [{{\"threads\": 1, \"flat_records_per_sec\": {flat},\n\
+                            \"forest_records_per_sec\": {forest}}}]}}\n\
+             ]}}"
+        )
+    }
+
+    #[test]
+    fn self_diff_is_clean() {
+        let text = report(1e6, 2e6);
+        assert_eq!(diff(&text, &text, DEFAULT_TOLERANCE), Ok(vec![]));
+    }
+
+    #[test]
+    fn losses_beyond_tolerance_regress_and_gains_never_do() {
+        let old = report(1e6, 2e6);
+        // 10% flat loss: inside the 25% tolerance.
+        assert_eq!(diff(&old, &report(0.9e6, 2e6), 0.25), Ok(vec![]));
+        // 30% flat loss: regression.
+        let r = diff(&old, &report(0.7e6, 2e6), 0.25).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("flat_records_per_sec"), "{r:?}");
+        assert!(r[0].contains("-30.0%"), "{r:?}");
+        // Both metrics can regress independently.
+        assert_eq!(diff(&old, &report(0.1e6, 0.1e6), 0.25).unwrap().len(), 2);
+        // Improvement is never flagged.
+        assert_eq!(diff(&old, &report(9e6, 9e6), 0.25), Ok(vec![]));
+    }
+
+    #[test]
+    fn missing_cases_and_runs_regress() {
+        let old = report(1e6, 2e6);
+        let empty = "{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"cases\": []}";
+        let r = diff(&old, empty, 0.25).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("case missing"), "{r:?}");
+        // New cases appearing is fine.
+        assert_eq!(diff(empty, &old, 0.25), Ok(vec![]));
+    }
+
+    #[test]
+    fn structural_problems_are_errors_not_regressions() {
+        assert!(diff("not json", "not json", 0.25).is_err());
+        assert!(diff(&report(1.0, 1.0), "{\"schema\": \"wrong\"}", 0.25).is_err());
+        assert!(diff(&report(1.0, 1.0), &report(1.0, 1.0), 1.5).is_err());
+    }
+}

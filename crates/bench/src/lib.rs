@@ -11,9 +11,19 @@
 //! [`serve_bench`] drives the discrete-event serving engine: `repro serve`
 //! sweeps offered load with micro-batch coalescing on and off and writes
 //! `BENCH_serving.json`.
+//!
+//! [`run_report`] renders one observed serving run (`repro report`):
+//! windowed metrics, per-class SLO attainment, budget-burn alerts, and
+//! slowest-request stage breakdowns from the lifecycle journal.
+//!
+//! [`diff`] compares two measured CPU benchmark reports cell by cell
+//! (`repro bench --diff old.json new.json`) and flags regressions beyond
+//! a relative tolerance.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod cpu_bench;
+pub mod diff;
+pub mod run_report;
 pub mod serve_bench;

@@ -17,9 +17,10 @@
 use mlscore_backend::ScoringBackend;
 use mlscore_sched::paper_backends;
 use mlscore_serve::{
-    ArrivalProcess, CoalesceConfig, ModelCatalog, QueueConfig, ServeConfig, ServeEngine,
-    ServingReport, WorkloadSpec,
+    ArrivalProcess, ClassSlo, CoalesceConfig, ModelCatalog, QueryClass, QueueConfig, ServeConfig,
+    ServeEngine, ServingReport, WorkloadSpec,
 };
+use mlscore_sim::SimDuration;
 use mlscore_telemetry::json::{self, write_escaped, JsonValue};
 use mlscore_telemetry::Tracer;
 
@@ -97,6 +98,12 @@ pub struct PointMetrics {
     pub mean_batch: f64,
     /// `(device name, busy fraction)` in roster order.
     pub utilization: Vec<(String, f64)>,
+    /// Interactive-class latency-SLO attainment, in `[0, 1]`.
+    pub interactive_attainment: f64,
+    /// Analytical-class latency-SLO attainment, in `[0, 1]`.
+    pub analytical_attainment: f64,
+    /// Largest queue depth any metrics window observed.
+    pub peak_queue_depth: u64,
 }
 
 impl PointMetrics {
@@ -126,6 +133,9 @@ impl PointMetrics {
                 .iter()
                 .map(|d| (d.name.clone(), d.utilization))
                 .collect(),
+            interactive_attainment: report.class(QueryClass::Interactive).attainment(),
+            analytical_attainment: report.class(QueryClass::Analytical).attainment(),
+            peak_queue_depth: report.series.peak_queue_depth(),
         }
     }
 }
@@ -169,6 +179,18 @@ fn serve_config(coalesce_on: bool, capacity: usize) -> ServeConfig {
     ServeConfig {
         queue: QueueConfig {
             capacity: Some(capacity),
+            // Latency SLOs so the report's attainment columns measure
+            // something: 50 ms for point lookups, 2 s for full scans.
+            // Violations are counted, never enforced — adding the SLOs
+            // does not perturb scheduling.
+            interactive: ClassSlo {
+                latency_slo: Some(SimDuration::from_millis(50.0)),
+                ..ClassSlo::default()
+            },
+            analytical: ClassSlo {
+                latency_slo: Some(SimDuration::from_secs(2.0)),
+                ..ClassSlo::default()
+            },
             ..QueueConfig::default()
         },
         coalesce: if coalesce_on {
@@ -305,6 +327,14 @@ fn push_metrics(out: &mut String, indent: &str, m: &PointMetrics) {
     ));
     field(out, "mean_batch", m.mean_batch, false);
     out.push_str(indent);
+    // Attainments get six decimals: against a 99% target, three would
+    // round every near-miss to 0.990.
+    out.push_str(&format!(
+        "  \"interactive_attainment\": {:.6}, \"analytical_attainment\": {:.6}, \
+         \"peak_queue_depth\": {},\n",
+        m.interactive_attainment, m.analytical_attainment, m.peak_queue_depth
+    ));
+    out.push_str(indent);
     out.push_str("  \"utilization\": {");
     for (i, (name, u)) in m.utilization.iter().enumerate() {
         if i > 0 {
@@ -331,7 +361,7 @@ pub fn to_json(report: &ServeBenchReport, opts: &ServeBenchOptions) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mlscore/bench-serving/v1\",\n");
-    out.push_str("  \"schema_version\": 1,\n");
+    out.push_str("  \"schema_version\": 2,\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
@@ -375,6 +405,22 @@ fn metrics_f64(block: &JsonValue, key: &str, what: &str) -> Result<f64, String> 
         .ok_or_else(|| format!("{what}: missing numeric \"{key}\""))
 }
 
+/// Checks the schema-v2 observability block of one metrics object:
+/// per-class attainments in `[0, 1]` and a non-negative peak queue depth.
+fn validate_observability(block: &JsonValue, what: &str) -> Result<(), String> {
+    for key in ["interactive_attainment", "analytical_attainment"] {
+        let v = metrics_f64(block, key, what)?;
+        if !(0.0..=1.0).contains(&v) {
+            return Err(format!("{what}: \"{key}\" {v} outside [0, 1]"));
+        }
+    }
+    let depth = metrics_f64(block, "peak_queue_depth", what)?;
+    if depth < 0.0 {
+        return Err(format!("{what}: negative \"peak_queue_depth\" {depth}"));
+    }
+    Ok(())
+}
+
 /// Checks that `text` is a well-formed serving report with the effects the
 /// experiment exists to demonstrate: at least one coalesced batch, at
 /// least one shed request under overload, and FPGA throughput with
@@ -393,7 +439,7 @@ pub fn validate(text: &str) -> Result<usize, String> {
         other => return Err(format!("unexpected schema {other:?}")),
     }
     match doc.get("schema_version").and_then(JsonValue::as_f64) {
-        Some(v) if v >= 1.0 => {}
+        Some(v) if v >= 2.0 => {}
         other => return Err(format!("missing or stale schema_version {other:?}")),
     }
     let sweep = doc
@@ -415,6 +461,7 @@ pub fn validate(text: &str) -> Result<usize, String> {
             metrics_f64(block, "throughput_qps", &what)?;
             metrics_f64(block, "p99_ms", &what)?;
             metrics_f64(block, "completed", &what)?;
+            validate_observability(block, &what)?;
             shed += metrics_f64(block, "shed", &what)?;
             if side == "coalesce_on" {
                 coalesced += metrics_f64(block, "coalesced_batches", &what)?;
@@ -433,6 +480,8 @@ pub fn validate(text: &str) -> Result<usize, String> {
         .get("coalesce_off")
         .ok_or("fpga_overload: missing \"coalesce_off\"")?;
     coalesced += metrics_f64(on, "coalesced_batches", "fpga_overload on")?;
+    validate_observability(on, "fpga_overload on")?;
+    validate_observability(off, "fpga_overload off")?;
     shed += metrics_f64(on, "shed", "fpga_overload on")?;
     shed += metrics_f64(off, "shed", "fpga_overload off")?;
     let t_on = metrics_f64(on, "throughput_qps", "fpga_overload on")?;

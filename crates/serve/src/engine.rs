@@ -19,14 +19,16 @@ use mlscore_forest::ModelStats;
 use mlscore_pipeline::PipelineParams;
 use mlscore_sched::{choose_amortized_eligible, AdaptiveScheduler, Choice};
 use mlscore_sim::{DeviceLedger, SimDuration, SimInstant, StageClass};
-use mlscore_telemetry::{Histogram, Tracer};
+use mlscore_telemetry::{Histogram, TimeSeriesRecorder, Tracer};
 
 use crate::coalesce::CoalesceConfig;
 use crate::device::DeviceRoster;
 use crate::error::ServeError;
+use crate::journal::{JournalKind, RequestJournal, ShedReason};
 use crate::queue::{Admission, AdmissionQueue, QueueConfig};
 use crate::report::{ClassReport, DeviceReport, DispatchRecord, ServingReport};
 use crate::request::{QueryClass, RequestId, ServeRequest};
+use crate::slo::{ObserveConfig, SloMonitor};
 use crate::workload::{exponential, ArrivalProcess, ModelCatalog, WorkloadSpec};
 
 /// How dispatch picks a backend for each batch.
@@ -67,6 +69,8 @@ pub struct ServeConfig {
     /// Capacity of the simulated artifact cache (compiled artifacts
     /// resident across all backends), when `charge_compile` is on.
     pub cache_entries: usize,
+    /// Metrics-window length and SLO alerting thresholds.
+    pub observe: ObserveConfig,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +84,7 @@ impl Default for ServeConfig {
             serial_device: false,
             charge_compile: true,
             cache_entries: 32,
+            observe: ObserveConfig::default(),
         }
     }
 }
@@ -308,6 +313,8 @@ fn empty_class(class: QueryClass) -> ClassReport {
     ClassReport {
         class,
         completed: 0,
+        rejected: 0,
+        dropped: 0,
         timed_out: 0,
         slo_violations: 0,
         latency: Histogram::new(),
@@ -352,6 +359,9 @@ struct Run<'a> {
     picks: BTreeMap<String, u64>,
     dispatches: Vec<DispatchRecord>,
     last_completion: SimInstant,
+    // Observability.
+    series: TimeSeriesRecorder,
+    journal: RequestJournal,
 }
 
 impl<'a> Run<'a> {
@@ -402,6 +412,8 @@ impl<'a> Run<'a> {
             picks: BTreeMap::new(),
             dispatches: Vec::new(),
             last_completion: SimInstant::ZERO,
+            series: TimeSeriesRecorder::new(engine.config.observe.window),
+            journal: RequestJournal::new(),
         }
     }
 
@@ -452,20 +464,37 @@ impl<'a> Run<'a> {
             arrival: now,
             client,
         };
+        self.journal.emit(
+            now,
+            id,
+            JournalKind::Arrival {
+                class: request.class,
+                model,
+                records: n_records,
+            },
+        );
+        self.series.record_arrival(now, request.class.name());
         match self.queue.offer(request) {
-            Admission::Admitted => self.admitted += 1,
+            Admission::Admitted => {
+                self.admitted += 1;
+                self.journal.emit(now, id, JournalKind::Admitted);
+            }
             Admission::Rejected(victim) => {
                 self.rejected += 1;
-                self.shed_span(now, &victim, "shed reject");
+                self.class_mut(victim.class).rejected += 1;
+                self.shed(now, &victim, "shed reject", ShedReason::Rejected);
                 self.request_left(now, victim.client);
             }
             Admission::DroppedOldest(victim) => {
                 self.admitted += 1;
+                self.journal.emit(now, id, JournalKind::Admitted);
                 self.dropped += 1;
-                self.shed_span(now, &victim, "shed drop-oldest");
+                self.class_mut(victim.class).dropped += 1;
+                self.shed(now, &victim, "shed drop-oldest", ShedReason::DroppedOldest);
                 self.request_left(now, victim.client);
             }
         }
+        self.series.record_queue_depth(now, self.queue.len() as u64);
     }
 
     /// A request left the system without completing (shed) or completed;
@@ -490,13 +519,18 @@ impl<'a> Run<'a> {
         );
     }
 
-    fn shed_span(&self, now: SimInstant, victim: &ServeRequest, what: &str) {
+    /// Records one shed: a span on the victim's class lane, a journal
+    /// entry, and the time-series shed counter.
+    fn shed(&mut self, now: SimInstant, victim: &ServeRequest, what: &str, reason: ShedReason) {
         self.tracer
             .span(what, victim.arrival)
             .track("serve", format!("class {}", victim.class.name()))
             .meta("request", victim.id.to_string())
             .meta("records", victim.n_records.to_string())
             .finish(now);
+        self.journal
+            .emit(now, victim.id, JournalKind::Shed { reason });
+        self.series.record_shed(now, victim.class.name());
     }
 
     fn class_mut(&mut self, class: QueryClass) -> &mut ClassReport {
@@ -579,11 +613,16 @@ impl<'a> Run<'a> {
     /// other models (no cross-model head-of-line blocking), but same-model
     /// requests only ever leave in FIFO order.
     fn try_dispatch(&mut self, now: SimInstant) {
-        for victim in self.queue.expire(now) {
+        let expired = self.queue.expire(now);
+        let any_expired = !expired.is_empty();
+        for victim in expired {
             self.timed_out += 1;
             self.class_mut(victim.class).timed_out += 1;
-            self.shed_span(now, &victim, "deadline timeout");
+            self.shed(now, &victim, "deadline timeout", ShedReason::TimedOut);
             self.request_left(now, victim.client);
+        }
+        if any_expired {
+            self.series.record_queue_depth(now, self.queue.len() as u64);
         }
         let max_requests = self.engine.config.coalesce.effective_max_requests();
         let max_records = self.engine.config.coalesce.effective_max_records();
@@ -629,9 +668,10 @@ impl<'a> Run<'a> {
                         let batch = self.queue.take_batch(head.model, max_requests, max_records);
                         for victim in batch {
                             self.unservable += 1;
-                            self.shed_span(now, &victim, "unservable");
+                            self.shed(now, &victim, "unservable", ShedReason::Unservable);
                             self.request_left(now, victim.client);
                         }
+                        self.series.record_queue_depth(now, self.queue.len() as u64);
                         dispatched = true; // the queue changed: rescan heads
                         break;
                     }
@@ -689,24 +729,47 @@ impl<'a> Run<'a> {
         // analyze: allow(P001, reason="ledgers are built one-to-one from roster devices, so device_of indices cannot miss")
         let (start, end) = self.ledgers[device].reserve(now, prepare + score_time);
         debug_assert_eq!(start, now, "arbitration only admits free devices");
+        self.series.record_queue_depth(now, self.queue.len() as u64);
 
-        // Telemetry: per-request queue-wait on the class lanes, then the
-        // pass phases on the device lane.
-        let lane = format!(
-            "device {}",
-            self.roster
-                .devices()
-                .get(device)
-                .map_or("?", |d| d.name.as_str())
-        );
+        let batch_seq = self.batches;
+        self.batches += 1;
+        if batch.len() > 1 {
+            self.coalesced_batches += 1;
+        }
+
+        // Telemetry: per-request queue-wait on the class lanes (each
+        // originating its request's causal flow), then the pass phases on
+        // the device lane.
+        let device_name = self
+            .roster
+            .devices()
+            .get(device)
+            .map_or_else(|| "?".to_string(), |d| d.name.clone());
+        let lane = format!("device {device_name}");
         for r in &batch {
             self.tracer
                 .span("queue wait", r.arrival)
                 .track("serve", format!("class {}", r.class.name()))
                 .meta("request", r.id.to_string())
                 .meta("records", r.n_records.to_string())
+                .flow_out(r.id)
                 .finish(start);
         }
+        // One "device pass" span covering the whole reservation terminates
+        // the flow of every request the pass scored: the Perfetto arrow
+        // crosses from each class lane to this device lane.
+        let mut pass_span = self
+            .tracer
+            .span("device pass", start)
+            .track("serve", lane.as_str())
+            .meta("backend", choice.name.as_str())
+            .meta("batch", batch_seq.to_string())
+            .meta("requests", batch.len().to_string())
+            .meta("records", total_records.to_string());
+        for r in &batch {
+            pass_span = pass_span.flow_in(r.id);
+        }
+        pass_span.finish(end);
         self.tracer
             .span("coalesce", start)
             .track("serve", lane.as_str())
@@ -752,13 +815,10 @@ impl<'a> Run<'a> {
         let _ = cursor;
 
         // Accounting.
-        let batch_seq = self.batches;
-        self.batches += 1;
-        if batch.len() > 1 {
-            self.coalesced_batches += 1;
-        }
         *self.batch_sizes.entry(batch.len()).or_default() += 1;
         *self.picks.entry(choice.name.clone()).or_default() += batch.len() as u64;
+        self.series
+            .record_busy(&device_name, start, prepare + score_time);
         for r in &batch {
             let latency = end - r.arrival;
             self.latency.record(latency);
@@ -785,6 +845,43 @@ impl<'a> Run<'a> {
                 batch: batch_seq,
                 dispatched_at: start,
             });
+            if batch.len() > 1 {
+                self.journal.emit(
+                    start,
+                    r.id,
+                    JournalKind::Coalesced {
+                        batch: batch_seq,
+                        size: batch.len(),
+                    },
+                );
+            }
+            self.journal.emit(
+                start,
+                r.id,
+                JournalKind::Dispatched {
+                    batch: batch_seq,
+                    backend: choice.name.clone(),
+                    device: device_name.clone(),
+                },
+            );
+            // Completions are journaled in the same order the latency
+            // histograms fold them, so refolding the journal reproduces
+            // the report's distributions bit-exactly.
+            self.journal.emit(
+                end,
+                r.id,
+                JournalKind::Completed {
+                    latency,
+                    queue_wait: start - r.arrival,
+                    prepare,
+                    setup: breakdown.total_class(StageClass::Overhead),
+                    transfer: breakdown.total_class(StageClass::Transfer),
+                    compute: breakdown.total_class(StageClass::Compute),
+                    drain: breakdown.total_class(StageClass::Pipeline),
+                },
+            );
+            self.series
+                .record_completion(end, r.class.name(), latency, violated);
         }
         if end > self.last_completion {
             self.last_completion = end;
@@ -795,7 +892,21 @@ impl<'a> Run<'a> {
         self.push_event(end, EventKind::DeviceFree);
     }
 
-    fn into_report(self) -> ServingReport {
+    fn into_report(mut self) -> ServingReport {
+        // Scan the finished series for budget-burn alerts; each one lands
+        // in the trace (a span covering the offending window on an
+        // `slo {class}` lane) and in the journal.
+        let alerts = SloMonitor::scan(&self.series, self.engine.config.observe);
+        for alert in &alerts {
+            self.tracer
+                .span("slo alert", alert.at)
+                .track("serve", format!("slo {}", alert.class))
+                .meta("window", alert.window.to_string())
+                .meta("attainment", format!("{:.6}", alert.attainment))
+                .meta("burn rate", format!("{:.6}", alert.burn_rate))
+                .finish(alert.at + self.series.window_len());
+            self.journal.alert(alert.clone());
+        }
         let makespan = self.last_completion.duration_since(SimInstant::ZERO);
         let devices = self
             .roster
@@ -837,6 +948,9 @@ impl<'a> Run<'a> {
                 .as_ref()
                 .map_or(1, |c| c.stats().expected_reuse()),
             dispatches: self.dispatches,
+            series: self.series,
+            journal: self.journal,
+            alerts,
         }
     }
 }
@@ -1106,6 +1220,86 @@ mod tests {
             .unwrap();
         assert_eq!(free_report.cache, CacheStats::default());
         assert!(free_report.makespan <= report.makespan);
+    }
+
+    #[test]
+    fn observability_feeds_journal_series_and_flows() {
+        use crate::journal::JournalKind;
+        let config = ServeConfig {
+            queue: QueueConfig {
+                capacity: Some(32),
+                shed: ShedPolicy::RejectNew,
+                ..QueueConfig::default()
+            },
+            ..ServeConfig::default()
+        };
+        let engine = ServeEngine::new(fpga_only(), ModelCatalog::paper_mix(), config);
+        let tracer = Tracer::new();
+        let report = engine
+            .run(
+                &spec(200, ArrivalProcess::OpenPoisson { rate_qps: 2_000.0 }),
+                &tracer,
+            )
+            .unwrap();
+        let trace = tracer.take();
+        assert!(report.is_conserved());
+
+        // Journal: one lifecycle entry per transition, ids everywhere.
+        let count = |name: &str| {
+            report
+                .journal
+                .entries()
+                .iter()
+                .filter(|e| e.kind.name() == name)
+                .count() as u64
+        };
+        assert_eq!(count("arrival"), report.offered);
+        assert_eq!(count("admitted"), report.admitted);
+        assert_eq!(count("shed"), report.shed() + report.unservable);
+        assert_eq!(count("completed"), report.completed);
+        // Refolding journaled latencies in emission order reproduces the
+        // report's overall histogram bit-exactly.
+        let mut refold = Histogram::new();
+        for entry in report.journal.entries() {
+            if let JournalKind::Completed { latency, .. } = entry.kind {
+                refold.record(latency);
+            }
+        }
+        assert_eq!(refold, report.latency);
+
+        // Series: windowed counters sum back to the run totals.
+        assert!(report.series.len() >= 2, "overload run spans windows");
+        let arrivals: u64 = report.series.windows().map(|(_, w)| w.arrivals).sum();
+        assert_eq!(arrivals, report.offered);
+        let completions: u64 = report.series.windows().map(|(_, w)| w.completions()).sum();
+        assert_eq!(completions, report.completed);
+        assert!(report.series.peak_queue_depth() > 0);
+
+        // Flows: every completed request's queue-wait span originates its
+        // flow, and some coalesced device pass terminates several.
+        let out_ids: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "queue wait")
+            .flat_map(|e| e.flows_out.clone())
+            .collect();
+        assert_eq!(out_ids.len() as u64, report.completed);
+        let in_ids: Vec<u64> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "device pass")
+            .flat_map(|e| e.flows_in.clone())
+            .collect();
+        let outs: BTreeSet<u64> = out_ids.into_iter().collect();
+        let ins: BTreeSet<u64> = in_ids.into_iter().collect();
+        assert_eq!(outs, ins, "every flow started is terminated");
+        assert!(
+            trace
+                .events()
+                .iter()
+                .any(|e| e.name == "device pass" && e.flows_in.len() > 1),
+            "2k qps on one FPGA must coalesce"
+        );
     }
 
     #[test]

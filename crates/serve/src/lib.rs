@@ -49,16 +49,20 @@ pub mod coalesce;
 pub mod device;
 pub mod engine;
 pub mod error;
+pub mod journal;
 pub mod queue;
 pub mod report;
 pub mod request;
+pub mod slo;
 pub mod workload;
 
 pub use coalesce::{score_merged, CoalesceConfig};
 pub use device::{DeviceRoster, DeviceSpec};
 pub use engine::{ServeConfig, ServeEngine, ServePolicy};
 pub use error::ServeError;
+pub use journal::{JournalEntry, JournalKind, RequestJournal, ShedReason};
 pub use queue::{Admission, AdmissionQueue, QueueConfig, ShedPolicy};
 pub use report::{ClassReport, DeviceReport, DispatchRecord, ServingReport};
 pub use request::{ClassSlo, QueryClass, RequestId, ServeRequest, ANALYTICAL_MIN_RECORDS};
+pub use slo::{ObserveConfig, SloAlert, SloMonitor};
 pub use workload::{exponential, ArrivalProcess, ModelCatalog, WorkloadSpec};

@@ -6,9 +6,11 @@ use std::collections::BTreeMap;
 
 use mlscore_backend::CacheStats;
 use mlscore_sim::{SimDuration, SimInstant};
-use mlscore_telemetry::Histogram;
+use mlscore_telemetry::{Histogram, TimeSeriesRecorder};
 
+use crate::journal::RequestJournal;
 use crate::request::{QueryClass, RequestId};
+use crate::slo::SloAlert;
 
 /// Per-class slice of the outcome.
 #[derive(Debug, Clone)]
@@ -17,12 +19,33 @@ pub struct ClassReport {
     pub class: QueryClass,
     /// Completions.
     pub completed: u64,
+    /// Requests of this class bounced at a full queue.
+    pub rejected: u64,
+    /// Requests of this class evicted by `ShedPolicy::DropOldest`.
+    pub dropped: u64,
     /// Requests shed by queue-deadline expiry.
     pub timed_out: u64,
     /// Completions that exceeded the class's latency SLO.
     pub slo_violations: u64,
     /// Sojourn-latency distribution (arrival to completion).
     pub latency: Histogram,
+}
+
+impl ClassReport {
+    /// Requests of this class shed for any reason.
+    pub fn shed(&self) -> u64 {
+        self.rejected + self.dropped + self.timed_out
+    }
+
+    /// Fraction of completions that met the latency SLO (`1.0` with no
+    /// completions — no budget was burned).
+    pub fn attainment(&self) -> f64 {
+        if self.completed == 0 {
+            1.0
+        } else {
+            1.0 - self.slo_violations as f64 / self.completed as f64
+        }
+    }
 }
 
 /// Busy accounting for one device.
@@ -100,6 +123,12 @@ pub struct ServingReport {
     pub expected_reuse: u64,
     /// Every dispatched request, in dispatch order.
     pub dispatches: Vec<DispatchRecord>,
+    /// Windowed time series of the run's metrics.
+    pub series: TimeSeriesRecorder,
+    /// The request-lifecycle journal.
+    pub journal: RequestJournal,
+    /// SLO budget-burn alerts, in window-then-class order.
+    pub alerts: Vec<SloAlert>,
 }
 
 impl ServingReport {
@@ -156,8 +185,10 @@ impl ServingReport {
 
     /// Checks the request-conservation invariant: every offered request is
     /// accounted for exactly once as completed, rejected, dropped, timed
-    /// out, or unservable, and admission splits offered against rejected.
+    /// out, or unservable; admission splits offered against rejected; and
+    /// the per-class slices sum back to every global counter they shard.
     pub fn is_conserved(&self) -> bool {
+        let sum = |f: fn(&ClassReport) -> u64| self.classes.iter().map(f).sum::<u64>();
         self.offered == self.admitted + self.rejected
             && self.admitted == self.completed + self.dropped + self.timed_out + self.unservable
             && self.completed == self.dispatches.len() as u64
@@ -169,6 +200,10 @@ impl ServingReport {
                 .map(|(size, n)| *size as u64 * n)
                 .sum::<u64>()
                 == self.completed
+            && sum(|c| c.completed) == self.completed
+            && sum(|c| c.rejected) == self.rejected
+            && sum(|c| c.dropped) == self.dropped
+            && sum(|c| c.timed_out) == self.timed_out
     }
 }
 
@@ -196,6 +231,8 @@ mod tests {
                 .map(|class| ClassReport {
                     class,
                     completed: 0,
+                    rejected: 0,
+                    dropped: 0,
                     timed_out: 0,
                     slo_violations: 0,
                     latency: Histogram::new(),
@@ -206,6 +243,9 @@ mod tests {
             cache: CacheStats::default(),
             expected_reuse: 1,
             dispatches: Vec::new(),
+            series: TimeSeriesRecorder::new(SimDuration::from_millis(100.0)),
+            journal: RequestJournal::new(),
+            alerts: Vec::new(),
         }
     }
 
@@ -231,11 +271,37 @@ mod tests {
     }
 
     #[test]
+    fn conservation_catches_unattributed_shed_classes() {
+        let mut r = empty_report();
+        r.offered = 1;
+        r.admitted = 0;
+        r.rejected = 1; // globally counted, but no class owns it
+        assert!(!r.is_conserved());
+        r.classes[0].rejected = 1;
+        assert!(r.is_conserved());
+    }
+
+    #[test]
+    fn class_shed_and_attainment_derive_from_counters() {
+        let mut c = empty_report().classes[0].clone();
+        assert_eq!(c.shed(), 0);
+        assert_eq!(c.attainment(), 1.0);
+        c.rejected = 2;
+        c.dropped = 1;
+        c.timed_out = 3;
+        assert_eq!(c.shed(), 6);
+        c.completed = 4;
+        c.slo_violations = 1;
+        assert_eq!(c.attainment(), 0.75);
+    }
+
+    #[test]
     fn batch_stats_derive_from_the_distribution() {
         let mut r = empty_report();
         r.offered = 5;
         r.admitted = 5;
         r.completed = 5;
+        r.classes[0].completed = 5;
         r.batches = 2;
         r.batch_sizes.insert(1, 1);
         r.batch_sizes.insert(4, 1);

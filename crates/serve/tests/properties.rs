@@ -71,6 +71,7 @@ fn arb_config() -> impl Strategy<Value = ServeConfig> {
                     serial_device,
                     charge_compile,
                     cache_entries: 4,
+                    observe: mlscore_serve::ObserveConfig::default(),
                 }
             },
         )

@@ -55,6 +55,8 @@ mod tests {
             dur: SimDuration::from_nanos(dur_ns),
             track: Track::new(process, lane),
             metadata: vec![],
+            flows_out: vec![],
+            flows_in: vec![],
         }
     }
 

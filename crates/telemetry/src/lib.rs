@@ -49,8 +49,10 @@ pub mod json;
 pub mod metrics;
 pub mod perfetto;
 pub mod span;
+pub mod timeseries;
 pub mod tracer;
 
 pub use metrics::{Histogram, HistogramSnapshot, MetricsRegistry};
 pub use span::{ExactSplit, Scope, SpanEvent, Trace, Track};
+pub use timeseries::{ClassWindow, TimeSeriesRecorder, Window};
 pub use tracer::{SpanGuard, Tracer};

@@ -11,7 +11,13 @@
 //! - **thread (`tid`)** — one per [`Track::lane`] within its process: the
 //!   query lane, each FPGA engine pass, each PCIe stream, each CPU worker.
 //!   Spans on different lanes render as parallel rows, which is what makes
-//!   FPGA multi-pass overlap and streamed PCIe transfers visible.
+//!   FPGA multi-pass overlap and streamed PCIe transfers visible;
+//! - **flow events (`ph:"s"` / `ph:"f"`)** — one pair per causal-flow id
+//!   on a span ([`SpanEvent::flows_out`] / [`SpanEvent::flows_in`]): the
+//!   serving engine links each request's queue-wait span to the device
+//!   pass that scored its batch, so the arrow crosses from the class lane
+//!   to the device lane. Flow starts bind to the origin span's end, flow
+//!   ends (`bp:"e"`, enclosing-slice binding) to the terminus span's start.
 //!
 //! [legacy trace-event format]: https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU
 //! [ui.perfetto.dev]: https://ui.perfetto.dev
@@ -67,10 +73,12 @@ pub fn to_json(trace: &Trace) -> String {
         out.push_str("}}");
     }
 
-    // Span events.
+    // Span events, each followed by its flow steps so a flow id's "s"
+    // precedes its "f" whenever spans were recorded in causal order.
     for ev in trace.events() {
         push_sep(&mut out, &mut first);
         write_span(&mut out, ev, &pids, &tids);
+        write_flows(&mut out, ev, &mut first, &pids, &tids);
     }
 
     out.push_str("]}");
@@ -120,6 +128,44 @@ fn write_span(
     out.push_str("}}");
 }
 
+/// Emits the flow steps a span carries: `ph:"s"` (flow start, bound to the
+/// span's end instant — the moment the request leaves the queue) for each
+/// [`SpanEvent::flows_out`] id, and `ph:"f"` with `bp:"e"` (flow end,
+/// enclosing-slice binding at the span's start) for each
+/// [`SpanEvent::flows_in`] id.
+fn write_flows(
+    out: &mut String,
+    ev: &SpanEvent,
+    first: &mut bool,
+    pids: &BTreeMap<&str, u64>,
+    tids: &BTreeMap<(&str, &str), u64>,
+) {
+    if ev.flows_out.is_empty() && ev.flows_in.is_empty() {
+        return;
+    }
+    let process = ev.track.process.as_str();
+    let pid = pids[process];
+    let tid = tids[&(process, ev.track.lane.as_str())];
+    for id in &ev.flows_out {
+        push_sep(out, first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"s\",\"cat\":\"flow\",\"name\":\"request\",\"id\":{id},\
+             \"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+            ev.end().as_micros(),
+        );
+    }
+    for id in &ev.flows_in {
+        push_sep(out, first);
+        let _ = write!(
+            out,
+            "{{\"ph\":\"f\",\"bp\":\"e\",\"cat\":\"flow\",\"name\":\"request\",\"id\":{id},\
+             \"ts\":{},\"pid\":{pid},\"tid\":{tid}}}",
+            ev.start.as_micros(),
+        );
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use mlscore_sim::{SimDuration, SimInstant, Stage};
@@ -138,6 +184,8 @@ mod tests {
                 dur: SimDuration::from_micros(100.0),
                 track: Track::new("fpga", "pass0"),
                 metadata: vec![("pass".into(), "0".into())],
+                flows_out: vec![],
+                flows_in: vec![],
             },
             SpanEvent {
                 name: "stream \"weird\"\nname".into(),
@@ -147,6 +195,8 @@ mod tests {
                 dur: SimDuration::from_micros(60.0),
                 track: Track::new("fpga", "pcie"),
                 metadata: vec![],
+                flows_out: vec![],
+                flows_in: vec![],
             },
         ])
     }
@@ -197,6 +247,50 @@ mod tests {
         assert_eq!(
             metas[0].get("args").unwrap().get("name").unwrap().as_str(),
             Some("fpga"),
+        );
+    }
+
+    #[test]
+    fn flow_events_link_origin_end_to_terminus_start() {
+        // A queue-wait span originating flow 7 on one lane, and a device
+        // pass terminating it on another: the exporter must emit an "s"
+        // step at the origin's end and an "f" (bp:"e") at the terminus'
+        // start, both carrying the same id.
+        let mut origin = sample_trace().events()[0].clone();
+        origin.flows_out = vec![7];
+        let mut terminus = sample_trace().events()[1].clone();
+        terminus.flows_in = vec![7];
+        let json = to_json(&Trace::from_events(vec![origin.clone(), terminus.clone()]));
+        let doc = parse(&json).unwrap();
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+
+        let starts: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("s"))
+            .collect();
+        let ends: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("f"))
+            .collect();
+        assert_eq!(starts.len(), 1);
+        assert_eq!(ends.len(), 1);
+        assert_eq!(starts[0].get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(ends[0].get("id").unwrap().as_f64(), Some(7.0));
+        assert_eq!(ends[0].get("bp").unwrap().as_str(), Some("e"));
+        assert_eq!(starts[0].get("cat").unwrap().as_str(), Some("flow"));
+        // Binding instants: origin end, terminus start.
+        assert_eq!(
+            starts[0].get("ts").unwrap().as_f64(),
+            Some(origin.end().as_micros()),
+        );
+        assert_eq!(
+            ends[0].get("ts").unwrap().as_f64(),
+            Some(terminus.start.as_micros()),
+        );
+        // The arrow crosses lanes: distinct tids, same pid as the spans.
+        assert_ne!(
+            starts[0].get("tid").unwrap().as_f64(),
+            ends[0].get("tid").unwrap().as_f64(),
         );
     }
 

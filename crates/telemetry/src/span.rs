@@ -88,6 +88,12 @@ pub struct SpanEvent {
     pub track: Track,
     /// Free-form key/value annotations (backend name, pass index, policy...).
     pub metadata: Vec<(String, String)>,
+    /// Causal-flow ids this span *originates* (Perfetto `ph:"s"` steps):
+    /// e.g. a request's queue-wait span starts flow `request.id`.
+    pub flows_out: Vec<u64>,
+    /// Causal-flow ids this span *terminates* (Perfetto `ph:"f"` steps):
+    /// e.g. a device-pass span ends the flow of every request it scored.
+    pub flows_in: Vec<u64>,
 }
 
 impl SpanEvent {
@@ -262,6 +268,8 @@ mod tests {
             dur: SimDuration::from_micros(dur_us),
             track: Track::default(),
             metadata: vec![],
+            flows_out: vec![],
+            flows_in: vec![],
         }
     }
 

@@ -59,6 +59,8 @@ impl Tracer {
                 dur: SimDuration::ZERO,
                 track: Track::default(),
                 metadata: Vec::new(),
+                flows_out: Vec::new(),
+                flows_in: Vec::new(),
             }),
         }
     }
@@ -133,6 +135,24 @@ impl SpanGuard<'_> {
     pub fn meta(mut self, key: &str, value: impl Into<String>) -> Self {
         if let Some(ev) = &mut self.event {
             ev.metadata.push((key.to_string(), value.into()));
+        }
+        self
+    }
+
+    /// Marks this span as the *origin* of causal flow `id` (the exporter
+    /// emits a Perfetto flow-start step bound to the span's end).
+    pub fn flow_out(mut self, id: u64) -> Self {
+        if let Some(ev) = &mut self.event {
+            ev.flows_out.push(id);
+        }
+        self
+    }
+
+    /// Marks this span as the *terminus* of causal flow `id` (the exporter
+    /// emits a Perfetto flow-end step bound to the span's start).
+    pub fn flow_in(mut self, id: u64) -> Self {
+        if let Some(ev) = &mut self.event {
+            ev.flows_in.push(id);
         }
         self
     }
