@@ -22,23 +22,37 @@ echo "== workspace lints (repro analyze --check-baseline) =="
 cargo run --release -q -p mlscore-bench --bin repro -- \
     analyze --check-baseline
 
-echo "== bench smoke (repro bench --quick) =="
-# Quick measured sweep into a scratch file: exercises the wall-clock
-# harness end to end — including the warm+cold artifact-cache pair — and
-# self-validates the JSON it writes (schema_version >= 2, cache block with
-# hits >= 1 and cold_total_secs >= warm_total_secs).
-cargo run --release -q -p mlscore-bench --bin repro -- \
-    bench --quick --out target/BENCH_cpu_scoring.quick.json
-cargo run --release -q -p mlscore-bench --bin repro -- \
-    bench --check target/BENCH_cpu_scoring.quick.json
+echo "== bench smoke (repro bench --quick, once per kernel) =="
+# Quick measured sweep into a scratch file, once per vector-tier filter:
+# exercises the wall-clock harness end to end — including the warm+cold
+# artifact-cache pair and the SIMD/QuickScorer kernels — and
+# self-validates the JSON it writes (schema_version >= 3, chosen kernel
+# per cell, cache block with hits >= 1 and cold >= warm).
+for k in auto blocked simd quickscorer; do
+    cargo run --release -q -p mlscore-bench --bin repro -- \
+        bench --quick --kernel "$k" \
+        --out "target/BENCH_cpu_scoring.quick.$k.json" \
+        | tee "target/bench_smoke.$k.log"
+    cargo run --release -q -p mlscore-bench --bin repro -- \
+        bench --check "target/BENCH_cpu_scoring.quick.$k.json"
+    # Every cell must print the cost model's pick.
+    grep -q 'kernel pick: ' "target/bench_smoke.$k.log"
+done
+# Forced runs must say so on the pick line.
+grep -q '\[forced: simd\]' target/bench_smoke.simd.log
 # The committed trajectory must stay parseable, non-empty, and carry a
-# valid cache-stats block.
+# valid cache-stats block and per-cell kernel picks.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check BENCH_cpu_scoring.json
+grep -q '"chosen_kernel"' BENCH_cpu_scoring.json
 # Regression diff self-check: a report diffed against itself is clean, so
-# the gate only ever fires on real throughput loss.
+# the gate only ever fires on real throughput loss. The quick auto run
+# diffed against itself additionally covers the per-metric v3 cells.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --diff BENCH_cpu_scoring.json BENCH_cpu_scoring.json
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    bench --diff target/BENCH_cpu_scoring.quick.auto.json \
+                 target/BENCH_cpu_scoring.quick.auto.json
 
 echo "== serve smoke (repro serve --quick) =="
 # Quick load sweep through the discrete-event serving engine into a scratch

@@ -324,6 +324,34 @@ mod tests {
     }
 
     #[test]
+    fn h001_fires_on_alloc_in_bitvector_scoring_loop() {
+        // A fixture shaped like the QuickScorer kernel's per-record mask
+        // loop: allocating the bitvector scratch inside the hot region is
+        // exactly the per-record-cost regression H001 exists to catch.
+        const EXEC: &str = "crates/exec/src/fixture.rs";
+        let bad = "// analyze: hot\n\
+                   fn qs_classify_block(rows: Range<usize>) {\n  \
+                   for row in rows {\n    \
+                   let mut masks = vec![u64::MAX; words];\n    \
+                   for item in items {\n      \
+                   masks[item.tree] &= item.mask;\n    }\n  }\n}\n";
+        let findings = analyze_source(EXEC, bad);
+        assert!(
+            findings.iter().any(|f| f.lint == "H001"),
+            "alloc in bitvector loop must fire H001: {findings:?}"
+        );
+        // The shipped kernel's shape — thread-local scratch cleared and
+        // resized per block — stays clean.
+        let good = "// analyze: hot\n\
+                    fn qs_classify_block(rows: Range<usize>, s: &mut Scratch) {\n  \
+                    for row in rows {\n    \
+                    s.masks.clear();\n    s.masks.resize(words, u64::MAX);\n    \
+                    for item in items {\n      \
+                    s.masks[item.tree] &= item.mask;\n    }\n  }\n}\n";
+        assert!(analyze_source(EXEC, good).is_empty());
+    }
+
+    #[test]
     fn h001_suppression_needs_a_reason() {
         let ok = "// analyze: hot\nfn f() {\n  \
                   // analyze: allow(H001, reason=\"amortized: once per batch, not per record\")\n  \

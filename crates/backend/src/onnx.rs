@@ -13,7 +13,7 @@ use std::sync::Arc;
 use serde::{Deserialize, Serialize};
 
 use mlscore_data::TabularFrame;
-use mlscore_exec::{kernel, ExecPool, FlatImage, RunConfig};
+use mlscore_exec::{score_auto_batch, ExecPool, FlatImage, KernelChoice, RunConfig};
 use mlscore_forest::{ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
@@ -162,7 +162,10 @@ impl ScoringBackend for OnnxCpu {
         frame: &TabularFrame,
     ) -> Result<Predictions, BackendError> {
         let image = self.image_of(lowered)?;
-        let (preds, _) = kernel::score_image_batch(
+        // The cost model dispatches to whichever CPU kernel tier (blocked /
+        // SIMD walk / QuickScorer) is fastest for this shape and batch; all
+        // tiers are bit-exact, so this is a pure throughput decision.
+        let (preds, _, _) = score_auto_batch(
             image,
             frame,
             ExecPool::global(),
@@ -180,7 +183,7 @@ impl ScoringBackend for OnnxCpu {
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
         let image = self.image_of(lowered)?;
-        let (preds, report) = kernel::score_image_batch(
+        let (preds, report, _) = score_auto_batch(
             image,
             frame,
             ExecPool::global(),
@@ -188,6 +191,10 @@ impl ScoringBackend for OnnxCpu {
         );
         report.record_spans(tracer, start, self.name());
         Ok(preds)
+    }
+
+    fn kernel_choice(&self, stats: &ModelStats, n_records: u64) -> Option<KernelChoice> {
+        Some(KernelChoice::from_model_stats(stats, n_records as usize))
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {

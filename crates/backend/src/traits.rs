@@ -211,6 +211,26 @@ pub trait ScoringBackend {
         self.score_lowered_traced(model.forest(), model.lowered(), frame, tracer, start)
     }
 
+    /// Reports which CPU scoring kernel this backend's executor would pick
+    /// for the given model shape and batch size, with the cost model's
+    /// per-kernel estimates.
+    ///
+    /// `None` (the default) means the backend has no kernel tier to choose
+    /// from — it offloads to fixed hardware or a single code path. Backends
+    /// executing on the shared [`ExecPool`](mlscore_exec::ExecPool) with
+    /// the vectorized tier return the
+    /// [`KernelChoice`](mlscore_exec::KernelChoice) their score path will
+    /// dispatch on, so schedulers and benches can surface the pick without
+    /// scoring anything.
+    fn kernel_choice(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+    ) -> Option<mlscore_exec::KernelChoice> {
+        let _ = (stats, n_records);
+        None
+    }
+
     /// Estimates the *overall model scoring time* breakdown (the Fig. 7
     /// quantity: everything from invoking the scoring call to having results
     /// in host memory) for scoring `n_records` with a model of the given
@@ -343,6 +363,14 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
         start: SimInstant,
     ) -> Result<Predictions, BackendError> {
         (**self).score_prepared_traced(model, frame, tracer, start)
+    }
+
+    fn kernel_choice(
+        &self,
+        stats: &ModelStats,
+        n_records: u64,
+    ) -> Option<mlscore_exec::KernelChoice> {
+        (**self).kernel_choice(stats, n_records)
     }
 
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {

@@ -275,19 +275,24 @@ fn trace(args: &[String]) {
     }
 }
 
-/// `repro bench [--quick] [--out FILE] [--check FILE]
+/// `repro bench [--quick] [--kernel auto|blocked|simd|quickscorer]
+///              [--out FILE] [--check FILE]
 ///              [--diff OLD NEW [--tolerance T]]`
 ///
 /// Runs the measured CPU scoring sweep ([`mlscore_bench::cpu_bench`]) and
-/// writes `BENCH_cpu_scoring.json`; with `--check` it validates an
-/// existing report file (the CI smoke gate), and with `--diff` it
-/// compares two report files cell by cell and exits non-zero when any
-/// throughput number regressed beyond the relative tolerance.
+/// writes `BENCH_cpu_scoring.json`; `--kernel` restricts the vector-tier
+/// measurements to one kernel (the blocked baselines always run). With
+/// `--check` it validates an existing report file (the CI smoke gate),
+/// and with `--diff` it compares two report files cell by cell and exits
+/// non-zero when any throughput number regressed beyond the relative
+/// tolerance.
 fn bench(args: &[String]) {
     use mlscore_bench::cpu_bench::{self, BenchOptions, CaseResult};
     use mlscore_bench::diff;
+    use mlscore_exec::Kernel;
 
     let mut quick = false;
+    let mut kernel: Option<Kernel> = None;
     let mut out_path = "BENCH_cpu_scoring.json".to_string();
     let mut check: Option<String> = None;
     let mut diff_paths: Option<(String, String)> = None;
@@ -296,6 +301,14 @@ fn bench(args: &[String]) {
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--kernel" => match it.next().map(String::as_str) {
+                Some("auto") => kernel = None,
+                Some(name) if Kernel::parse(name).is_some() => kernel = Kernel::parse(name),
+                _ => {
+                    eprintln!("--kernel needs one of auto|blocked|simd|quickscorer");
+                    std::process::exit(2);
+                }
+            },
             "--out" => match it.next() {
                 Some(path) => out_path = path.clone(),
                 None => {
@@ -327,8 +340,8 @@ fn bench(args: &[String]) {
             other => {
                 eprintln!("unknown bench flag '{other}'");
                 eprintln!(
-                    "usage: repro bench [--quick] [--out FILE] [--check FILE] \
-                     [--diff OLD NEW [--tolerance T]]"
+                    "usage: repro bench [--quick] [--kernel auto|blocked|simd|quickscorer] \
+                     [--out FILE] [--check FILE] [--diff OLD NEW [--tolerance T]]"
                 );
                 std::process::exit(2);
             }
@@ -384,10 +397,11 @@ fn bench(args: &[String]) {
         return;
     }
 
-    let opts = BenchOptions { quick };
+    let opts = BenchOptions { quick, kernel };
     println!(
-        "== Measured CPU scoring sweep ({} mode) ==",
-        if quick { "quick" } else { "full" }
+        "== Measured CPU scoring sweep ({} mode, kernel {}) ==",
+        if quick { "quick" } else { "full" },
+        kernel.map_or("auto", Kernel::name)
     );
     let cases = cpu_bench::run(&opts);
     let cache = cpu_bench::run_cache_pair(&opts);
@@ -624,7 +638,7 @@ fn usage() -> String {
                          suffixes; backends: cpu sklearn onnx1 gpu gpu-rapids fpga;\n\
                          --warm replays an artifact-cache hit: no bundle marshal,\n\
                          model pre-processing collapsed to a cache probe)\n\
-       bench [--quick] [--out FILE] [--check FILE] [--diff OLD NEW [--tolerance T]]\n\
+       bench [--quick] [--kernel auto|blocked|simd|quickscorer] [--out FILE] [--check FILE] [--diff OLD NEW [--tolerance T]]\n\
                         measure real CPU kernel throughput (naive seed path vs\n\
                         blocked executor) plus a warm/cold artifact-cache pair,\n\
                         and write BENCH_cpu_scoring.json; --check validates an\n\

@@ -28,7 +28,10 @@ use std::time::{Duration, Instant};
 
 use mlscore_backend::{ArtifactCache, CacheOutcome, OnnxCpu, ScoringBackend};
 use mlscore_data::Dataset;
-use mlscore_exec::{kernel, pool::default_threads, ExecPool, RunConfig};
+use mlscore_exec::{
+    kernel, pool::default_threads, score_quickscorer_batch, score_simd_batch, ExecPool, FlatImage,
+    ImageLayout, Kernel, KernelChoice, RunConfig, SimdLevel,
+};
 use mlscore_forest::{FlatForest, ForestConfig, ModelBundle, Predictions, RandomForest, Task};
 use mlscore_pipeline::QueryPipeline;
 use mlscore_telemetry::json::{self, write_escaped, JsonValue};
@@ -36,11 +39,23 @@ use mlscore_telemetry::json::{self, write_escaped, JsonValue};
 /// Tree depth used throughout the sweep (the paper's evaluation depth).
 pub const SWEEP_DEPTH: usize = 10;
 
+/// Record cap for the QuickScorer measurement. On the sweep's *full*
+/// depth-10 trees QuickScorer is deliberately pessimal (16 bitvector words
+/// per mask AND — the cost model never picks it there), so timing the full
+/// 100k-record cell would take minutes for a number whose only job is to
+/// show the crossover. The cap keeps the cell honest (records/second is
+/// size-independent at these batch sizes) and the sweep fast; the JSON
+/// records the cap as `quickscorer_records`.
+pub const QS_RECORD_CAP: usize = 2_000;
+
 /// Options for one harness run.
 #[derive(Debug, Clone, Copy)]
 pub struct BenchOptions {
     /// Shrink record counts and iteration counts to a CI smoke run.
     pub quick: bool,
+    /// Restrict the vector-tier measurements to one kernel
+    /// (`repro bench --kernel`); `None` measures every kernel.
+    pub kernel: Option<Kernel>,
 }
 
 impl BenchOptions {
@@ -63,7 +78,7 @@ impl BenchOptions {
     }
 }
 
-/// Blocked-kernel throughput at one worker count.
+/// Per-kernel throughput at one worker count.
 #[derive(Debug, Clone, Copy)]
 pub struct ThreadRun {
     /// Worker count the executor ran with.
@@ -72,10 +87,18 @@ pub struct ThreadRun {
     pub flat_rps: f64,
     /// Blocked pointer-tree kernel throughput, records/second.
     pub forest_rps: f64,
-    /// Best blocked kernel over the naive seed path:
-    /// `max(flat_rps, forest_rps) / naive_rps`.
+    /// Explicit-SIMD lane walker throughput at the detected tier,
+    /// records/second (`None` when `--kernel` excluded it).
+    pub simd_rps: Option<f64>,
+    /// QuickScorer bitvector throughput, records/second, measured on the
+    /// [`QS_RECORD_CAP`]-capped sub-batch (`None` when excluded).
+    pub quickscorer_rps: Option<f64>,
+    /// Best measured kernel over the naive seed path:
+    /// `max(flat, forest, simd) / naive_rps` (QuickScorer excluded — its
+    /// cell runs on a capped batch).
     pub speedup: f64,
-    /// Whether both kernels reproduced the naive predictions exactly.
+    /// Whether every measured kernel reproduced the naive predictions
+    /// exactly.
     pub bit_exact: bool,
 }
 
@@ -92,12 +115,18 @@ pub struct CaseResult {
     pub records: usize,
     /// Seed-style per-record path throughput, records/second.
     pub naive_rps: f64,
-    /// Blocked-kernel results, one per thread count.
+    /// The cost model's verdict for this shape at the full batch size.
+    pub choice: KernelChoice,
+    /// Prepared-layout footprint (walk trees, SIMD image, QuickScorer).
+    pub layout: ImageLayout,
+    /// Records the QuickScorer cell actually scored (the cap).
+    pub qs_records: usize,
+    /// Per-kernel results, one per thread count.
     pub runs: Vec<ThreadRun>,
 }
 
 impl CaseResult {
-    /// The best blocked speedup over the naive path across thread counts.
+    /// The best measured speedup over the naive path across thread counts.
     pub fn best_speedup(&self) -> f64 {
         self.runs.iter().map(|r| r.speedup).fold(0.0, f64::max)
     }
@@ -241,6 +270,14 @@ fn thread_sweep() -> Vec<usize> {
     counts
 }
 
+/// Truncates classification predictions to the first `n` records.
+fn truncate_preds(preds: &Predictions, n: usize) -> Predictions {
+    match preds {
+        Predictions::Classes(c) => Predictions::Classes(c[..n.min(c.len())].to_vec()),
+        Predictions::Values(v) => Predictions::Values(v[..n.min(v.len())].to_vec()),
+    }
+}
+
 /// Measures one sweep cell.
 fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> CaseResult {
     let (data, n_features, n_classes) = match name {
@@ -252,10 +289,25 @@ fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> Ca
         7,
     );
     let flat = FlatForest::from_forest(&forest, forest.max_depth()).expect("flat encoding");
+    let image = FlatImage::from_forest(&forest, forest.max_depth()).expect("flat image");
     let frame = data.frame();
     let iters = opts.iters();
+    let level = SimdLevel::detect();
+    let choice = KernelChoice::choose(image.stats(), records, level);
+    let layout = image.layout();
+    let measure_simd = matches!(opts.kernel, None | Some(Kernel::Simd));
+    let measure_qs = matches!(opts.kernel, None | Some(Kernel::Quickscorer));
+
+    // QuickScorer runs on a capped sub-batch (see [`QS_RECORD_CAP`]).
+    let qs_records = records.min(QS_RECORD_CAP);
+    let qs_frame = mlscore_data::TabularFrame::from_rows(
+        frame.as_slice()[..qs_records * n_features].to_vec(),
+        n_features,
+    )
+    .expect("sub-frame");
 
     let reference = naive_predict(&forest, frame.as_slice());
+    let qs_reference = truncate_preds(&reference, qs_records);
     let naive_rps = measure_rps(records, iters, || {
         let preds = naive_predict(&forest, frame.as_slice());
         std::hint::black_box(&preds);
@@ -269,7 +321,7 @@ fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> Ca
         let cfg = RunConfig::for_threads(threads);
         let (flat_preds, _) = kernel::score_flat_batch(&flat, frame, &pool, &cfg);
         let (forest_preds, _) = kernel::score_forest_batch(&forest, frame, &pool, &cfg);
-        let bit_exact = flat_preds == reference && forest_preds == reference;
+        let mut bit_exact = flat_preds == reference && forest_preds == reference;
         let flat_rps = measure_rps(records, iters, || {
             let out = kernel::score_flat_batch(&flat, frame, &pool, &cfg);
             std::hint::black_box(&out);
@@ -278,11 +330,30 @@ fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> Ca
             let out = kernel::score_forest_batch(&forest, frame, &pool, &cfg);
             std::hint::black_box(&out);
         });
+        let simd_rps = measure_simd.then(|| {
+            let (simd_preds, _) = score_simd_batch(&image, frame, &pool, &cfg, level);
+            bit_exact &= simd_preds == reference;
+            measure_rps(records, iters, || {
+                let out = score_simd_batch(&image, frame, &pool, &cfg, level);
+                std::hint::black_box(&out);
+            })
+        });
+        let quickscorer_rps = measure_qs.then(|| {
+            let (qs_preds, _) = score_quickscorer_batch(&image, &qs_frame, &pool, &cfg);
+            bit_exact &= qs_preds == qs_reference;
+            measure_rps(qs_records, iters, || {
+                let out = score_quickscorer_batch(&image, &qs_frame, &pool, &cfg);
+                std::hint::black_box(&out);
+            })
+        });
+        let best = flat_rps.max(forest_rps).max(simd_rps.unwrap_or(0.0));
         runs.push(ThreadRun {
             threads,
             flat_rps,
             forest_rps,
-            speedup: flat_rps.max(forest_rps) / naive_rps,
+            simd_rps,
+            quickscorer_rps,
+            speedup: best / naive_rps,
             bit_exact,
         });
     }
@@ -293,11 +364,15 @@ fn run_case(name: &str, trees: usize, records: usize, opts: &BenchOptions) -> Ca
         depth: SWEEP_DEPTH,
         records,
         naive_rps,
+        choice,
+        layout,
+        qs_records,
         runs,
     }
 }
 
-/// Runs the full sweep, printing one progress line per cell.
+/// Runs the full sweep, printing one progress line per cell plus the cost
+/// model's kernel pick (the line `ci.sh` greps).
 pub fn run(opts: &BenchOptions) -> Vec<CaseResult> {
     let mut cases = Vec::new();
     for dataset in ["iris", "higgs"] {
@@ -311,18 +386,36 @@ pub fn run(opts: &BenchOptions) -> Vec<CaseResult> {
                     .expect("at least one thread count");
                 println!(
                     "{:>5} x{:<3} trees, {:>6} records | naive {:>10.0} rec/s | \
-                     blocked {:>10.0} rec/s ({}th, {:.2}x){}",
+                     best {:>10.0} rec/s ({}th, {:.2}x){}",
                     case.dataset,
                     case.trees,
                     case.records,
                     case.naive_rps,
-                    best.flat_rps.max(best.forest_rps),
+                    best.flat_rps
+                        .max(best.forest_rps)
+                        .max(best.simd_rps.unwrap_or(0.0)),
                     best.threads,
                     best.speedup,
                     if case.runs.iter().all(|r| r.bit_exact) {
                         ""
                     } else {
                         "  MISMATCH"
+                    }
+                );
+                println!(
+                    "      kernel pick: {}@{} (blocked {:.0}ns, simd {:.0}ns, \
+                     quickscorer {:.0}ns per record; qs layout {} items x{} words, {} KiB){}",
+                    case.choice.kernel.name(),
+                    case.choice.level.name(),
+                    case.choice.blocked_ns,
+                    case.choice.simd_ns,
+                    case.choice.quickscorer_ns,
+                    case.layout.quickscorer_items,
+                    case.layout.quickscorer_words_per_tree,
+                    case.layout.quickscorer_bytes / 1024,
+                    match opts.kernel {
+                        Some(k) => format!("  [forced: {}]", k.name()),
+                        None => String::new(),
                     }
                 );
                 cases.push(case);
@@ -354,10 +447,18 @@ pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) ->
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mlscore/bench-cpu-scoring/v1\",\n");
-    out.push_str("  \"schema_version\": 2,\n");
+    out.push_str("  \"schema_version\": 3,\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
+    ));
+    out.push_str(&format!(
+        "  \"simd_level\": \"{}\",\n",
+        SimdLevel::detect().name()
+    ));
+    out.push_str(&format!(
+        "  \"kernel_filter\": \"{}\",\n",
+        opts.kernel.map_or("auto", Kernel::name)
     ));
     out.push_str(&format!("  \"host_threads\": {},\n", default_threads()));
     out.push_str(&format!("  \"record_block\": {},\n", cfg.record_block));
@@ -393,7 +494,22 @@ pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) ->
             case.trees, case.depth, case.records
         ));
         push_num(&mut out, case.naive_rps);
-        out.push_str(",\n     \"runs\": [");
+        out.push_str(&format!(
+            ",\n     \"chosen_kernel\": \"{}\", \"chosen_level\": \"{}\",\n     \
+             \"predicted_ns_per_record\": {{\"blocked\": ",
+            case.choice.kernel.name(),
+            case.choice.level.name()
+        ));
+        push_num(&mut out, case.choice.blocked_ns);
+        out.push_str(", \"simd\": ");
+        push_num(&mut out, case.choice.simd_ns);
+        out.push_str(", \"quickscorer\": ");
+        push_num(&mut out, case.choice.quickscorer_ns);
+        out.push_str(&format!(
+            "}},\n     \"quickscorer_records\": {},",
+            case.qs_records
+        ));
+        out.push_str("\n     \"runs\": [");
         for (j, run) in case.runs.iter().enumerate() {
             if j > 0 {
                 out.push(',');
@@ -403,6 +519,14 @@ pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) ->
             push_num(&mut out, run.flat_rps);
             out.push_str(", \"forest_records_per_sec\": ");
             push_num(&mut out, run.forest_rps);
+            if let Some(rps) = run.simd_rps {
+                out.push_str(", \"simd_records_per_sec\": ");
+                push_num(&mut out, rps);
+            }
+            if let Some(rps) = run.quickscorer_rps {
+                out.push_str(", \"quickscorer_records_per_sec\": ");
+                push_num(&mut out, rps);
+            }
             out.push_str(", \"speedup_vs_naive\": ");
             push_num(&mut out, run.speedup);
             out.push_str(&format!(", \"bit_exact\": {}}}", run.bit_exact));
@@ -428,10 +552,10 @@ pub fn validate(text: &str) -> Result<usize, String> {
         Some("mlscore/bench-cpu-scoring/v1") => {}
         other => return Err(format!("unexpected schema {other:?}")),
     }
-    match doc.get("schema_version").and_then(JsonValue::as_f64) {
-        Some(v) if v >= 2.0 => {}
+    let version = match doc.get("schema_version").and_then(JsonValue::as_f64) {
+        Some(v) if v >= 2.0 => v,
         other => return Err(format!("missing or stale schema_version {other:?}")),
-    }
+    };
     let cache = doc.get("cache").ok_or("missing \"cache\" block")?;
     let hits = cache
         .get("hits")
@@ -464,6 +588,24 @@ pub fn validate(text: &str) -> Result<usize, String> {
         for key in ["trees", "records", "naive_records_per_sec"] {
             if case.get(key).and_then(JsonValue::as_f64).is_none() {
                 return Err(format!("case {i}: missing numeric \"{key}\""));
+            }
+        }
+        if version >= 3.0 {
+            // v3 cells must carry the cost model's verdict and the
+            // QuickScorer cap so downstream diffs stay interpretable.
+            if case
+                .get("chosen_kernel")
+                .and_then(JsonValue::as_str)
+                .is_none()
+            {
+                return Err(format!("case {i}: missing \"chosen_kernel\""));
+            }
+            if case
+                .get("quickscorer_records")
+                .and_then(JsonValue::as_f64)
+                .is_none()
+            {
+                return Err(format!("case {i}: missing \"quickscorer_records\""));
             }
         }
         let runs = case
@@ -511,18 +653,49 @@ mod tests {
 
     #[test]
     fn quick_cell_is_bit_exact_and_serializes() {
-        let opts = BenchOptions { quick: true };
+        let opts = BenchOptions {
+            quick: true,
+            kernel: None,
+        };
         let case = run_case("iris", 8, 200, &opts);
         assert!(case.runs.iter().all(|r| r.bit_exact));
         assert!(case.naive_rps > 0.0);
+        // With no kernel filter every run measures the full vector tier.
+        assert!(case.runs.iter().all(|r| r.simd_rps.is_some()));
+        assert!(case.runs.iter().all(|r| r.quickscorer_rps.is_some()));
         let cache = run_cache_pair(&opts);
         let json = to_json(std::slice::from_ref(&case), &cache, &opts);
         assert_eq!(validate(&json), Ok(1));
+        assert!(json.contains("\"chosen_kernel\""));
+        assert!(json.contains("\"simd_records_per_sec\""));
+    }
+
+    #[test]
+    fn kernel_filter_skips_excluded_tiers() {
+        let opts = BenchOptions {
+            quick: true,
+            kernel: Some(Kernel::Blocked),
+        };
+        let case = run_case("iris", 8, 200, &opts);
+        assert!(case.runs.iter().all(|r| r.bit_exact));
+        assert!(case.runs.iter().all(|r| r.simd_rps.is_none()));
+        assert!(case.runs.iter().all(|r| r.quickscorer_rps.is_none()));
+
+        let simd_only = BenchOptions {
+            quick: true,
+            kernel: Some(Kernel::Simd),
+        };
+        let case = run_case("iris", 8, 200, &simd_only);
+        assert!(case.runs.iter().all(|r| r.simd_rps.is_some()));
+        assert!(case.runs.iter().all(|r| r.quickscorer_rps.is_none()));
     }
 
     #[test]
     fn cache_pair_hits_and_warm_is_cheaper() {
-        let cache = run_cache_pair(&BenchOptions { quick: true });
+        let cache = run_cache_pair(&BenchOptions {
+            quick: true,
+            kernel: None,
+        });
         assert_eq!(cache.hits, 1);
         assert_eq!(cache.misses, 1);
         assert!(cache.cold_total_secs >= cache.warm_total_secs);

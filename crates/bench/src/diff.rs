@@ -5,7 +5,10 @@
 //! thread count, and each throughput number in the new report must come
 //! within a relative tolerance of the old one. Missing cases or runs are
 //! regressions too — a report cannot "improve" by silently dropping the
-//! slow cells. Improvements are never flagged; the diff is a one-sided
+//! slow cells. The comparison is keyed on the metrics the *old* report
+//! carries: cells or per-run metrics that only exist in the new report
+//! (a freshly landed kernel tier, a schema bump) are informational, never
+//! regressions. Improvements are never flagged; the diff is a one-sided
 //! perf gate, wired into CI as a self-diff smoke.
 
 use std::collections::BTreeMap;
@@ -18,11 +21,15 @@ use mlscore_telemetry::json::{self, JsonValue};
 /// kernels this gate protects.
 pub const DEFAULT_TOLERANCE: f64 = 0.25;
 
-/// One case's comparable numbers: throughput per thread count.
+/// Per-run metric suffix every compared throughput key shares.
+const METRIC_SUFFIX: &str = "_records_per_sec";
+
+/// One case's comparable numbers: throughput metrics per thread count.
 #[derive(Debug, Clone, Default)]
 struct CaseCells {
-    /// `threads -> (flat_records_per_sec, forest_records_per_sec)`.
-    runs: BTreeMap<u64, (f64, f64)>,
+    /// `threads -> { metric name -> records/second }`, one entry per
+    /// `*_records_per_sec` key the run carries.
+    runs: BTreeMap<u64, BTreeMap<String, f64>>,
 }
 
 /// `(dataset, trees, depth, records)` -> cells, for one report document.
@@ -65,13 +72,25 @@ fn index(text: &str, label: &str) -> Result<CaseMap, String> {
             .ok_or_else(|| format!("{what}: missing \"runs\" array"))?;
         let mut cells = CaseCells::default();
         for run in runs {
-            cells.runs.insert(
-                num(run, "threads", &what)? as u64,
-                (
-                    num(run, "flat_records_per_sec", &what)?,
-                    num(run, "forest_records_per_sec", &what)?,
-                ),
-            );
+            let JsonValue::Object(fields) = run else {
+                return Err(format!("{what}: run is not an object"));
+            };
+            let mut metrics = BTreeMap::new();
+            for (name, value) in fields {
+                if !name.ends_with(METRIC_SUFFIX) {
+                    continue;
+                }
+                let v = value
+                    .as_f64()
+                    .ok_or_else(|| format!("{what}: non-numeric \"{name}\""))?;
+                metrics.insert(name.clone(), v);
+            }
+            if metrics.is_empty() {
+                return Err(format!("{what}: run has no {METRIC_SUFFIX} metrics"));
+            }
+            cells
+                .runs
+                .insert(num(run, "threads", &what)? as u64, metrics);
         }
         map.insert(key, cells);
     }
@@ -82,8 +101,11 @@ fn index(text: &str, label: &str) -> Result<CaseMap, String> {
 ///
 /// Returns one human-readable line per regression (empty: the gate
 /// passes). A cell regresses when its new throughput falls below
-/// `old * (1 - tolerance)`; cases or thread runs present in the old
-/// report but absent from the new one regress unconditionally.
+/// `old * (1 - tolerance)`; cases, thread runs, or per-run metrics
+/// present in the old report but absent from the new one regress
+/// unconditionally. The reverse is informational: cells and metrics that
+/// only the *new* report carries (e.g. a kernel tier that just landed)
+/// are never regressions.
 ///
 /// # Errors
 ///
@@ -103,17 +125,22 @@ pub fn diff(old_text: &str, new_text: &str, tolerance: f64) -> Result<Vec<String
             regressions.push(format!("{label}: case missing from new report"));
             continue;
         };
-        for (&threads, &(old_flat, old_forest)) in &old_cells.runs {
-            let Some(&(new_flat, new_forest)) = new_cells.runs.get(&threads) else {
+        for (&threads, old_metrics) in &old_cells.runs {
+            let Some(new_metrics) = new_cells.runs.get(&threads) else {
                 regressions.push(format!(
                     "{label}: {threads}-thread run missing from new report"
                 ));
                 continue;
             };
-            for (metric, old_v, new_v) in [
-                ("flat_records_per_sec", old_flat, new_flat),
-                ("forest_records_per_sec", old_forest, new_forest),
-            ] {
+            // Only the old report's metrics gate; new-only metrics are
+            // additions, not comparables.
+            for (metric, &old_v) in old_metrics {
+                let Some(&new_v) = new_metrics.get(metric) else {
+                    regressions.push(format!(
+                        "{label}: {threads}-thread {metric} missing from new report"
+                    ));
+                    continue;
+                };
                 let floor = old_v * (1.0 - tolerance);
                 if new_v < floor {
                     regressions.push(format!(
@@ -166,6 +193,25 @@ mod tests {
         assert_eq!(diff(&old, &report(9e6, 9e6), 0.25), Ok(vec![]));
     }
 
+    /// A v3-style report: same cell as [`report`] plus the vector-tier
+    /// metrics and an extra case the old report never had.
+    fn report_with_kernel_tier(flat: f64, simd: f64) -> String {
+        format!(
+            "{{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"schema_version\": 3,\n\
+             \"cases\": [\n\
+               {{\"dataset\": \"higgs\", \"trees\": 128, \"depth\": 10, \"records\": 10000,\n\
+                \"chosen_kernel\": \"simd\",\n\
+                \"runs\": [{{\"threads\": 1, \"flat_records_per_sec\": {flat},\n\
+                            \"forest_records_per_sec\": 2e6,\n\
+                            \"simd_records_per_sec\": {simd},\n\
+                            \"quickscorer_records_per_sec\": 1700}}]}},\n\
+               {{\"dataset\": \"iris\", \"trees\": 8, \"depth\": 10, \"records\": 500,\n\
+                \"chosen_kernel\": \"blocked\",\n\
+                \"runs\": [{{\"threads\": 1, \"flat_records_per_sec\": 5e6}}]}}\n\
+             ]}}"
+        )
+    }
+
     #[test]
     fn missing_cases_and_runs_regress() {
         let old = report(1e6, 2e6);
@@ -175,6 +221,29 @@ mod tests {
         assert!(r[0].contains("case missing"), "{r:?}");
         // New cases appearing is fine.
         assert_eq!(diff(empty, &old, 0.25), Ok(vec![]));
+    }
+
+    #[test]
+    fn added_cells_and_metrics_are_informational() {
+        // A schema-bumped report that adds a whole kernel tier (new
+        // per-run metrics) and a whole new case must diff clean against
+        // the old two-metric report: additions are not regressions.
+        let old = report(1e6, 2e6);
+        let new = report_with_kernel_tier(1e6, 9e5);
+        assert_eq!(diff(&old, &new, 0.25), Ok(vec![]));
+
+        // But once the old report carries the new metrics, they gate like
+        // any other: dropping one or regressing it fails.
+        let newer_slow = report_with_kernel_tier(1e6, 1e5);
+        let r = diff(&new, &newer_slow, 0.25).unwrap();
+        assert_eq!(r.len(), 1);
+        assert!(r[0].contains("simd_records_per_sec regressed"), "{r:?}");
+        let r = diff(&new, &old, 0.25).unwrap();
+        assert!(
+            r.iter().any(|l| l.contains("simd_records_per_sec missing")),
+            "{r:?}"
+        );
+        assert!(r.iter().any(|l| l.contains("case missing")), "{r:?}");
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 use std::cell::RefCell;
 use std::ops::Range;
+use std::sync::OnceLock;
 
 use mlscore_data::TabularFrame;
 use mlscore_forest::{
@@ -53,7 +54,7 @@ pub const LANES: usize = 8;
 /// `0..n` exactly once and blocks until all of them have executed, so
 /// every index is written by exactly one worker while the owning `Vec` is
 /// borrowed, and the buffer is only read again after `run` returns.
-struct SharedOut<T>(*mut T, usize);
+pub(crate) struct SharedOut<T>(*mut T, usize);
 
 #[allow(unsafe_code)]
 // SAFETY: workers write disjoint indices of a `T: Send` buffer; see above.
@@ -63,7 +64,7 @@ unsafe impl<T: Send> Send for SharedOut<T> {}
 unsafe impl<T: Send> Sync for SharedOut<T> {}
 
 impl<T> SharedOut<T> {
-    fn new(buf: &mut [T]) -> Self {
+    pub(crate) fn new(buf: &mut [T]) -> Self {
         Self(buf.as_mut_ptr(), buf.len())
     }
 
@@ -73,7 +74,7 @@ impl<T> SharedOut<T> {
     /// the pool's disjoint-range contract.
     #[allow(unsafe_code)]
     #[inline]
-    fn write(&self, i: usize, val: T) {
+    pub(crate) fn write(&self, i: usize, val: T) {
         debug_assert!(i < self.1);
         // SAFETY: `i` is in bounds and, per the range contract, no other
         // thread writes it; the pointee stays alive for the whole run.
@@ -84,27 +85,30 @@ impl<T> SharedOut<T> {
 /// Reusable per-thread kernel scratch. Grown on first use, then reused
 /// across blocks, runs, and scoring calls.
 #[derive(Default)]
-struct Scratch {
+pub(crate) struct Scratch {
     /// Per-(row, class) vote counts for one record block.
-    votes: Vec<u32>,
+    pub(crate) votes: Vec<u32>,
     /// Per-row regression accumulators for one record block.
-    acc: Vec<f32>,
+    pub(crate) acc: Vec<f32>,
     /// Quantized features for one record block.
-    xq: Vec<u16>,
+    pub(crate) xq: Vec<u16>,
+    /// Per-tree leaf bitvectors for the QuickScorer kernel.
+    pub(crate) bv: Vec<u64>,
 }
 
 thread_local! {
-    static SCRATCH: RefCell<Scratch> = const {
+    pub(crate) static SCRATCH: RefCell<Scratch> = const {
         RefCell::new(Scratch {
             votes: Vec::new(),
             acc: Vec::new(),
             xq: Vec::new(),
+            bv: Vec::new(),
         })
     };
 }
 
 /// Splits `range` into sub-blocks of at most `block` rows.
-fn blocks(range: Range<usize>, block: usize) -> impl Iterator<Item = Range<usize>> {
+pub(crate) fn blocks(range: Range<usize>, block: usize) -> impl Iterator<Item = Range<usize>> {
     let block = block.max(1);
     range
         .clone()
@@ -119,28 +123,28 @@ fn blocks(range: Range<usize>, block: usize) -> impl Iterator<Item = Range<usize
 /// self-loops (`left == right == own index`), so a finished lane keeps
 /// spinning on its leaf with no extra "am I done" select.
 #[derive(Clone, Copy)]
-struct WalkNode {
+pub(crate) struct WalkNode {
     /// Left-child index (`x[feature] <= threshold`); self for leaves.
-    left: u32,
+    pub(crate) left: u32,
     /// Right-child index; self for leaves.
-    right: u32,
+    pub(crate) right: u32,
     /// Feature column to test; 0 for leaves (an always-in-bounds load).
-    feature: u32,
+    pub(crate) feature: u32,
     /// Split threshold; unused by leaves (both children are `self`).
-    threshold: f32,
+    pub(crate) threshold: f32,
 }
 
 /// A flat tree decoded for traversal, plus its leaf payload table.
-struct WalkTree {
-    nodes: Vec<WalkNode>,
+pub(crate) struct WalkTree {
+    pub(crate) nodes: Vec<WalkNode>,
     /// Word 1 of every node: the leaf outcome at terminal indices.
-    payload: Vec<f32>,
+    pub(crate) payload: Vec<f32>,
     /// Fixed step count — the encoded capacity depth.
-    steps: usize,
+    pub(crate) steps: usize,
 }
 
 impl WalkTree {
-    fn decode(tree: &FlatTree) -> Self {
+    pub(crate) fn decode(tree: &FlatTree) -> Self {
         let words = tree.words();
         let n_nodes = words.len() / NODE_WORDS;
         let mut nodes = Vec::with_capacity(n_nodes);
@@ -183,13 +187,48 @@ impl WalkTree {
 pub struct FlatImage {
     flat: FlatForest,
     walk: Vec<WalkTree>,
+    /// Heap-indexed re-encoding for the explicit-SIMD lane walker, built
+    /// eagerly (it is smaller than `flat`'s own node table).
+    simd: crate::kernel_simd::SimdForest,
+    /// QuickScorer per-feature threshold lists + leaf bitvector masks.
+    /// Built lazily on first use: the mask table is `O(internal nodes ×
+    /// leaf-words)` — ~16 MiB for a 128-tree depth-10 forest — and only
+    /// pays for itself on shallow ensembles the cost model routes there.
+    qs: OnceLock<crate::quickscorer::QuickScorer>,
+    /// Shape inputs to the kernel cost model, computed once here so the
+    /// per-call [`KernelChoice`](crate::choice::KernelChoice) ranking is
+    /// O(1).
+    stats: crate::choice::ImageStats,
 }
 
 impl FlatImage {
     /// Decodes an already-flattened forest into a reusable image.
     pub fn from_flat(flat: FlatForest) -> Self {
-        let walk = flat.trees().iter().map(WalkTree::decode).collect();
-        Self { flat, walk }
+        let walk: Vec<WalkTree> = flat.trees().iter().map(WalkTree::decode).collect();
+        let simd = crate::kernel_simd::SimdForest::build(&walk, flat.n_features());
+        let mut internal_nodes = 0usize;
+        let mut max_leaves = 1usize;
+        let mut steps = 0usize;
+        for tree in flat.trees() {
+            let leaves = tree.n_live_leaves();
+            internal_nodes += tree.live_records().saturating_sub(leaves);
+            max_leaves = max_leaves.max(leaves);
+            steps = steps.max(tree.max_depth());
+        }
+        let stats = crate::choice::ImageStats {
+            n_trees: flat.n_trees(),
+            n_features: flat.n_features(),
+            steps,
+            internal_nodes,
+            max_leaves,
+        };
+        Self {
+            flat,
+            walk,
+            simd,
+            qs: OnceLock::new(),
+            stats,
+        }
     }
 
     /// Flattens a pointer-tree forest at `max_depth` capacity and decodes
@@ -202,6 +241,62 @@ impl FlatImage {
     pub fn flat(&self) -> &FlatForest {
         &self.flat
     }
+
+    /// The decoded lockstep-walk image (one [`WalkTree`] per tree).
+    pub(crate) fn walk(&self) -> &[WalkTree] {
+        &self.walk
+    }
+
+    /// The heap-indexed SIMD traversal image.
+    pub(crate) fn simd(&self) -> &crate::kernel_simd::SimdForest {
+        &self.simd
+    }
+
+    /// The QuickScorer layout, built on first call and cached in the
+    /// image — so a prepared artifact amortizes it like the walk decode.
+    pub(crate) fn quickscorer(&self) -> &crate::quickscorer::QuickScorer {
+        self.qs
+            .get_or_init(|| crate::quickscorer::QuickScorer::build(&self.flat))
+    }
+
+    /// Shape inputs for the kernel cost model.
+    pub fn stats(&self) -> &crate::choice::ImageStats {
+        &self.stats
+    }
+
+    /// Sizes of every prepared layout the image carries. Forces the
+    /// QuickScorer build if it has not run yet (it is cached afterwards,
+    /// exactly as a scoring call would leave it).
+    pub fn layout(&self) -> ImageLayout {
+        let qs = self.quickscorer();
+        ImageLayout {
+            walk_trees: self.walk().len(),
+            simd_bytes: self
+                .simd()
+                .trees
+                .iter()
+                .map(crate::kernel_simd::SimdTree::image_bytes)
+                .sum(),
+            quickscorer_words_per_tree: qs.words_per_tree(),
+            quickscorer_items: qs.n_items(),
+            quickscorer_bytes: qs.layout_bytes(),
+        }
+    }
+}
+
+/// Memory footprint of a [`FlatImage`]'s prepared per-kernel layouts.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ImageLayout {
+    /// Decoded lockstep-walk trees cached for the blocked kernel.
+    pub walk_trees: usize,
+    /// Bytes held by the heap-indexed SIMD traversal image.
+    pub simd_bytes: usize,
+    /// QuickScorer bitvector words per tree (`ceil(max leaves / 64)`).
+    pub quickscorer_words_per_tree: usize,
+    /// QuickScorer decision-node items across all per-feature lists.
+    pub quickscorer_items: usize,
+    /// Bytes held by the QuickScorer mask, threshold, and leaf tables.
+    pub quickscorer_bytes: usize,
 }
 
 impl std::fmt::Debug for FlatImage {

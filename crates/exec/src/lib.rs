@@ -38,13 +38,19 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod choice;
 pub mod kernel;
+pub mod kernel_simd;
 pub mod pool;
+pub mod quickscorer;
 pub mod report;
 
+pub use choice::{score_auto_batch, Kernel, KernelChoice};
 pub use kernel::{
     fill_indexed, score_flat_batch, score_forest_batch, score_image_batch, score_quantized_batch,
-    FlatImage,
+    FlatImage, ImageLayout,
 };
+pub use kernel_simd::{score_simd_batch, SimdLevel};
 pub use pool::{ExecPool, RunConfig};
+pub use quickscorer::score_quickscorer_batch;
 pub use report::{RunReport, WorkerReport};

@@ -1,0 +1,379 @@
+//! QuickScorer-class bitvector traversal kernel.
+//!
+//! Instead of walking root→leaf per (record, tree), QuickScorer flips the
+//! loop to run over *split conditions*: every decision node whose test
+//! `x[feature] <= threshold` comes out FALSE rules out its entire left
+//! subtree — a contiguous range of leaves once leaves are numbered in
+//! DFS left-to-right order. Each node therefore carries a precomputed
+//! bitvector mask (all ones minus its left-subtree leaf range), grouped by
+//! feature and sorted by threshold:
+//!
+//! ```text
+//!   per feature f:  (thr₀, tree, mask) (thr₁, tree, mask) …   thr ascending
+//!   per record:     bv[t] = base[t];            // all leaves possible
+//!                   for f: while thrᵢ < x[f]:   // false nodes only
+//!                       bv[tree_of(i)] &= maskᵢ
+//!   exit leaf of t: lowest set bit of bv[t]     // trailing_zeros scan
+//! ```
+//!
+//! The per-record cost is `O(false nodes × words)` mask ANDs plus a
+//! `O(trees × words)` scan — independent of tree *depth*, which is why the
+//! kernel wins on wide, shallow ensembles (≤ 64 leaves/tree needs a single
+//! `u64` word per tree) and loses badly on full depth-10 trees (16 words
+//! per AND). The [`choice`](crate::choice) cost model encodes exactly that
+//! trade-off.
+//!
+//! # Bit-exactness
+//!
+//! The surviving lowest bit is the leaf the root→leaf walk reaches, so
+//! payloads — and the vote / ascending-tree-order accumulation folds —
+//! are identical to the blocked and SIMD walkers, *including* NaN inputs:
+//! a NaN feature value fails every `x <= thr` test, which the scorer
+//! mirrors by applying every mask of that feature (the ascending-threshold
+//! early exit is only valid for ordered values), and NaN *thresholds*
+//! (always-false tests) are folded into each tree's `base` bitvector at
+//! build time.
+
+use mlscore_data::TabularFrame;
+use mlscore_forest::{FlatForest, FlatTree, NodeRecord, Predictions, RandomForest, Task};
+
+use crate::kernel::{blocks, FlatImage, Scratch, SharedOut, SCRATCH};
+use crate::pool::{ExecPool, RunConfig};
+use crate::report::RunReport;
+
+/// The SoA QuickScorer layout for one forest, built once per
+/// [`FlatImage`] and cached there.
+pub(crate) struct QuickScorer {
+    n_features: usize,
+    n_trees: usize,
+    /// Bitvector words per tree: `ceil(max leaves per tree / 64)`.
+    words: usize,
+    /// Per-feature item ranges into the three parallel arrays below.
+    feat_start: Vec<usize>,
+    /// Item split thresholds, ascending within each feature.
+    thr: Vec<f32>,
+    /// Item owning tree.
+    tree_of: Vec<u32>,
+    /// Item masks, `words` words each: ones minus the left-subtree range.
+    masks: Vec<u64>,
+    /// Initial per-tree bitvectors (`n_trees × words`): all ones with
+    /// NaN-threshold (always-false) node masks pre-applied.
+    base: Vec<u64>,
+    /// Per-tree offset into `leaves`.
+    leaf_start: Vec<u32>,
+    /// Leaf payloads in DFS left-to-right order, per tree.
+    leaves: Vec<f32>,
+}
+
+/// One decision node collected during the DFS, before sorting.
+struct Item {
+    feature: u32,
+    thr: f32,
+    tree: u32,
+    /// Left-subtree leaf range (local leaf indices).
+    lo: u32,
+    hi: u32,
+}
+
+impl QuickScorer {
+    /// Builds the per-feature threshold lists, masks, and leaf tables from
+    /// a flat forest.
+    pub(crate) fn build(forest: &FlatForest) -> Self {
+        let n_features = forest.n_features();
+        let n_trees = forest.n_trees();
+        let mut items: Vec<Item> = Vec::new();
+        let mut leaves: Vec<f32> = Vec::new();
+        let mut leaf_start: Vec<u32> = Vec::with_capacity(n_trees + 1);
+        let mut max_leaves = 1usize;
+        for (t, tree) in forest.trees().iter().enumerate() {
+            let before = leaves.len();
+            leaf_start.push(before as u32);
+            dfs(tree, t as u32, 0, 0, before, &mut items, &mut leaves);
+            max_leaves = max_leaves.max(leaves.len() - before);
+        }
+        leaf_start.push(leaves.len() as u32);
+        let words = max_leaves.div_ceil(64);
+
+        // Deterministic order: by feature, then threshold ascending (total
+        // order so NaNs group at the end), then tree, then leaf range.
+        items.sort_by(|a, b| {
+            a.feature
+                .cmp(&b.feature)
+                .then(a.thr.total_cmp(&b.thr))
+                .then(a.tree.cmp(&b.tree))
+                .then(a.lo.cmp(&b.lo))
+        });
+
+        let mut base = vec![!0u64; n_trees * words];
+        let mut feat_start = vec![0usize; n_features + 1];
+        let mut thr = Vec::new();
+        let mut tree_of = Vec::new();
+        let mut masks = Vec::new();
+        for item in &items {
+            if item.thr.is_nan() {
+                // `x <= NaN` is false for every x: the left subtree is
+                // never reachable. Fold the mask into the tree's base
+                // bitvector instead of scanning it per record.
+                and_range_mask(
+                    &mut base[item.tree as usize * words..(item.tree as usize + 1) * words],
+                    item.lo as usize,
+                    item.hi as usize,
+                );
+                continue;
+            }
+            feat_start[item.feature as usize + 1] += 1;
+            thr.push(item.thr);
+            tree_of.push(item.tree);
+            let at = masks.len();
+            masks.resize(at + words, !0u64);
+            and_range_mask(&mut masks[at..], item.lo as usize, item.hi as usize);
+        }
+        for f in 0..n_features {
+            feat_start[f + 1] += feat_start[f];
+        }
+        Self {
+            n_features,
+            n_trees,
+            words,
+            feat_start,
+            thr,
+            tree_of,
+            masks,
+            base,
+            leaf_start,
+            leaves,
+        }
+    }
+
+    /// Bitvector words per tree.
+    pub(crate) fn words_per_tree(&self) -> usize {
+        self.words
+    }
+
+    /// Total decision-node items across all per-feature lists.
+    pub(crate) fn n_items(&self) -> usize {
+        self.thr.len()
+    }
+
+    /// Bytes held by the mask, threshold, and leaf tables.
+    pub(crate) fn layout_bytes(&self) -> usize {
+        self.masks.len() * 8
+            + self.base.len() * 8
+            + self.thr.len() * 4
+            + self.tree_of.len() * 4
+            + self.leaves.len() * 4
+    }
+
+    /// Scores one record, appending each tree's leaf payload through
+    /// `fold` in ascending tree order. `bv` is the caller's reusable
+    /// `n_trees × words` scratch.
+    // analyze: hot
+    #[inline]
+    fn score_record(&self, row: &[f32], bv: &mut [u64], mut fold: impl FnMut(usize, f32)) {
+        debug_assert_eq!(row.len(), self.n_features, "row width != model width");
+        let w = self.words;
+        bv.copy_from_slice(&self.base);
+        for (f, &x) in row.iter().enumerate() {
+            let (s0, s1) = (self.feat_start[f], self.feat_start[f + 1]);
+            if x.is_nan() {
+                // Every `x <= thr` test is false: apply every mask.
+                for i in s0..s1 {
+                    let t = self.tree_of[i] as usize;
+                    let m = &self.masks[i * w..(i + 1) * w];
+                    for (b, &mw) in bv[t * w..(t + 1) * w].iter_mut().zip(m) {
+                        *b &= mw;
+                    }
+                }
+                continue;
+            }
+            let mut i = s0;
+            // Thresholds ascend: the first `thr >= x` ends the false run.
+            while i < s1 && self.thr[i] < x {
+                let t = self.tree_of[i] as usize;
+                let m = &self.masks[i * w..(i + 1) * w];
+                for (b, &mw) in bv[t * w..(t + 1) * w].iter_mut().zip(m) {
+                    *b &= mw;
+                }
+                i += 1;
+            }
+        }
+        for t in 0..self.n_trees {
+            let tv = &bv[t * w..(t + 1) * w];
+            let mut leaf = 0usize;
+            for (wi, &word) in tv.iter().enumerate() {
+                if word != 0 {
+                    leaf = wi * 64 + word.trailing_zeros() as usize;
+                    break;
+                }
+            }
+            let payload = self.leaves[self.leaf_start[t] as usize + leaf];
+            fold(t, payload);
+        }
+    }
+}
+
+/// ANDs away bits `[lo, hi)` from a `words`-long bitvector in place.
+fn and_range_mask(bv: &mut [u64], lo: usize, hi: usize) {
+    for (w, word) in bv.iter_mut().enumerate() {
+        let wlo = w * 64;
+        let s = lo.max(wlo);
+        let e = hi.min(wlo + 64);
+        if s < e {
+            let cnt = e - s;
+            let bits = if cnt == 64 {
+                !0u64
+            } else {
+                ((1u64 << cnt) - 1) << (s - wlo)
+            };
+            *word &= !bits;
+        }
+    }
+}
+
+/// DFS left-to-right over the live tree: numbers leaves (locally to the
+/// tree, given the global offset `start` where its leaves begin), collects
+/// one [`Item`] per decision node. Returns the subtree's local leaf range.
+fn dfs(
+    tree: &FlatTree,
+    t: u32,
+    node: usize,
+    depth: usize,
+    start: usize,
+    items: &mut Vec<Item>,
+    leaves: &mut Vec<f32>,
+) -> (u32, u32) {
+    assert!(
+        depth <= 32,
+        "flat tree deeper than any supported encoding — corrupt node table?"
+    );
+    match tree.record(node) {
+        NodeRecord::Leaf { payload } => {
+            let local = (leaves.len() - start) as u32;
+            leaves.push(payload);
+            (local, local + 1)
+        }
+        NodeRecord::Decision {
+            left,
+            right,
+            feature,
+            threshold,
+        } => {
+            let (llo, lhi) = dfs(tree, t, left as usize, depth + 1, start, items, leaves);
+            let (_, rhi) = dfs(tree, t, right as usize, depth + 1, start, items, leaves);
+            items.push(Item {
+                feature,
+                thr: threshold,
+                tree: t,
+                lo: llo,
+                hi: lhi,
+            });
+            (llo, rhi)
+        }
+    }
+}
+
+/// Scores a frame against a prepared [`FlatImage`] with the QuickScorer
+/// bitvector kernel, building (and caching) the layout on first use.
+///
+/// Bit-exact with [`score_image_batch`](crate::kernel::score_image_batch)
+/// for every input, including NaN feature values and NaN thresholds (see
+/// the module docs).
+///
+/// # Panics
+///
+/// Panics if the frame's feature count differs from the model's.
+pub fn score_quickscorer_batch(
+    image: &FlatImage,
+    frame: &TabularFrame,
+    pool: &ExecPool,
+    cfg: &RunConfig,
+) -> (Predictions, RunReport) {
+    let forest = image.flat();
+    assert_eq!(
+        frame.n_features(),
+        forest.n_features(),
+        "frame/model feature width mismatch: frame has {} features, model expects {}",
+        frame.n_features(),
+        forest.n_features()
+    );
+    let qs = image.quickscorer();
+    let n = frame.n_rows();
+    match forest.task() {
+        Task::Classification { n_classes } => {
+            let n_classes = n_classes as usize;
+            let mut out = vec![0u32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        qs_classify_block(qs, frame, rows, n_classes, s, &shared);
+                    }
+                });
+            });
+            (Predictions::Classes(out), report)
+        }
+        Task::Regression => {
+            let mut out = vec![0f32; n];
+            let shared = SharedOut::new(&mut out);
+            let report = pool.run(n, cfg, &|_w, range| {
+                SCRATCH.with(|s| {
+                    let s = &mut *s.borrow_mut();
+                    for rows in blocks(range.clone(), cfg.record_block) {
+                        qs_regress_block(qs, frame, rows, s, &shared);
+                    }
+                });
+            });
+            (Predictions::Values(out), report)
+        }
+    }
+}
+
+/// Scores one record block: per record, intersect masks and vote.
+// analyze: hot
+fn qs_classify_block(
+    qs: &QuickScorer,
+    frame: &TabularFrame,
+    rows: std::ops::Range<usize>,
+    n_classes: usize,
+    s: &mut Scratch,
+    out: &SharedOut<u32>,
+) {
+    s.bv.clear();
+    s.bv.resize(qs.n_trees * qs.words, 0);
+    s.votes.clear();
+    s.votes.resize(n_classes, 0);
+    for r in rows {
+        for v in s.votes.iter_mut() {
+            *v = 0;
+        }
+        let votes = &mut s.votes;
+        qs.score_record(frame.row(r), &mut s.bv, |_t, payload| {
+            votes[payload as usize] += 1;
+        });
+        out.write(r, RandomForest::majority(&s.votes));
+    }
+}
+
+/// Scores one record block of a regression forest.
+// analyze: hot
+fn qs_regress_block(
+    qs: &QuickScorer,
+    frame: &TabularFrame,
+    rows: std::ops::Range<usize>,
+    s: &mut Scratch,
+    out: &SharedOut<f32>,
+) {
+    s.bv.clear();
+    s.bv.resize(qs.n_trees * qs.words, 0);
+    let n_trees = qs.n_trees as f32;
+    for r in rows {
+        let mut acc = 0.0f32;
+        // `score_record` folds in ascending tree order: the identical f32
+        // fold the sequential and walker paths perform.
+        qs.score_record(frame.row(r), &mut s.bv, |_t, payload| {
+            acc += payload;
+        });
+        out.write(r, acc / n_trees);
+    }
+}

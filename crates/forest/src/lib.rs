@@ -44,7 +44,7 @@ pub use error::ForestError;
 pub use forest::{ForestConfig, Prediction, Predictions, RandomForest, Task};
 pub use gbdt::{GbTask, GradientBoost, GradientBoostConfig};
 pub use importance::TrainedModel;
-pub use layout::{FlatForest, FlatTree, NODE_WORDS};
+pub use layout::{FlatForest, FlatTree, NodeRecord, NODE_WORDS};
 pub use node::{LeafValue, Node};
 pub use quant::{QuantScheme, QuantizedForest, QuantizedTree};
 pub use serialize::ModelBundle;

@@ -208,11 +208,13 @@ impl AdaptiveScheduler {
             .iter()
             .find(|&&i| !self.estimates.contains_key(&(class, i)))
         {
-            return Some(Choice {
+            return Some(Choice::new(
                 index,
-                name: backends[index].name().to_string(),
-                predicted: SimDuration::ZERO,
-            });
+                SimDuration::ZERO,
+                stats,
+                n_records,
+                backends,
+            ));
         }
         // Exploitation: argmin of learned estimates.
         supported
@@ -222,10 +224,14 @@ impl AdaptiveScheduler {
                 (i, est.predict(n_records))
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(index, predicted)| Choice {
-                index,
-                name: backends[index].name().to_string(),
-                predicted: SimDuration::from_secs(predicted.max(0.0)),
+            .map(|(index, predicted)| {
+                Choice::new(
+                    index,
+                    SimDuration::from_secs(predicted.max(0.0)),
+                    stats,
+                    n_records,
+                    backends,
+                )
             })
     }
 
@@ -272,11 +278,13 @@ impl AdaptiveScheduler {
             .iter()
             .find(|&&i| !self.estimates.contains_key(&(class, i)))
         {
-            return Some(Choice {
+            return Some(Choice::new(
                 index,
-                name: backends[index].name().to_string(),
-                predicted: SimDuration::ZERO,
-            });
+                SimDuration::ZERO,
+                stats,
+                n_records,
+                backends,
+            ));
         }
         supported
             .into_iter()
@@ -286,10 +294,14 @@ impl AdaptiveScheduler {
                 (i, est.predict(n_records) + prepare / reuse)
             })
             .min_by(|a, b| a.1.total_cmp(&b.1))
-            .map(|(index, predicted)| Choice {
-                index,
-                name: backends[index].name().to_string(),
-                predicted: SimDuration::from_secs(predicted.max(0.0)),
+            .map(|(index, predicted)| {
+                Choice::new(
+                    index,
+                    SimDuration::from_secs(predicted.max(0.0)),
+                    stats,
+                    n_records,
+                    backends,
+                )
             })
     }
 

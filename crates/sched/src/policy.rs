@@ -42,14 +42,10 @@ pub fn choose_amortized_eligible(
         .filter(|(i, b)| b.supports(stats).is_ok() && eligible(*i))
         .map(|(i, b)| {
             let total = b.estimate(stats, n_records).total() + prepare(i) / reuse;
-            (i, b.name().to_string(), total)
+            (i, total)
         })
-        .min_by(|a, b| a.2.cmp(&b.2))
-        .map(|(index, name, predicted)| Choice {
-            index,
-            name,
-            predicted,
-        })
+        .min_by(|a, b| a.1.cmp(&b.1))
+        .map(|(index, predicted)| Choice::new(index, predicted, stats, n_records, backends))
 }
 
 /// A scheduling decision.
@@ -61,6 +57,33 @@ pub struct Choice {
     pub name: String,
     /// The time the policy predicted for its choice.
     pub predicted: SimDuration,
+    /// The CPU kernel the chosen backend's executor will dispatch for this
+    /// call (`ScoringBackend::kernel_choice`), when it has a tier to pick
+    /// from; `None` for offload backends with a single code path.
+    pub kernel: Option<&'static str>,
+}
+
+impl Choice {
+    /// Builds the decision record for `backends[index]`, asking the winner
+    /// which CPU scoring kernel its executor would dispatch at this shape
+    /// and batch size.
+    pub fn new(
+        index: usize,
+        predicted: SimDuration,
+        stats: &ModelStats,
+        n_records: u64,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> Self {
+        let backend = &backends[index];
+        Self {
+            index,
+            name: backend.name().to_string(),
+            predicted,
+            kernel: backend
+                .kernel_choice(stats, n_records)
+                .map(|c| c.kernel.name()),
+        }
+    }
 }
 
 /// A backend-selection policy.
@@ -100,19 +123,9 @@ impl Policy for OraclePolicy {
             .iter()
             .enumerate()
             .filter(|(_, b)| b.supports(stats).is_ok())
-            .map(|(i, b)| {
-                (
-                    i,
-                    b.name().to_string(),
-                    b.estimate(stats, n_records).total(),
-                )
-            })
-            .min_by(|a, b| a.2.cmp(&b.2))
-            .map(|(index, name, predicted)| Choice {
-                index,
-                name,
-                predicted,
-            })
+            .map(|(i, b)| (i, b.estimate(stats, n_records).total()))
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .map(|(index, predicted)| Choice::new(index, predicted, stats, n_records, backends))
     }
 }
 
@@ -182,10 +195,8 @@ impl Policy for HeuristicPolicy {
         };
         preference.iter().find_map(|kind| {
             self.pick_by_kind(stats, n_records, backends, *kind)
-                .map(|(index, name, predicted)| Choice {
-                    index,
-                    name,
-                    predicted,
+                .map(|(index, _, predicted)| {
+                    Choice::new(index, predicted, stats, n_records, backends)
                 })
         })
     }
@@ -232,18 +243,10 @@ impl Policy for AffineFitPolicy {
                 let t1 = b.estimate(stats, self.probe_large).total().as_secs();
                 let slope = (t1 - t0) / (self.probe_large - self.probe_small) as f64;
                 let predicted = t0 + slope * (n_records.saturating_sub(self.probe_small)) as f64;
-                (
-                    i,
-                    b.name().to_string(),
-                    SimDuration::from_secs(predicted.max(0.0)),
-                )
+                (i, SimDuration::from_secs(predicted.max(0.0)))
             })
-            .min_by(|a, b| a.2.cmp(&b.2))
-            .map(|(index, name, predicted)| Choice {
-                index,
-                name,
-                predicted,
-            })
+            .min_by(|a, b| a.1.cmp(&b.1))
+            .map(|(index, predicted)| Choice::new(index, predicted, stats, n_records, backends))
     }
 }
 

@@ -144,18 +144,10 @@ mod tests {
                     .iter()
                     .enumerate()
                     .filter(|(_, b)| b.name().starts_with("CPU") && b.supports(stats).is_ok())
-                    .map(|(i, b)| {
-                        (
-                            i,
-                            b.name().to_string(),
-                            b.estimate(stats, n_records).total(),
-                        )
-                    })
-                    .min_by(|a, b| a.2.cmp(&b.2))
-                    .map(|(index, name, predicted)| crate::policy::Choice {
-                        index,
-                        name,
-                        predicted,
+                    .map(|(i, b)| (i, b.estimate(stats, n_records).total()))
+                    .min_by(|a, b| a.1.cmp(&b.1))
+                    .map(|(index, predicted)| {
+                        crate::policy::Choice::new(index, predicted, stats, n_records, backends)
                     })
             }
         }

@@ -766,6 +766,11 @@ impl<'a> Run<'a> {
             .meta("batch", batch_seq.to_string())
             .meta("requests", batch.len().to_string())
             .meta("records", total_records.to_string());
+        // CPU backends with a kernel tier report which scoring kernel the
+        // executor dispatches for this shape/batch (offload devices don't).
+        if let Some(kernel) = choice.kernel {
+            pass_span = pass_span.meta("kernel", kernel);
+        }
         for r in &batch {
             pass_span = pass_span.flow_in(r.id);
         }
