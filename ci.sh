@@ -40,14 +40,21 @@ for k in auto blocked simd quickscorer; do
 done
 # Forced runs must say so on the pick line.
 grep -q '\[forced: simd\]' target/bench_smoke.simd.log
+# The quick runs above also exercise the fused-vs-staged shmoo: --check
+# has already enforced (schema v4) that every fused cell is bit-exact and
+# that the per-chunk handoff eliminates >= 80% of the staged marshal +
+# pre-processing tax. Assert the block actually made it into the output.
+grep -q '"fused"' target/BENCH_cpu_scoring.quick.auto.json
+grep -q '"eliminated_frac"' target/BENCH_cpu_scoring.quick.auto.json
 # The committed trajectory must stay parseable, non-empty, and carry a
-# valid cache-stats block and per-cell kernel picks.
+# valid cache-stats block, per-cell kernel picks, and the fused shmoo.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --check BENCH_cpu_scoring.json
 grep -q '"chosen_kernel"' BENCH_cpu_scoring.json
+grep -q '"fused"' BENCH_cpu_scoring.json
 # Regression diff self-check: a report diffed against itself is clean, so
 # the gate only ever fires on real throughput loss. The quick auto run
-# diffed against itself additionally covers the per-metric v3 cells.
+# diffed against itself additionally covers the per-metric v4 cells.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     bench --diff BENCH_cpu_scoring.json BENCH_cpu_scoring.json
 cargo run --release -q -p mlscore-bench --bin repro -- \
@@ -90,7 +97,7 @@ cargo run --release -q -p mlscore-bench --bin repro -- \
 cmp target/run_report.a.json target/run_report.b.json
 grep -q '"slo_alert"\|"alerts"' target/run_report.a.json
 
-echo "== trace smoke (repro trace --cold / --warm) =="
+echo "== trace smoke (repro trace --cold / --warm / --fused) =="
 # Both halves of the two-phase split must render a timeline.
 cargo run --release -q -p mlscore-bench --bin repro -- \
     trace --cold --out target/trace_cold.json >/dev/null
@@ -100,6 +107,17 @@ grep -q '"model deserialization"' target/trace_cold.json
 grep -q '"artifact cache hit"' target/trace_warm.json
 if grep -q '"model deserialization"' target/trace_warm.json; then
     echo "ci: warm trace unexpectedly contains a cold-only span" >&2
+    exit 1
+fi
+# The fused timeline must collapse the marshal stages into a per-chunk
+# handoff and carry one "fused chunk" detail span per pull.
+cargo run --release -q -p mlscore-bench --bin repro -- \
+    trace --fused --warm --out target/trace_fused.json higgs 128 100k sklearn \
+    >/dev/null
+grep -q '"fused chunk"' target/trace_fused.json
+grep -q '"chunk handoff"' target/trace_fused.json
+if grep -q '"data preprocessing"' target/trace_fused.json; then
+    echo "ci: fused trace unexpectedly charges a data-preprocessing span" >&2
     exit 1
 fi
 

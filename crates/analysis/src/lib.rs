@@ -352,6 +352,34 @@ mod tests {
     }
 
     #[test]
+    fn h001_covers_the_chunked_featurizer_shape() {
+        // A fixture shaped like the fused path's per-chunk featurizer
+        // (`NormParams::apply_slice` under `NormalizeStream::next_chunk`):
+        // materializing a fresh normalized frame per chunk is the
+        // marshal-copy regression the fused refactor removed.
+        const DATA: &str = "crates/data/src/fixture.rs";
+        let bad = "// analyze: hot\n\
+                   fn next_chunk(src: &[f32], f: usize) -> Vec<f32> {\n  \
+                   let mut dst = Vec::with_capacity(src.len());\n  \
+                   for row in src.chunks_exact(f) {\n    \
+                   dst.extend(row.iter().map(|v| norm(v)));\n  }\n  dst\n}\n";
+        let findings = analyze_source(DATA, bad);
+        assert!(
+            findings.iter().any(|f| f.lint == "H001"),
+            "per-chunk featurizer allocation must fire H001: {findings:?}"
+        );
+        // The shipped featurizer's shape — resize the reusable scratch
+        // within capacity and normalize in place — stays clean.
+        let good = "// analyze: hot\n\
+                    fn next_chunk(src: &[f32], f: usize, scratch: &mut Frame) {\n  \
+                    scratch.resize_rows(src.len() / f);\n  \
+                    for (srow, drow) in src.chunks_exact(f)\
+                    .zip(scratch.as_mut_slice().chunks_exact_mut(f)) {\n    \
+                    for j in 0..f { drow[j] = apply(j, srow[j]); }\n  }\n}\n";
+        assert!(analyze_source(DATA, good).is_empty());
+    }
+
+    #[test]
     fn h001_suppression_needs_a_reason() {
         let ok = "// analyze: hot\nfn f() {\n  \
                   // analyze: allow(H001, reason=\"amortized: once per batch, not per record\")\n  \

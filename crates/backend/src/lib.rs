@@ -35,4 +35,4 @@ pub use error::BackendError;
 pub use onnx::{OnnxCostParams, OnnxCpu};
 pub use request::ScoringRequest;
 pub use sklearn::{SklearnCostParams, SklearnCpu};
-pub use traits::ScoringBackend;
+pub use traits::{ScoringBackend, StreamChunk, StreamOutcome};

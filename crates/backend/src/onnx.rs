@@ -12,16 +12,16 @@ use std::sync::Arc;
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_data::TabularFrame;
-use mlscore_exec::{score_auto_batch, ExecPool, FlatImage, KernelChoice, RunConfig};
+use mlscore_data::{RecordStream, TabularFrame};
+use mlscore_exec::{score_auto_batch, score_stream, ExecPool, FlatImage, KernelChoice, RunConfig};
 use mlscore_forest::{ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
-use crate::artifact::Lowered;
+use crate::artifact::{CompiledModel, Lowered};
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
-use crate::traits::ScoringBackend;
+use crate::traits::{ScoringBackend, StreamChunk, StreamOutcome};
 
 /// Timing-model constants for the ONNX-like engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -193,6 +193,36 @@ impl ScoringBackend for OnnxCpu {
         Ok(preds)
     }
 
+    // The fused path scores straight off the scanner: each pulled chunk is
+    // dispatched to whichever kernel tier the cost model re-ranks for that
+    // chunk's row count, with no whole-batch materialization in between.
+    fn score_prepared_stream(
+        &self,
+        model: &CompiledModel,
+        stream: &mut dyn RecordStream,
+    ) -> Result<StreamOutcome, BackendError> {
+        model.ensure_scorable(self.name(), stream.n_features())?;
+        let image = self.image_of(model.lowered())?;
+        let (predictions, report) = score_stream(
+            image,
+            stream,
+            ExecPool::global(),
+            &self.run_config(model.stats().n_trees),
+        );
+        Ok(StreamOutcome {
+            predictions,
+            rows: report.rows(),
+            chunks: report
+                .chunks()
+                .iter()
+                .map(|c| StreamChunk {
+                    rows: c.rows,
+                    kernel: Some(c.choice.kernel.name()),
+                })
+                .collect(),
+        })
+    }
+
     fn kernel_choice(&self, stats: &ModelStats, n_records: u64) -> Option<KernelChoice> {
         Some(KernelChoice::from_model_stats(stats, n_records as usize))
     }
@@ -288,6 +318,28 @@ mod tests {
         let req = ScoringRequest::new(&forest, &frame).unwrap();
         let preds = OnnxCpu::single_thread().score(&req).unwrap();
         assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+    }
+
+    #[test]
+    fn stream_scoring_matches_prepared_and_names_kernels() {
+        use mlscore_data::FrameScanner;
+        use mlscore_forest::ModelBundle;
+        let (forest, data) = higgs_setup();
+        let bundle = ModelBundle::serialize(&forest);
+        let backend = OnnxCpu::with_threads(4);
+        let model = crate::artifact::compile(&backend, &bundle).unwrap();
+        let want = backend.score_prepared(&model, data.frame()).unwrap();
+        for chunk_rows in [1, 7, 64] {
+            let mut scanner = FrameScanner::new(data.frame(), chunk_rows);
+            let out = backend.score_prepared_stream(&model, &mut scanner).unwrap();
+            assert_eq!(out.predictions, want, "chunk_rows={chunk_rows}");
+            assert_eq!(out.rows, data.frame().n_rows());
+            assert_eq!(out.chunks.len(), data.frame().n_rows().div_ceil(chunk_rows));
+            assert!(
+                out.chunks.iter().all(|c| c.kernel.is_some()),
+                "ONNX chunks carry the dispatched kernel name"
+            );
+        }
     }
 
     #[test]

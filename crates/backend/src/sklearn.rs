@@ -11,16 +11,16 @@
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_data::TabularFrame;
+use mlscore_data::{RecordStream, TabularFrame};
 use mlscore_exec::{kernel, ExecPool, RunConfig};
 use mlscore_forest::{ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimDuration, SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
 
-use crate::artifact::Lowered;
+use crate::artifact::{CompiledModel, Lowered};
 use crate::cost::{effective_parallelism, CpuSpec};
 use crate::error::BackendError;
-use crate::traits::ScoringBackend;
+use crate::traits::{ScoringBackend, StreamChunk, StreamOutcome};
 
 /// Timing-model constants for the sklearn-like engine.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -155,6 +155,46 @@ impl ScoringBackend for SklearnCpu {
         Ok(preds)
     }
 
+    // The fused path walks the pointer trees one chunk at a time, folding
+    // per-chunk predictions in pull order — bit-exact with the whole-frame
+    // batch kernel since every record is fully scored within one chunk.
+    fn score_prepared_stream(
+        &self,
+        model: &CompiledModel,
+        stream: &mut dyn RecordStream,
+    ) -> Result<StreamOutcome, BackendError> {
+        model.ensure_scorable(self.name(), stream.n_features())?;
+        let forest = model.forest();
+        let cfg = self.run_config();
+        let mut chunks = Vec::new();
+        let mut rows = 0;
+        let mut out: Option<Predictions> = None;
+        while let Some(chunk) = stream.next_chunk() {
+            if chunk.is_empty() {
+                continue;
+            }
+            let (preds, _) = kernel::score_forest_batch(forest, chunk, ExecPool::global(), &cfg);
+            rows += chunk.n_rows();
+            chunks.push(StreamChunk {
+                rows: chunk.n_rows(),
+                kernel: None,
+            });
+            match &mut out {
+                None => out = Some(preds),
+                Some(acc) => acc.append(&preds),
+            }
+        }
+        let predictions = out.unwrap_or_else(|| {
+            let empty = TabularFrame::with_capacity(0, model.stats().n_features);
+            kernel::score_forest_batch(forest, &empty, ExecPool::global(), &cfg).0
+        });
+        Ok(StreamOutcome {
+            predictions,
+            rows,
+            chunks,
+        })
+    }
+
     fn estimate(&self, stats: &ModelStats, n_records: u64) -> TimingBreakdown {
         self.estimate_traced(stats, n_records, &Tracer::disabled(), SimInstant::ZERO)
     }
@@ -253,6 +293,23 @@ mod tests {
         let req = ScoringRequest::new(&forest, &frame).unwrap();
         let preds = SklearnCpu::with_threads(3).score(&req).unwrap();
         assert_eq!(preds, forest.predict_batch(frame.as_slice()));
+    }
+
+    #[test]
+    fn stream_scoring_matches_prepared() {
+        use mlscore_data::FrameScanner;
+        use mlscore_forest::ModelBundle;
+        let (forest, data) = iris_setup();
+        let bundle = ModelBundle::serialize(&forest);
+        let backend = SklearnCpu::with_threads(4);
+        let model = crate::artifact::compile(&backend, &bundle).unwrap();
+        let want = backend.score_prepared(&model, data.frame()).unwrap();
+        for chunk_rows in [1, 13, 512] {
+            let mut scanner = FrameScanner::new(data.frame(), chunk_rows);
+            let out = backend.score_prepared_stream(&model, &mut scanner).unwrap();
+            assert_eq!(out.predictions, want, "chunk_rows={chunk_rows}");
+            assert_eq!(out.rows, data.frame().n_rows());
+        }
     }
 
     #[test]

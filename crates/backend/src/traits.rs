@@ -2,7 +2,7 @@
 
 use std::sync::Arc;
 
-use mlscore_data::TabularFrame;
+use mlscore_data::{RecordStream, TabularFrame};
 use mlscore_forest::{ModelBundle, ModelStats, Predictions, RandomForest};
 use mlscore_sim::{SimInstant, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
@@ -10,6 +10,29 @@ use mlscore_telemetry::{Scope, Tracer};
 use crate::artifact::{compile, CompiledModel, Lowered};
 use crate::error::BackendError;
 use crate::request::ScoringRequest;
+
+/// One chunk scored off a [`RecordStream`] by
+/// [`ScoringBackend::score_prepared_stream`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamChunk {
+    /// Rows in the chunk.
+    pub rows: usize,
+    /// The scoring kernel the executor dispatched for this chunk, when
+    /// the backend has a kernel tier (`None` for offload devices and for
+    /// the materializing default path).
+    pub kernel: Option<&'static str>,
+}
+
+/// The result of scoring a [`RecordStream`] against a prepared model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StreamOutcome {
+    /// Folded predictions for every streamed record, in pull order.
+    pub predictions: Predictions,
+    /// Total rows scored.
+    pub rows: usize,
+    /// Per-chunk accounting, in pull order.
+    pub chunks: Vec<StreamChunk>,
+}
 
 /// A hardware backend that can score random forest batches.
 ///
@@ -194,6 +217,51 @@ pub trait ScoringBackend {
         self.score_lowered(model.forest(), model.lowered(), frame)
     }
 
+    /// Scores every chunk of a pull-based [`RecordStream`] against a
+    /// prepared model — the fused warm path: a cache-resident model scores
+    /// straight off the scanner, no marshaled batch ever materializes.
+    ///
+    /// CPU backends override this to feed chunks directly into their
+    /// kernels (reusing the stream's scratch); the default — correct for
+    /// offload devices whose transfer granularity is the whole batch —
+    /// drains the stream into one frame and scores it in a single
+    /// [`ScoringBackend::score_prepared`] pass. Either way the contract
+    /// is the same: predictions are bit-exact with scoring the stream's
+    /// records as one staged frame, and `chunks` reports each pulled
+    /// chunk in order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BackendError::Artifact`] if `model` was compiled for a
+    /// different backend or feature width, otherwise fails as
+    /// [`ScoringBackend::score_prepared`] does.
+    fn score_prepared_stream(
+        &self,
+        model: &CompiledModel,
+        stream: &mut dyn RecordStream,
+    ) -> Result<StreamOutcome, BackendError> {
+        model.ensure_scorable(self.name(), stream.n_features())?;
+        let (rows_hint, _) = stream.size_hint();
+        let n_features = stream.n_features();
+        let mut data = Vec::with_capacity(rows_hint * n_features);
+        let mut chunks = Vec::new();
+        while let Some(chunk) = stream.next_chunk() {
+            data.extend_from_slice(chunk.as_slice());
+            chunks.push(StreamChunk {
+                rows: chunk.n_rows(),
+                kernel: None,
+            });
+        }
+        let frame = TabularFrame::from_rows(data, n_features)
+            .map_err(|e| BackendError::unsupported(self.name(), format!("streamed frame: {e}")))?;
+        let predictions = self.score_prepared(model, &frame)?;
+        Ok(StreamOutcome {
+            predictions,
+            rows: frame.n_rows(),
+            chunks,
+        })
+    }
+
     /// [`ScoringBackend::score_prepared`] with measured execution detail,
     /// as in [`ScoringBackend::score_traced`].
     ///
@@ -355,6 +423,14 @@ impl<B: ScoringBackend + ?Sized> ScoringBackend for Box<B> {
         (**self).score_prepared(model, frame)
     }
 
+    fn score_prepared_stream(
+        &self,
+        model: &CompiledModel,
+        stream: &mut dyn RecordStream,
+    ) -> Result<StreamOutcome, BackendError> {
+        (**self).score_prepared_stream(model, stream)
+    }
+
     fn score_prepared_traced(
         &self,
         model: &CompiledModel,
@@ -493,5 +569,50 @@ mod tests {
         // Compiled for "fixed" — another backend must refuse it.
         let err = model.ensure_scorable("other", 4).unwrap_err();
         assert!(matches!(err, BackendError::Artifact { .. }));
+    }
+
+    #[test]
+    fn default_stream_path_materializes_and_matches_prepared() {
+        use mlscore_data::{FrameScanner, TabularFrame};
+        use mlscore_forest::{ForestConfig, ModelBundle, RandomForest};
+
+        struct Echo;
+        impl ScoringBackend for Echo {
+            fn name(&self) -> &str {
+                "echo"
+            }
+            fn score(&self, request: &ScoringRequest<'_>) -> Result<Predictions, BackendError> {
+                // Deterministic per-row output so chunk order matters.
+                Ok(Predictions::Values(
+                    request.frame().rows().map(|r| r[0]).collect(),
+                ))
+            }
+            fn estimate(&self, _stats: &ModelStats, _n: u64) -> TimingBreakdown {
+                TimingBreakdown::new()
+            }
+        }
+
+        let backend = Echo;
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(2, 4).with_depth(3), 1);
+        let model = backend.prepare(&ModelBundle::serialize(&forest)).unwrap();
+        let frame = TabularFrame::from_rows((0..40).map(|i| i as f32).collect(), 4).unwrap();
+        let mut scanner = FrameScanner::new(&frame, 3);
+        let outcome = backend
+            .score_prepared_stream(model.as_ref(), &mut scanner)
+            .unwrap();
+        assert_eq!(outcome.rows, 10);
+        assert_eq!(outcome.chunks.len(), 4);
+        assert!(outcome.chunks.iter().all(|c| c.kernel.is_none()));
+        assert_eq!(
+            outcome.predictions,
+            backend.score_prepared(model.as_ref(), &frame).unwrap()
+        );
+        // Width mismatch is refused before any pull.
+        let narrow = TabularFrame::from_rows(vec![0.0; 6], 3).unwrap();
+        let mut bad = FrameScanner::new(&narrow, 2);
+        assert!(matches!(
+            backend.score_prepared_stream(model.as_ref(), &mut bad),
+            Err(BackendError::Artifact { .. })
+        ));
     }
 }

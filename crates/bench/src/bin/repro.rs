@@ -10,10 +10,9 @@ use mlscore_forest::{ModelBundle, ModelStats};
 use mlscore_fpga::FpgaBackend;
 use mlscore_gpu::{HummingbirdGpu, RapidsFil};
 use mlscore_pipeline::QueryPipeline;
-#[allow(deprecated)] // `replay` stays exercised here until its removal
 use mlscore_sched::{
-    evaluate_policy, paper_backends, replay, AffineFitPolicy, HeuristicPolicy, OraclePolicy,
-    QueryTrace,
+    evaluate_policy, paper_backends, AffineFitPolicy, HeuristicPolicy, OraclePolicy, Policy,
+    QueryTrace, TraceOutcome,
 };
 use mlscore_sim::SimInstant;
 use mlscore_telemetry::{perfetto, MetricsRegistry, Tracer};
@@ -91,7 +90,36 @@ fn headlines() {
     println!();
 }
 
-#[allow(deprecated)] // the legacy replay comparison stays until `replay` is removed
+/// Serial fixed-policy replay: each trace query is charged the modelled
+/// time of the backend the policy picks. (`repro serve` layers queueing,
+/// coalescing, and device contention on top of this simple loop.)
+fn replay_policy(
+    policy: &dyn Policy,
+    trace: &QueryTrace,
+    backends: &[Box<dyn ScoringBackend>],
+) -> TraceOutcome {
+    let mut total = mlscore_sim::SimDuration::ZERO;
+    let mut latencies = Vec::with_capacity(trace.len());
+    let mut picks: std::collections::BTreeMap<String, usize> = std::collections::BTreeMap::new();
+    for q in trace.queries() {
+        let choice = policy
+            .choose(&q.stats, q.n_records, backends)
+            .expect("every trace query has a supporting backend");
+        let latency = backends[choice.index]
+            .estimate(&q.stats, q.n_records)
+            .total();
+        total += latency;
+        latencies.push(latency);
+        *picks.entry(choice.name).or_default() += 1;
+    }
+    TraceOutcome {
+        policy: policy.name().to_string(),
+        total,
+        latencies,
+        picks,
+    }
+}
+
 fn scheduler() {
     println!("== Scheduler policy regret (extension A4) ==");
     let backends = paper_backends();
@@ -128,9 +156,9 @@ fn scheduler() {
     let trace = QueryTrace::synthetic(200, 42);
     let registry = MetricsRegistry::new();
     for outcome in [
-        replay(&OraclePolicy, &trace, &backends),
-        replay(&HeuristicPolicy::default(), &trace, &backends),
-        replay(&AffineFitPolicy::default(), &trace, &backends),
+        replay_policy(&OraclePolicy, &trace, &backends),
+        replay_policy(&HeuristicPolicy::default(), &trace, &backends),
+        replay_policy(&AffineFitPolicy::default(), &trace, &backends),
     ] {
         let name = format!("latency.{}", outcome.policy);
         for &latency in &outcome.latencies {
@@ -168,10 +196,11 @@ fn parse_count(text: &str) -> Option<u64> {
     digits.parse::<u64>().ok().map(|n| n * mult)
 }
 
-/// `repro trace [--out FILE] [--warm|--cold] [dataset] [trees] [records] [backend]`
+/// `repro trace [--out FILE] [--warm|--cold] [--fused] [dataset] [trees] [records] [backend]`
 fn trace(args: &[String]) {
     let mut out_path: Option<String> = None;
     let mut warm = false;
+    let mut fused = false;
     let mut pos: Vec<String> = Vec::new();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -187,6 +216,8 @@ fn trace(args: &[String]) {
             warm = true;
         } else if arg == "--cold" {
             warm = false;
+        } else if arg == "--fused" {
+            fused = true;
         } else {
             pos.push(arg.clone());
         }
@@ -194,7 +225,7 @@ fn trace(args: &[String]) {
     fn fail(msg: String) -> ! {
         eprintln!("{msg}");
         eprintln!(
-            "usage: repro trace [--out FILE] [--warm|--cold] [iris|higgs] [trees] [records] [backend]"
+            "usage: repro trace [--out FILE] [--warm|--cold] [--fused] [iris|higgs] [trees] [records] [backend]"
         );
         eprintln!("backends: cpu sklearn onnx1 gpu gpu-rapids fpga");
         std::process::exit(2);
@@ -228,22 +259,40 @@ fn trace(args: &[String]) {
     let tracer = Tracer::new();
     // Warm queries replay the artifact-cache hit path: no bundle marshal,
     // model pre-processing collapsed to a cache probe, no compile spans.
-    let breakdown = if warm {
-        pipeline.estimate_warm_traced(
+    // Fused queries replay the in-process streaming path: no Python launch,
+    // no marshal, no separate pre-processing — the Fig. 11 breakdown
+    // collapses to model prep + per-chunk handoff + scoring + post.
+    let breakdown = match (fused, warm) {
+        (true, true) => pipeline.estimate_fused_warm_traced(
+            &stats,
+            bundle.len() as u64,
+            records,
+            mlscore_data::DEFAULT_CHUNK_ROWS,
+            &tracer,
+            SimInstant::ZERO,
+        ),
+        (true, false) => pipeline.estimate_fused_traced(
+            &stats,
+            bundle.len() as u64,
+            records,
+            mlscore_data::DEFAULT_CHUNK_ROWS,
+            &tracer,
+            SimInstant::ZERO,
+        ),
+        (false, true) => pipeline.estimate_warm_traced(
             &stats,
             bundle.len() as u64,
             records,
             &tracer,
             SimInstant::ZERO,
-        )
-    } else {
-        pipeline.estimate_traced(
+        ),
+        (false, false) => pipeline.estimate_traced(
             &stats,
             bundle.len() as u64,
             records,
             &tracer,
             SimInstant::ZERO,
-        )
+        ),
     };
     let span_trace = tracer.take();
     let json = perfetto::to_json(&span_trace);
@@ -259,12 +308,13 @@ fn trace(args: &[String]) {
                 json.len()
             );
             println!(
-                "{} x{} trees, {} records on {} ({}): total {}",
+                "{} x{} trees, {} records on {} ({}{}): total {}",
                 dataset.name(),
                 trees,
                 records,
                 pipeline.backend().name(),
                 if warm { "warm" } else { "cold" },
+                if fused { ", fused" } else { "" },
                 breakdown.total()
             );
             for (stage, d) in breakdown.iter() {
@@ -418,7 +468,9 @@ fn bench(args: &[String]) {
         cache.hits,
         cache.misses
     );
-    let json = cpu_bench::to_json(&cases, &cache, &opts);
+    println!("== Fused vs. staged marshaling-tax shmoo ==");
+    let fused = cpu_bench::run_fused(&opts);
+    let json = cpu_bench::to_json(&cases, &cache, &fused, &opts);
     std::fs::write(&out_path, &json).unwrap_or_else(|e| {
         eprintln!("cannot write {out_path}: {e}");
         std::process::exit(1);
@@ -632,12 +684,15 @@ fn usage() -> String {
        fig11            end-to-end T-SQL query breakdown\n\
        headlines        headline ratios from the paper's section IV\n\
        scheduler        policy regret + latency percentiles (telemetry histograms)\n\
-       trace [--out FILE] [--warm|--cold] [iris|higgs] [trees] [records] [backend]\n\
+       trace [--out FILE] [--warm|--cold] [--fused] [iris|higgs] [trees] [records] [backend]\n\
                         export a Perfetto trace of one simulated query\n\
                         (defaults: higgs 128 1m fpga, cold; records accept k/m\n\
                          suffixes; backends: cpu sklearn onnx1 gpu gpu-rapids fpga;\n\
                          --warm replays an artifact-cache hit: no bundle marshal,\n\
-                         model pre-processing collapsed to a cache probe)\n\
+                         model pre-processing collapsed to a cache probe;\n\
+                         --fused replays the pull-based RecordStream path: no\n\
+                         inbound marshal or data pre-processing stages, only\n\
+                         per-chunk handoff, with per-chunk detail spans)\n\
        bench [--quick] [--kernel auto|blocked|simd|quickscorer] [--out FILE] [--check FILE] [--diff OLD NEW [--tolerance T]]\n\
                         measure real CPU kernel throughput (naive seed path vs\n\
                         blocked executor) plus a warm/cold artifact-cache pair,\n\

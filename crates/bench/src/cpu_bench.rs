@@ -26,14 +26,15 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mlscore_backend::{ArtifactCache, CacheOutcome, OnnxCpu, ScoringBackend};
-use mlscore_data::Dataset;
+use mlscore_backend::{ArtifactCache, CacheOutcome, OnnxCpu, ScoringBackend, SklearnCpu};
+use mlscore_data::{Dataset, FrameScanner, NormParams, NormalizeStream};
 use mlscore_exec::{
     kernel, pool::default_threads, score_quickscorer_batch, score_simd_batch, ExecPool, FlatImage,
     ImageLayout, Kernel, KernelChoice, RunConfig, SimdLevel,
 };
 use mlscore_forest::{FlatForest, ForestConfig, ModelBundle, Predictions, RandomForest, Task};
 use mlscore_pipeline::QueryPipeline;
+use mlscore_sim::Stage;
 use mlscore_telemetry::json::{self, write_escaped, JsonValue};
 
 /// Tree depth used throughout the sweep (the paper's evaluation depth).
@@ -208,6 +209,191 @@ pub fn run_cache_pair(opts: &BenchOptions) -> CacheBench {
         hits: stats.hits,
         misses: stats.misses,
     }
+}
+
+/// Chunk sizes (rows) the fused shmoo sweeps: the L2-sized default and an
+/// L3-sized variant that shows the handoff tax shrinking with chunk count.
+pub const FUSED_CHUNK_SWEEP: [usize; 2] = [512, 4_096];
+
+/// One cell of the fused-vs-staged marshaling-tax shmoo: the same raw
+/// HIGGS-scale frame scored twice on a warm (cache-resident) model — once
+/// over the staged path (materialize a normalized copy, hand the whole
+/// batch over) and once over the fused [`RecordStream`] path
+/// ([`NormalizeStream`] over a [`FrameScanner`] feeding
+/// [`ScoringBackend::score_prepared_stream`]).
+///
+/// [`RecordStream`]: mlscore_data::RecordStream
+#[derive(Debug, Clone)]
+pub struct FusedCell {
+    /// Backend the pair ran on.
+    pub backend: String,
+    /// Trees in the model.
+    pub trees: usize,
+    /// Tree depth.
+    pub depth: usize,
+    /// Records scored per query.
+    pub records: usize,
+    /// Rows per pulled chunk.
+    pub chunk_rows: usize,
+    /// Chunks the fused pass actually pulled.
+    pub n_chunks: usize,
+    /// Modelled staged marshal tax (warm): inbound data transfer plus the
+    /// separate data-pre-processing stage, seconds.
+    pub staged_tax_secs: f64,
+    /// Modelled fused tax (warm): per-chunk handoff only, seconds.
+    pub fused_tax_secs: f64,
+    /// Fraction of the staged tax the fused path eliminates,
+    /// `1 - fused/staged`.
+    pub eliminated_frac: f64,
+    /// Measured wall-clock of the staged path (fit + materialize the
+    /// normalized copy, then one whole-batch scoring call), seconds.
+    pub staged_wall_secs: f64,
+    /// Measured wall-clock of the fused path (fit, then stream normalized
+    /// chunks straight into the kernel), seconds.
+    pub fused_wall_secs: f64,
+    /// Whether the fused predictions matched the staged predictions
+    /// exactly.
+    pub bit_exact: bool,
+}
+
+/// Runs `f` once as warmup, then `iters` timed passes, keeping the
+/// fastest. Returns seconds.
+fn measure_secs(iters: usize, mut f: impl FnMut()) -> f64 {
+    f();
+    let mut best = Duration::MAX;
+    for _ in 0..iters.max(1) {
+        // analyze: allow(D001, reason="this IS the benchmark: measuring the fused-vs-staged wall clock is the point")
+        let t = Instant::now();
+        f();
+        best = best.min(t.elapsed());
+    }
+    best.as_secs_f64()
+}
+
+/// Measures the fused-vs-staged cells for one backend: every record count
+/// in `record_counts` crossed with [`FUSED_CHUNK_SWEEP`], on the sweep's
+/// 128-tree depth-10 HIGGS model, checked bit-exact before timing.
+fn fused_cells_for<B: ScoringBackend>(
+    backend: B,
+    bundle: &ModelBundle,
+    record_counts: &[usize],
+    iters: usize,
+) -> Vec<FusedCell> {
+    let pipeline = QueryPipeline::new(backend);
+    let model = pipeline.backend().prepare(bundle).expect("compile");
+    let model_bytes = model.model_bytes() as u64;
+    let mut cells = Vec::new();
+    for &records in record_counts {
+        let raw = Dataset::higgs(records, 3);
+        let frame = raw.frame();
+        // The staged reference: fit + materialize the normalized copy,
+        // then score the whole batch in one prepared call.
+        let staged_preds = pipeline
+            .backend()
+            .score_prepared(&model, &frame.normalized())
+            .expect("staged scoring");
+        for chunk_rows in FUSED_CHUNK_SWEEP {
+            let mut stream =
+                NormalizeStream::new(FrameScanner::new(frame, chunk_rows), NormParams::fit(frame));
+            let out = pipeline
+                .backend()
+                .score_prepared_stream(&model, &mut stream)
+                .expect("fused scoring");
+            let bit_exact = out.predictions == staged_preds && out.rows == records;
+            let n_chunks = out.chunks.len();
+
+            let staged_wall = measure_secs(iters, || {
+                let preds = pipeline
+                    .backend()
+                    .score_prepared(&model, &frame.normalized())
+                    .expect("staged scoring");
+                std::hint::black_box(&preds);
+            });
+            let fused_wall = measure_secs(iters, || {
+                let mut stream = NormalizeStream::new(
+                    FrameScanner::new(frame, chunk_rows),
+                    NormParams::fit(frame),
+                );
+                let out = pipeline
+                    .backend()
+                    .score_prepared_stream(&model, &mut stream)
+                    .expect("fused scoring");
+                std::hint::black_box(&out);
+            });
+
+            // Modelled warm-path tax on each side: the model is
+            // cache-resident in both, so the difference is pure data
+            // movement (Fig. 11's marshal + pre-processing stages).
+            let staged = pipeline.estimate_warm(model.stats(), model_bytes, records as u64);
+            let fused = pipeline.estimate_fused_warm(
+                model.stats(),
+                model_bytes,
+                records as u64,
+                chunk_rows,
+            );
+            let staged_tax =
+                (staged.get(Stage::DataTransfer) + staged.get(Stage::DataPreprocessing)).as_secs();
+            let fused_tax =
+                (fused.get(Stage::DataTransfer) + fused.get(Stage::DataPreprocessing)).as_secs();
+            cells.push(FusedCell {
+                backend: pipeline.backend().name().to_string(),
+                trees: 128,
+                depth: SWEEP_DEPTH,
+                records,
+                chunk_rows,
+                n_chunks,
+                staged_tax_secs: staged_tax,
+                fused_tax_secs: fused_tax,
+                eliminated_frac: 1.0 - fused_tax / staged_tax.max(1e-12),
+                staged_wall_secs: staged_wall,
+                fused_wall_secs: fused_wall,
+                bit_exact,
+            });
+        }
+    }
+    cells
+}
+
+/// Runs the fused-vs-staged shmoo across both CPU backends, printing one
+/// progress line per cell.
+pub fn run_fused(opts: &BenchOptions) -> Vec<FusedCell> {
+    let forest = RandomForest::synthetic_full(
+        &ForestConfig::classification(128, 28, 2).with_depth(SWEEP_DEPTH),
+        7,
+    );
+    let bundle = ModelBundle::serialize(&forest);
+    let counts = opts.record_counts();
+    let iters = opts.iters();
+    let mut cells = fused_cells_for(
+        SklearnCpu::with_threads(default_threads()),
+        &bundle,
+        &counts,
+        iters,
+    );
+    cells.extend(fused_cells_for(
+        OnnxCpu::with_threads(default_threads()),
+        &bundle,
+        &counts,
+        iters,
+    ));
+    for cell in &cells {
+        println!(
+            "fused {:>16} | {:>6} records / {:>4}-row chunks ({:>3} pulls) | \
+             tax {:>9.3}ms -> {:>7.3}ms ({:.2}% eliminated) | \
+             wall {:>8.3}ms -> {:>8.3}ms{}",
+            cell.backend,
+            cell.records,
+            cell.chunk_rows,
+            cell.n_chunks,
+            cell.staged_tax_secs * 1e3,
+            cell.fused_tax_secs * 1e3,
+            cell.eliminated_frac * 100.0,
+            cell.staged_wall_secs * 1e3,
+            cell.fused_wall_secs * 1e3,
+            if cell.bit_exact { "" } else { "  MISMATCH" }
+        );
+    }
+    cells
 }
 
 /// The seed's scoring path, reproduced verbatim as the baseline: for every
@@ -434,6 +620,17 @@ fn push_num(out: &mut String, v: f64) {
     }
 }
 
+/// Pushes `v` as a JSON number with sub-microsecond precision — the fused
+/// handoff taxes are hundreds of microseconds, which `push_num`'s
+/// millisecond precision would round to zero.
+fn push_secs(out: &mut String, v: f64) {
+    if v.is_finite() {
+        out.push_str(&format!("{v:.9}"));
+    } else {
+        out.push_str("null");
+    }
+}
+
 /// Serializes sweep results to the `BENCH_cpu_scoring.json` document.
 ///
 /// The output is validated with [`validate`] before being returned.
@@ -442,12 +639,17 @@ fn push_num(out: &mut String, v: f64) {
 ///
 /// Panics if the writer produced a document the shared JSON parser
 /// rejects — that would be a bug in this module, not a runtime condition.
-pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) -> String {
+pub fn to_json(
+    cases: &[CaseResult],
+    cache: &CacheBench,
+    fused: &[FusedCell],
+    opts: &BenchOptions,
+) -> String {
     let cfg = RunConfig::default();
     let mut out = String::new();
     out.push_str("{\n");
     out.push_str("  \"schema\": \"mlscore/bench-cpu-scoring/v1\",\n");
-    out.push_str("  \"schema_version\": 3,\n");
+    out.push_str("  \"schema_version\": 4,\n");
     out.push_str(&format!(
         "  \"mode\": \"{}\",\n",
         if opts.quick { "quick" } else { "full" }
@@ -482,6 +684,30 @@ pub fn to_json(cases: &[CaseResult], cache: &CacheBench, opts: &BenchOptions) ->
         ", \"hits\": {}, \"misses\": {}}},\n",
         cache.hits, cache.misses
     ));
+    out.push_str("  \"fused\": {\"cells\": [");
+    for (i, cell) in fused.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n    {\"backend\": ");
+        write_escaped(&mut out, &cell.backend);
+        out.push_str(&format!(
+            ", \"trees\": {}, \"depth\": {}, \"records\": {}, \
+             \"chunk_rows\": {}, \"n_chunks\": {},\n     \"staged_tax_secs\": ",
+            cell.trees, cell.depth, cell.records, cell.chunk_rows, cell.n_chunks
+        ));
+        push_secs(&mut out, cell.staged_tax_secs);
+        out.push_str(", \"fused_tax_secs\": ");
+        push_secs(&mut out, cell.fused_tax_secs);
+        out.push_str(", \"eliminated_frac\": ");
+        push_secs(&mut out, cell.eliminated_frac);
+        out.push_str(",\n     \"staged_wall_secs\": ");
+        push_secs(&mut out, cell.staged_wall_secs);
+        out.push_str(", \"fused_wall_secs\": ");
+        push_secs(&mut out, cell.fused_wall_secs);
+        out.push_str(&format!(", \"bit_exact\": {}}}", cell.bit_exact));
+    }
+    out.push_str("\n  ]},\n");
     out.push_str("  \"cases\": [");
     for (i, case) in cases.iter().enumerate() {
         if i > 0 {
@@ -577,6 +803,62 @@ pub fn validate(text: &str) -> Result<usize, String> {
             "cache block: cold total {cold}s is cheaper than warm total {warm}s"
         ));
     }
+    if version >= 4.0 {
+        // v4 reports must carry the fused-vs-staged shmoo, every cell
+        // bit-exact and eliminating at least 80% of the staged marshal +
+        // data-pre-processing tax (the fused path's acceptance bar).
+        let cells = doc
+            .get("fused")
+            .ok_or("missing \"fused\" block (v4)")?
+            .get("cells")
+            .and_then(JsonValue::as_array)
+            .ok_or("fused block: missing \"cells\" array")?;
+        if cells.is_empty() {
+            return Err("fused block: \"cells\" is empty".to_string());
+        }
+        for (i, cell) in cells.iter().enumerate() {
+            for key in [
+                "records",
+                "chunk_rows",
+                "n_chunks",
+                "staged_tax_secs",
+                "fused_tax_secs",
+                "eliminated_frac",
+                "staged_wall_secs",
+                "fused_wall_secs",
+            ] {
+                if cell.get(key).and_then(JsonValue::as_f64).is_none() {
+                    return Err(format!("fused cell {i}: missing numeric \"{key}\""));
+                }
+            }
+            if cell.get("bit_exact") != Some(&JsonValue::Bool(true)) {
+                return Err(format!("fused cell {i}: not bit-exact"));
+            }
+            let staged_tax = cell
+                .get("staged_tax_secs")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            let fused_tax = cell
+                .get("fused_tax_secs")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(f64::MAX);
+            if fused_tax > 0.2 * staged_tax {
+                return Err(format!(
+                    "fused cell {i}: handoff tax {fused_tax}s exceeds 20% of the \
+                     staged marshal tax {staged_tax}s"
+                ));
+            }
+            let eliminated = cell
+                .get("eliminated_frac")
+                .and_then(JsonValue::as_f64)
+                .unwrap_or(0.0);
+            if eliminated < 0.8 {
+                return Err(format!(
+                    "fused cell {i}: eliminated fraction {eliminated} is below the 80% bar"
+                ));
+            }
+        }
+    }
     let cases = doc
         .get("cases")
         .and_then(JsonValue::as_array)
@@ -664,10 +946,36 @@ mod tests {
         assert!(case.runs.iter().all(|r| r.simd_rps.is_some()));
         assert!(case.runs.iter().all(|r| r.quickscorer_rps.is_some()));
         let cache = run_cache_pair(&opts);
-        let json = to_json(std::slice::from_ref(&case), &cache, &opts);
+        let fused = fused_cells_for(SklearnCpu::with_threads(2), &higgs_bundle(), &[300], 1);
+        let json = to_json(std::slice::from_ref(&case), &cache, &fused, &opts);
         assert_eq!(validate(&json), Ok(1));
         assert!(json.contains("\"chosen_kernel\""));
         assert!(json.contains("\"simd_records_per_sec\""));
+        assert!(json.contains("\"fused\""));
+    }
+
+    fn higgs_bundle() -> ModelBundle {
+        ModelBundle::serialize(&RandomForest::synthetic_full(
+            &ForestConfig::classification(128, 28, 2).with_depth(SWEEP_DEPTH),
+            7,
+        ))
+    }
+
+    #[test]
+    fn fused_cells_are_bit_exact_and_eliminate_the_tax() {
+        let cells = fused_cells_for(SklearnCpu::with_threads(2), &higgs_bundle(), &[777], 1);
+        assert_eq!(cells.len(), FUSED_CHUNK_SWEEP.len());
+        for cell in &cells {
+            assert!(cell.bit_exact, "fused diverged at {} rows", cell.chunk_rows);
+            assert_eq!(cell.n_chunks, 777usize.div_ceil(cell.chunk_rows));
+            assert!(
+                cell.eliminated_frac >= 0.8,
+                "handoff tax {}s barely below staged tax {}s",
+                cell.fused_tax_secs,
+                cell.staged_tax_secs
+            );
+            assert!(cell.staged_wall_secs > 0.0 && cell.fused_wall_secs > 0.0);
+        }
     }
 
     #[test]
@@ -719,6 +1027,41 @@ mod tests {
                         \"cache\": {\"hits\": 1, \"cold_total_secs\": 1.0, \"warm_total_secs\": 2.0}, \
                         \"cases\": [1]}";
         assert!(validate(inverted).unwrap_err().contains("cheaper"));
+    }
+
+    #[test]
+    fn validate_enforces_the_v4_fused_bar() {
+        let doc = |fused: &str| {
+            format!(
+                "{{\"schema\": \"mlscore/bench-cpu-scoring/v1\", \"schema_version\": 4, \
+                 \"cache\": {{\"hits\": 1, \"cold_total_secs\": 2.0, \"warm_total_secs\": 1.0}}, \
+                 {fused}\
+                 \"cases\": [{{\"trees\": 8, \"records\": 10, \"naive_records_per_sec\": 1.0, \
+                 \"chosen_kernel\": \"blocked\", \"quickscorer_records\": 10, \
+                 \"runs\": [{{\"threads\": 1, \"flat_records_per_sec\": 1.0, \
+                 \"bit_exact\": true}}]}}]}}"
+            )
+        };
+        let cell = |tax: f64, frac: f64, exact: bool| {
+            format!(
+                "\"fused\": {{\"cells\": [{{\"records\": 100, \"chunk_rows\": 512, \
+                 \"n_chunks\": 1, \"staged_tax_secs\": 1.0, \"fused_tax_secs\": {tax}, \
+                 \"eliminated_frac\": {frac}, \"staged_wall_secs\": 0.5, \
+                 \"fused_wall_secs\": 0.4, \"bit_exact\": {exact}}}]}}, "
+            )
+        };
+        // v4 without the fused block is stale.
+        assert!(validate(&doc("")).unwrap_err().contains("fused"));
+        // A healthy cell passes.
+        assert_eq!(validate(&doc(&cell(0.001, 0.999, true))), Ok(1));
+        // Handoff tax above 20% of the staged tax fails the bar.
+        assert!(validate(&doc(&cell(0.5, 0.5, true)))
+            .unwrap_err()
+            .contains("20%"));
+        // A non-bit-exact fused pass can never be published.
+        assert!(validate(&doc(&cell(0.001, 0.999, false)))
+            .unwrap_err()
+            .contains("bit-exact"));
     }
 
     #[test]

@@ -16,6 +16,13 @@ pub enum DataError {
     },
     /// A frame cannot have zero feature columns.
     ZeroFeatures,
+    /// Two frames that must agree on column count do not.
+    WidthMismatch {
+        /// Expected feature count.
+        expected: usize,
+        /// Actual feature count.
+        got: usize,
+    },
     /// Labels and rows differ in count.
     LabelMismatch {
         /// Number of rows.
@@ -45,6 +52,9 @@ impl fmt::Display for DataError {
                 "buffer of {len} values is not a multiple of {n_features} features"
             ),
             DataError::ZeroFeatures => write!(f, "frame must have at least one feature"),
+            DataError::WidthMismatch { expected, got } => {
+                write!(f, "expected {expected} feature columns, got {got}")
+            }
             DataError::LabelMismatch { rows, labels } => {
                 write!(f, "{rows} rows but {labels} labels")
             }

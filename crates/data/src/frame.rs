@@ -3,6 +3,7 @@
 use serde::{Deserialize, Serialize};
 
 use crate::error::DataError;
+use crate::stream::NormParams;
 
 /// A dense, row-major matrix of `f32` features — the scoring input every
 /// backend consumes (the stand-in for the Pandas DataFrame handed to the
@@ -44,6 +45,54 @@ impl TabularFrame {
             });
         }
         Ok(Self { data, n_features })
+    }
+
+    /// An empty frame with room for `rows` rows reserved up front — the
+    /// scratch shape every [`RecordStream`](crate::RecordStream) scanner
+    /// reuses across chunks (refills within capacity never reallocate).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n_features == 0`.
+    pub fn with_capacity(rows: usize, n_features: usize) -> Self {
+        assert!(n_features > 0, "a frame needs at least one feature column");
+        Self {
+            data: Vec::with_capacity(rows * n_features),
+            n_features,
+        }
+    }
+
+    /// Drops all rows, keeping the allocation (and the column count).
+    pub fn clear(&mut self) {
+        self.data.clear();
+    }
+
+    /// Appends whole row-major rows to the frame. Within the reserved
+    /// capacity this is a plain copy — no allocation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len()` is not a multiple of the column count.
+    pub fn extend_rows(&mut self, rows: &[f32]) {
+        assert!(
+            rows.len().is_multiple_of(self.n_features),
+            "row data length {} is not a multiple of {} columns",
+            rows.len(),
+            self.n_features
+        );
+        self.data.extend_from_slice(rows);
+    }
+
+    /// Resizes to exactly `rows` rows (new rows zero-filled). Within the
+    /// reserved capacity this never reallocates.
+    pub fn resize_rows(&mut self, rows: usize) {
+        self.data.resize(rows * self.n_features, 0.0);
+    }
+
+    /// The raw row-major buffer, mutably — for featurizers that transform
+    /// a chunk in place into reusable scratch.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
     }
 
     /// Number of feature columns.
@@ -119,36 +168,21 @@ impl TabularFrame {
 
     /// Min-max normalizes every column into `[0, 1]` (constant columns map
     /// to 0.5). Returns the normalized frame.
+    ///
+    /// Fits [`NormParams`] over the whole frame and applies them — exactly
+    /// the arithmetic the chunked
+    /// [`NormalizeStream`](crate::NormalizeStream) featurizer runs, so the
+    /// fused scan→featurize path is bit-exact with this staged
+    /// materialization.
     pub fn normalized(&self) -> TabularFrame {
         if self.is_empty() {
             return self.clone();
         }
-        let f = self.n_features;
-        let mut min = vec![f32::INFINITY; f];
-        let mut max = vec![f32::NEG_INFINITY; f];
-        for row in self.rows() {
-            for (j, &v) in row.iter().enumerate() {
-                min[j] = min[j].min(v);
-                max[j] = max[j].max(v);
-            }
-        }
-        let data = self
-            .data
-            .iter()
-            .enumerate()
-            .map(|(k, &v)| {
-                let j = k % f;
-                if max[j] > min[j] {
-                    (v - min[j]) / (max[j] - min[j])
-                } else {
-                    0.5
-                }
-            })
-            .collect();
-        TabularFrame {
-            data,
-            n_features: f,
-        }
+        let params = NormParams::fit(self);
+        let mut out = TabularFrame::with_capacity(self.n_rows(), self.n_features);
+        out.resize_rows(self.n_rows());
+        params.apply_slice(&self.data, &mut out.data);
+        out
     }
 }
 
@@ -208,6 +242,59 @@ mod tests {
         let f = TabularFrame::from_rows(vec![0.0, 5.0, 10.0, 5.0, 20.0, 5.0], 2).unwrap();
         let n = f.normalized();
         assert_eq!(n.row(0), &[0.0, 0.5]); // constant column -> 0.5
+        assert_eq!(n.row(1), &[0.5, 0.5]);
+        assert_eq!(n.row(2), &[1.0, 0.5]);
+    }
+
+    #[test]
+    fn head_edge_cases() {
+        let f = TabularFrame::from_rows(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], 2).unwrap();
+        // n = 0 is a valid empty frame that keeps its width.
+        let empty = f.head(0);
+        assert!(empty.is_empty());
+        assert_eq!(empty.n_features(), 2);
+        // A single-row head is exactly the first row.
+        assert_eq!(f.head(1).as_slice(), &[1.0, 2.0]);
+        // n > rows clamps to a copy of the whole frame.
+        assert_eq!(f.head(usize::MAX).as_slice(), f.as_slice());
+        // head of an already-empty frame stays empty.
+        let e = TabularFrame::from_rows(vec![], 3).unwrap();
+        assert!(e.head(5).is_empty());
+    }
+
+    #[test]
+    fn replicate_edge_cases() {
+        let f = TabularFrame::from_rows(vec![1.0, 2.0, 3.0, 4.0], 2).unwrap();
+        // n smaller than the row count truncates.
+        assert_eq!(f.replicate_to(1).as_slice(), &[1.0, 2.0]);
+        // n equal to the row count is an exact copy.
+        assert_eq!(f.replicate_to(2).as_slice(), f.as_slice());
+        // A single-row frame tiles that row.
+        let one = TabularFrame::from_rows(vec![7.0, 8.0], 2).unwrap();
+        assert_eq!(
+            one.replicate_to(3).as_slice(),
+            &[7.0, 8.0, 7.0, 8.0, 7.0, 8.0]
+        );
+        // Replicating an empty frame to zero rows is allowed.
+        let e = TabularFrame::from_rows(vec![], 2).unwrap();
+        assert!(e.replicate_to(0).is_empty());
+    }
+
+    #[test]
+    fn normalization_edge_cases() {
+        // An empty frame normalizes to itself (no NormParams fit).
+        let e = TabularFrame::from_rows(vec![], 4).unwrap();
+        assert!(e.normalized().is_empty());
+        assert_eq!(e.normalized().n_features(), 4);
+        // A single-row frame has min == max in every column -> all 0.5.
+        let one = TabularFrame::from_rows(vec![3.0, -9.0, 0.0], 3).unwrap();
+        assert_eq!(one.normalized().as_slice(), &[0.5, 0.5, 0.5]);
+        // An all-NaN column never satisfies max > min, so it maps to the
+        // constant-column fallback instead of propagating NaN.
+        let f = TabularFrame::from_rows(vec![0.0, f32::NAN, 10.0, f32::NAN, 20.0, f32::NAN], 2)
+            .unwrap();
+        let n = f.normalized();
+        assert_eq!(n.row(0), &[0.0, 0.5]);
         assert_eq!(n.row(1), &[0.5, 0.5]);
         assert_eq!(n.row(2), &[1.0, 0.5]);
     }

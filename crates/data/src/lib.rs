@@ -29,9 +29,14 @@ pub(crate) mod gauss;
 pub mod higgs;
 pub mod iris;
 pub mod split;
+pub mod stream;
 
 pub use columnar::ColumnarFrame;
 pub use dataset::{Dataset, DatasetSpec};
 pub use error::DataError;
 pub use frame::TabularFrame;
 pub use split::train_test_split;
+pub use stream::{
+    ChainScanner, ColumnarScanner, CsvScanner, FrameScanner, NormParams, NormalizeStream,
+    RecordStream, DEFAULT_CHUNK_ROWS,
+};

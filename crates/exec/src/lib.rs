@@ -44,6 +44,7 @@ pub mod kernel_simd;
 pub mod pool;
 pub mod quickscorer;
 pub mod report;
+pub mod stream;
 
 pub use choice::{score_auto_batch, Kernel, KernelChoice};
 pub use kernel::{
@@ -54,3 +55,4 @@ pub use kernel_simd::{score_simd_batch, SimdLevel};
 pub use pool::{ExecPool, RunConfig};
 pub use quickscorer::score_quickscorer_batch;
 pub use report::{RunReport, WorkerReport};
+pub use stream::{score_stream, ChunkRun, StreamReport};

@@ -148,6 +148,22 @@ impl Predictions {
             Predictions::Values(v) => Some(v),
         }
     }
+
+    /// Appends `other`'s records — how streaming consumers fold per-chunk
+    /// predictions back into one batch (records partition across chunks,
+    /// so appending in chunk order is bit-exact with one whole-batch
+    /// scoring pass).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two batches are of different prediction kinds.
+    pub fn append(&mut self, other: &Predictions) {
+        match (self, other) {
+            (Predictions::Classes(a), Predictions::Classes(b)) => a.extend_from_slice(b),
+            (Predictions::Values(a), Predictions::Values(b)) => a.extend_from_slice(b),
+            _ => panic!("cannot append mismatched prediction kinds"),
+        }
+    }
 }
 
 /// A random forest: an ensemble of [`DecisionTree`]s over a fixed feature

@@ -38,10 +38,19 @@ pub struct PipelineParams {
     /// Cost of a warm artifact-cache lookup (hash the bundle bytes, probe
     /// the cache). Replaces the whole model-pre-processing stage on a hit.
     pub cache_lookup: SimDuration,
+    /// Per-chunk handoff cost on the fused in-process path: bumping the
+    /// scanner cursor and passing a borrowed chunk to the kernel. This is
+    /// the *entire* data-transfer charge of a fused query — there is no
+    /// row-oriented SQL↔Python copy and no separate pre-processing pass.
+    pub chunk_handoff: SimDuration,
 }
 
 fn default_cache_lookup() -> SimDuration {
     SimDuration::from_micros(50.0)
+}
+
+fn default_chunk_handoff() -> SimDuration {
+    SimDuration::from_micros(2.0)
 }
 
 impl Default for PipelineParams {
@@ -57,6 +66,7 @@ impl Default for PipelineParams {
             postprocess_per_record: SimDuration::from_nanos(500.0),
             per_result_marshal: SimDuration::from_micros(2.0),
             cache_lookup: default_cache_lookup(),
+            chunk_handoff: default_chunk_handoff(),
         }
     }
 }
@@ -104,6 +114,18 @@ mod tests {
         // The warm path's whole point: a hit costs a hash + probe, not a
         // deserialize — orders of magnitude under even the fixed cost.
         assert!(p.cache_lookup * 100.0 < p.model_preprocess_time(0));
+    }
+
+    #[test]
+    fn chunk_handoff_is_negligible_next_to_per_row_marshal() {
+        let p = PipelineParams::default();
+        // The fused path's whole point: handing one 512-row chunk across a
+        // function boundary must cost far less than marshalling even a
+        // single row through the SQL↔Python copy — otherwise chunking
+        // would just reintroduce the tax it removes.
+        // One handoff covers a whole default chunk (512 rows), yet costs
+        // less than marshalling a single row.
+        assert!(p.chunk_handoff < p.per_row_marshal);
     }
 
     #[test]

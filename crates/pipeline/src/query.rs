@@ -2,8 +2,10 @@
 
 use std::sync::Arc;
 
-use mlscore_backend::{ArtifactCache, BackendError, CacheOutcome, PrepareTiming, ScoringBackend};
-use mlscore_data::TabularFrame;
+use mlscore_backend::{
+    ArtifactCache, BackendError, CacheOutcome, PrepareTiming, ScoringBackend, StreamChunk,
+};
+use mlscore_data::{RecordStream, TabularFrame};
 use mlscore_forest::{ModelBundle, ModelStats, Predictions};
 use mlscore_sim::{SimInstant, Stage, TimingBreakdown};
 use mlscore_telemetry::{Scope, Tracer};
@@ -147,7 +149,13 @@ impl<B: ScoringBackend> QueryPipeline<B> {
             self.assemble_sized(&stats, model_bytes, n_records, &scoring_breakdown, warm);
         if tracer.is_enabled() {
             if !warm {
-                self.record_compile_spans(tracer, start, model_bytes, n_records, &stats, timing);
+                let data_bytes = n_records * stats.row_bytes() as u64;
+                let t_compile = start
+                    + self.params.python_invocation
+                    + self
+                        .params
+                        .marshal_time(n_records, data_bytes + model_bytes);
+                self.record_compile_spans(tracer, t_compile, model_bytes, timing);
             }
             self.record_query_spans(
                 tracer,
@@ -228,6 +236,229 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         self.estimate_inner(stats, model_bytes, n_records, tracer, start, true)
     }
 
+    /// Executes the query over the *fused* scan→featurize→score path: the
+    /// backend pulls cache-sized chunks straight off `stream` (scoring each
+    /// one as it lands) instead of receiving a marshalled, pre-processed
+    /// copy of the whole batch.
+    ///
+    /// The returned breakdown therefore charges **no** Python invocation,
+    /// no inbound/outbound marshal, and no separate data-pre-processing
+    /// stage — only model pre-processing (a cache probe when warm), a small
+    /// per-chunk handoff under [`Stage::DataTransfer`], scoring, and
+    /// post-processing. Predictions are bit-exact with
+    /// [`QueryPipeline::execute`] over the equivalent materialized frame.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`QueryPipeline::execute`].
+    pub fn execute_fused(
+        &self,
+        bundle: &ModelBundle,
+        stream: &mut dyn RecordStream,
+    ) -> Result<QueryRun, PipelineError> {
+        self.execute_fused_traced(bundle, stream, &Tracer::disabled(), SimInstant::ZERO)
+    }
+
+    /// Like [`QueryPipeline::execute_fused`], but records the fused
+    /// timeline on `tracer`: one [`Scope::Query`] span per charged stage
+    /// (folding them reproduces `breakdown` exactly), the backend's
+    /// [`Scope::Offload`] spans nested inside the scoring interval, and one
+    /// `"fused chunk"` [`Scope::Detail`] span per pulled chunk (ignored by
+    /// both folds) showing how rows streamed through the kernel.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`QueryPipeline::execute`].
+    pub fn execute_fused_traced(
+        &self,
+        bundle: &ModelBundle,
+        stream: &mut dyn RecordStream,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> Result<QueryRun, PipelineError> {
+        // Phase 1 — compile (or fetch), exactly as on the staged path.
+        let (model, outcome, timing) = match &self.cache {
+            Some(cache) => cache
+                .get_or_prepare_timed(&self.backend, bundle)
+                .map_err(lift)?,
+            None => {
+                let (model, timing) =
+                    mlscore_backend::compile_timed(&self.backend, bundle).map_err(lift)?;
+                (model, CacheOutcome::Bypass, timing)
+            }
+        };
+        let warm = outcome == CacheOutcome::Hit;
+        let model_bytes = model.model_bytes() as u64;
+        // Phase 2 — drain the stream through the backend's chunked scorer.
+        let out = self.backend.score_prepared_stream(&model, stream)?;
+        let n_records = out.rows as u64;
+        let t_scoring = self.fused_scoring_start(start, out.chunks.len(), model_bytes, warm);
+        let scoring_breakdown = self
+            .backend
+            .estimate_prepared_traced(&model, n_records, tracer, t_scoring);
+        let breakdown = self.assemble_fused(
+            model_bytes,
+            n_records,
+            out.chunks.len(),
+            &scoring_breakdown,
+            warm,
+        );
+        if tracer.is_enabled() {
+            if !warm {
+                // The fused path has no Python launch or inbound marshal:
+                // compile starts immediately.
+                self.record_compile_spans(tracer, start, model_bytes, timing);
+            }
+            self.record_fused_query_spans(
+                tracer,
+                start,
+                model_bytes,
+                n_records,
+                &out.chunks,
+                &scoring_breakdown,
+                warm,
+            );
+        }
+        Ok(QueryRun {
+            predictions: out.predictions,
+            breakdown,
+            scoring_breakdown,
+            cache: outcome,
+        })
+    }
+
+    /// Estimates the cold fused breakdown without functional execution,
+    /// for a stream of `n_records` pulled in chunks of `chunk_rows`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows` is zero.
+    pub fn estimate_fused(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        chunk_rows: usize,
+    ) -> TimingBreakdown {
+        self.estimate_fused_traced(
+            stats,
+            model_bytes,
+            n_records,
+            chunk_rows,
+            &Tracer::disabled(),
+            SimInstant::ZERO,
+        )
+    }
+
+    /// Like [`QueryPipeline::estimate_fused`], but records the fused
+    /// `Query` spans plus synthesized per-chunk `"fused chunk"` detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows` is zero.
+    pub fn estimate_fused_traced(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        chunk_rows: usize,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        self.estimate_fused_inner(
+            stats,
+            model_bytes,
+            n_records,
+            chunk_rows,
+            tracer,
+            start,
+            false,
+        )
+    }
+
+    /// Estimates the *warm* fused breakdown: the model is cache-resident,
+    /// so model pre-processing collapses to a cache probe and the query is
+    /// pure handoff + scoring + post-processing.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows` is zero.
+    pub fn estimate_fused_warm(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        chunk_rows: usize,
+    ) -> TimingBreakdown {
+        self.estimate_fused_warm_traced(
+            stats,
+            model_bytes,
+            n_records,
+            chunk_rows,
+            &Tracer::disabled(),
+            SimInstant::ZERO,
+        )
+    }
+
+    /// Like [`QueryPipeline::estimate_fused_warm`], but records the warm
+    /// fused `Query` spans plus synthesized per-chunk detail.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_rows` is zero.
+    pub fn estimate_fused_warm_traced(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        chunk_rows: usize,
+        tracer: &Tracer,
+        start: SimInstant,
+    ) -> TimingBreakdown {
+        self.estimate_fused_inner(
+            stats,
+            model_bytes,
+            n_records,
+            chunk_rows,
+            tracer,
+            start,
+            true,
+        )
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn estimate_fused_inner(
+        &self,
+        stats: &ModelStats,
+        model_bytes: u64,
+        n_records: u64,
+        chunk_rows: usize,
+        tracer: &Tracer,
+        start: SimInstant,
+        warm: bool,
+    ) -> TimingBreakdown {
+        assert!(chunk_rows > 0, "chunk_rows must be positive");
+        let n_chunks = (n_records as usize).div_ceil(chunk_rows);
+        let t_scoring = self.fused_scoring_start(start, n_chunks, model_bytes, warm);
+        let scoring = self
+            .backend
+            .estimate_traced(stats, n_records, tracer, t_scoring);
+        let b = self.assemble_fused(model_bytes, n_records, n_chunks, &scoring, warm);
+        if tracer.is_enabled() {
+            let chunks = synth_chunks(n_records as usize, chunk_rows);
+            self.record_fused_query_spans(
+                tracer,
+                start,
+                model_bytes,
+                n_records,
+                &chunks,
+                &scoring,
+                warm,
+            );
+        }
+        b
+    }
+
     fn estimate_inner(
         &self,
         stats: &ModelStats,
@@ -281,24 +512,145 @@ impl<B: ScoringBackend> QueryPipeline<B> {
             + p.data_preprocess_per_byte * data_bytes as f64
     }
 
-    /// Records the cold-path compile spans ([`Scope::Compile`]): the
-    /// *measured* wall-clock of deserialize + lower, mapped 1 ns ↦ 1 ns
-    /// onto the simulated timeline alongside the modelled
-    /// model-pre-processing stage. A separate scope keeps them out of the
-    /// `Query` fold, so cold breakdowns stay bit-identical with or without
-    /// tracing.
-    fn record_compile_spans(
+    /// The simulated instant at which fused scoring begins: after model
+    /// pre-processing (a cache probe when warm) and the per-chunk handoffs.
+    /// Mirrors the span chain in `record_fused_query_spans` so the two stay
+    /// bit-identical.
+    fn fused_scoring_start(
+        &self,
+        start: SimInstant,
+        n_chunks: usize,
+        model_bytes: u64,
+        warm: bool,
+    ) -> SimInstant {
+        let p = &self.params;
+        let model_prep = if warm {
+            p.cache_lookup
+        } else {
+            p.model_preprocess_time(model_bytes)
+        };
+        start + model_prep + p.chunk_handoff * n_chunks as f64
+    }
+
+    /// Assembles the fused breakdown: no Python invocation, no marshal, no
+    /// separate data-pre-processing pass. `DataTransfer` carries only the
+    /// per-chunk handoff cost.
+    fn assemble_fused(
+        &self,
+        model_bytes: u64,
+        n_records: u64,
+        n_chunks: usize,
+        scoring: &TimingBreakdown,
+        warm: bool,
+    ) -> TimingBreakdown {
+        let p = &self.params;
+        let model_prep = if warm {
+            p.cache_lookup
+        } else {
+            p.model_preprocess_time(model_bytes)
+        };
+        let mut b = TimingBreakdown::new();
+        b.add(Stage::ModelPreprocessing, model_prep);
+        b.add(Stage::DataTransfer, p.chunk_handoff * n_chunks as f64);
+        b.add(Stage::Scoring, scoring.total());
+        b.add(
+            Stage::PostProcessing,
+            p.postprocess_per_record * n_records as f64,
+        );
+        b
+    }
+
+    /// Records the fused-path `Query` spans (their fold reproduces the
+    /// fused breakdown exactly) plus one `"fused chunk"` [`Scope::Detail`]
+    /// span per chunk, laid across the scoring interval proportionally to
+    /// each chunk's row count.
+    #[allow(clippy::too_many_arguments)]
+    fn record_fused_query_spans(
         &self,
         tracer: &Tracer,
         start: SimInstant,
         model_bytes: u64,
         n_records: u64,
-        stats: &ModelStats,
-        timing: PrepareTiming,
+        chunks: &[StreamChunk],
+        scoring: &TimingBreakdown,
+        warm: bool,
     ) {
         let p = &self.params;
-        let data_bytes = n_records * stats.row_bytes() as u64;
-        let t = start + p.python_invocation + p.marshal_time(n_records, data_bytes + model_bytes);
+        let t = if warm {
+            tracer
+                .span("artifact cache hit", start)
+                .stage(Stage::ModelPreprocessing)
+                .scope(Scope::Query)
+                .track("pipeline", "query")
+                .meta("model_bytes", model_bytes.to_string())
+                .finish_after(p.cache_lookup)
+        } else {
+            tracer
+                .span("model deserialization", start)
+                .stage(Stage::ModelPreprocessing)
+                .scope(Scope::Query)
+                .track("pipeline", "query")
+                .meta("model_bytes", model_bytes.to_string())
+                .finish_after(p.model_preprocess_time(model_bytes))
+        };
+        let t = tracer
+            .span("chunk handoff", t)
+            .stage(Stage::DataTransfer)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .meta("chunks", chunks.len().to_string())
+            .finish_after(p.chunk_handoff * chunks.len() as f64);
+        let t_score = t;
+        let t = tracer
+            .span("scoring", t)
+            .stage(Stage::Scoring)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .meta("backend", self.backend.name())
+            .meta("records", n_records.to_string())
+            .meta("path", "fused")
+            .finish_after(scoring.total());
+        tracer
+            .span("post-processing", t)
+            .stage(Stage::PostProcessing)
+            .scope(Scope::Query)
+            .track("pipeline", "query")
+            .finish_after(p.postprocess_per_record * n_records as f64);
+        if n_records == 0 {
+            return;
+        }
+        let mut done = 0u64;
+        for (i, c) in chunks.iter().enumerate() {
+            let at = t_score + scoring.total() * (done as f64 / n_records as f64);
+            let dur = scoring.total() * (c.rows as f64 / n_records as f64);
+            let mut span = tracer
+                .span("fused chunk", at)
+                .scope(Scope::Detail)
+                .track("pipeline", "chunks")
+                .meta("chunk", i.to_string())
+                .meta("rows", c.rows.to_string());
+            if let Some(kernel) = c.kernel {
+                span = span.meta("kernel", kernel);
+            }
+            span.finish_after(dur);
+            done += c.rows as u64;
+        }
+    }
+
+    /// Records the cold-path compile spans ([`Scope::Compile`]): the
+    /// *measured* wall-clock of deserialize + lower, mapped 1 ns ↦ 1 ns
+    /// onto the simulated timeline alongside the modelled
+    /// model-pre-processing stage, anchored at `t` (the instant model
+    /// pre-processing begins on the caller's timeline). A separate scope
+    /// keeps them out of the `Query` fold, so cold breakdowns stay
+    /// bit-identical with or without tracing.
+    fn record_compile_spans(
+        &self,
+        tracer: &Tracer,
+        t: SimInstant,
+        model_bytes: u64,
+        timing: PrepareTiming,
+    ) {
         let t = tracer
             .span("deserialize bundle", t)
             .stage(Stage::ModelPreprocessing)
@@ -442,6 +794,20 @@ impl<B: ScoringBackend> QueryPipeline<B> {
         );
         b
     }
+}
+
+/// Synthesizes the chunk layout a scanner over `n_records` rows pulled
+/// `chunk_rows` at a time would produce: full chunks plus a possibly short
+/// tail. Used by the modelled (estimate-only) fused path.
+fn synth_chunks(n_records: usize, chunk_rows: usize) -> Vec<StreamChunk> {
+    let mut chunks = Vec::with_capacity(n_records.div_ceil(chunk_rows));
+    let mut left = n_records;
+    while left > 0 {
+        let rows = left.min(chunk_rows);
+        chunks.push(StreamChunk { rows, kernel: None });
+        left -= rows;
+    }
+    chunks
 }
 
 /// Routes a compile-phase [`BackendError`] to the pipeline error that the
@@ -720,6 +1086,114 @@ mod tests {
             data.frame().n_rows() as u64,
         );
         assert!(est.total() < cold_est.total());
+    }
+
+    #[test]
+    fn fused_execute_matches_staged_predictions() {
+        use mlscore_data::{FrameScanner, NormParams, NormalizeStream};
+        let (bundle, data, forest) = setup(10, 6);
+        let pipeline = QueryPipeline::new(SklearnCpu::with_threads(4));
+        let staged = pipeline.execute(&bundle, data.frame()).unwrap();
+        // Fused featurization: normalize per chunk off the raw frame, with
+        // the params the staged path's whole-frame normalize would fit.
+        let raw = Dataset::iris(300, 2);
+        let params = NormParams::fit(raw.frame());
+        let mut stream = NormalizeStream::new(FrameScanner::new(raw.frame(), 64), params);
+        let fused = pipeline.execute_fused(&bundle, &mut stream).unwrap();
+        assert_eq!(fused.predictions, staged.predictions);
+        assert_eq!(
+            fused.predictions,
+            forest.predict_batch(data.frame().as_slice())
+        );
+        // The fused breakdown charges no Python launch and no marshal-sized
+        // transfer — only per-chunk handoff.
+        assert!(fused.breakdown.get(Stage::PythonInvocation).is_zero());
+        assert!(fused.breakdown.get(Stage::DataPreprocessing).is_zero());
+        // 300 rows in 64-row chunks = 5 pulls.
+        assert_eq!(
+            fused.breakdown.get(Stage::DataTransfer),
+            pipeline.params().chunk_handoff * 5.0
+        );
+        assert!(fused.total() < staged.total());
+    }
+
+    #[test]
+    fn fused_traced_folds_to_breakdown_and_records_chunk_detail() {
+        use mlscore_data::FrameScanner;
+        let (bundle, data, _) = setup(8, 6);
+        let cache = Arc::new(mlscore_backend::ArtifactCache::new(4));
+        let pipeline = QueryPipeline::new(OnnxCpu::with_threads(4)).with_cache(Arc::clone(&cache));
+        // Warm the cache so the fused query runs the cache-resident path.
+        pipeline.execute(&bundle, data.frame()).unwrap();
+
+        let tracer = Tracer::new();
+        let mut stream = FrameScanner::new(data.frame(), 64);
+        let run = pipeline
+            .execute_fused_traced(&bundle, &mut stream, &tracer, SimInstant::ZERO)
+            .unwrap();
+        assert_eq!(run.cache, CacheOutcome::Hit);
+        let trace = tracer.take();
+        // Query fold reproduces the fused breakdown; Offload fold the
+        // backend's own scoring breakdown.
+        assert_eq!(trace.breakdown(Scope::Query), run.breakdown);
+        assert_eq!(trace.breakdown(Scope::Offload), run.scoring_breakdown);
+        // One Detail span per pulled chunk, covering every record.
+        let chunk_spans: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.scope == Scope::Detail && e.name == "fused chunk")
+            .collect();
+        assert_eq!(chunk_spans.len(), 300usize.div_ceil(64));
+        let scoring = trace
+            .events()
+            .iter()
+            .find(|e| e.scope == Scope::Query && e.name == "scoring")
+            .unwrap();
+        assert!(
+            scoring
+                .metadata
+                .iter()
+                .any(|(k, v)| k == "path" && v == "fused"),
+            "scoring span must be tagged with the fused path"
+        );
+        assert!(trace.events().iter().any(|e| e.name == "chunk handoff"));
+        assert!(
+            !trace.events().iter().any(|e| e.name.contains("marshal")),
+            "fused path must not record marshal spans"
+        );
+    }
+
+    #[test]
+    fn fused_estimate_matches_fused_execute_breakdown() {
+        use mlscore_data::FrameScanner;
+        let (bundle, data, forest) = setup(6, 5);
+        let cache = Arc::new(mlscore_backend::ArtifactCache::new(4));
+        let pipeline = QueryPipeline::new(OnnxCpu::single_thread()).with_cache(Arc::clone(&cache));
+        let stats = ModelStats::of(&forest);
+
+        let mut stream = FrameScanner::new(data.frame(), 64);
+        let cold = pipeline.execute_fused(&bundle, &mut stream).unwrap();
+        assert_eq!(
+            cold.breakdown,
+            pipeline.estimate_fused(&stats, bundle.len() as u64, 300, 64)
+        );
+
+        let mut stream = FrameScanner::new(data.frame(), 64);
+        let warm = pipeline.execute_fused(&bundle, &mut stream).unwrap();
+        assert_eq!(warm.cache, CacheOutcome::Hit);
+        assert_eq!(
+            warm.breakdown,
+            pipeline.estimate_fused_warm(&stats, bundle.len() as u64, 300, 64)
+        );
+        // Fused warm ≤ staged warm: the handoff never exceeds the marshal.
+        assert!(
+            pipeline
+                .estimate_fused_warm(&stats, bundle.len() as u64, 300, 64)
+                .total()
+                < pipeline
+                    .estimate_warm(&stats, bundle.len() as u64, 300)
+                    .total()
+        );
     }
 
     #[test]

@@ -23,6 +23,4 @@ pub use policy::{
     OraclePolicy, Policy,
 };
 pub use regret::{evaluate_policy, RegretReport};
-pub use trace::{paper_shape_forests, QueryTrace, TraceOutcome, TraceQuery};
-#[allow(deprecated)]
-pub use trace::{replay, replay_adaptive, replay_traced};
+pub use trace::{paper_shape_forests, replay_adaptive, QueryTrace, TraceOutcome, TraceQuery};

@@ -3,9 +3,12 @@
 //! Fig. 1's premise is that queries arrive with *mixed* models and batch
 //! sizes, so the offload decision must be made per query. This module
 //! generates synthetic query traces (a skewed mix of the paper's model
-//! shapes and batch sizes) and replays them through a policy, producing
-//! total makespan, per-query latency percentiles, and the backend mix —
-//! the numbers a capacity planner would actually look at.
+//! shapes and batch sizes) and replays them through the online
+//! [`AdaptiveScheduler`] via [`replay_adaptive`]. Fixed-policy replay
+//! (the old `replay`/`replay_traced` loop) lives in `mlscore-serve`'s
+//! `ServeEngine`, which additionally models queueing and device
+//! contention; with coalescing off it reproduces the legacy makespan
+//! exactly.
 
 use std::collections::BTreeMap;
 
@@ -15,11 +18,10 @@ use rand::{Rng, SeedableRng};
 use mlscore_backend::ScoringBackend;
 use mlscore_data::DatasetSpec;
 use mlscore_forest::{ForestConfig, ModelStats, RandomForest};
-use mlscore_sim::{SimDuration, SimInstant};
-use mlscore_telemetry::{Histogram, Tracer};
+use mlscore_sim::SimDuration;
+use mlscore_telemetry::Histogram;
 
 use crate::adaptive::AdaptiveScheduler;
-use crate::policy::Policy;
 
 /// One query in a trace.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -153,78 +155,6 @@ impl TraceOutcome {
     }
 }
 
-/// Replays `trace` through `policy`, charging each query the modelled time
-/// of the backend the policy picked.
-///
-/// # Panics
-///
-/// Panics if some query has no supporting backend.
-#[deprecated(
-    since = "0.1.0",
-    note = "use mlscore-serve's ServeEngine (batch arrivals, serial device roster, coalescing \
-            off reproduces this makespan exactly) — the serving engine models queueing and \
-            device contention this loop ignores"
-)]
-pub fn replay(
-    policy: &dyn Policy,
-    trace: &QueryTrace,
-    backends: &[Box<dyn ScoringBackend>],
-) -> TraceOutcome {
-    #[allow(deprecated)]
-    replay_traced(policy, trace, backends, &Tracer::disabled())
-}
-
-/// Like [`replay`], but records one [`Scope::Detail`] span per query on
-/// `tracer`: queries run back to back from the epoch (the makespan
-/// timeline), each on the lane of the backend that served it, annotated
-/// with the policy, backend, and batch size.
-///
-/// [`Scope::Detail`]: mlscore_telemetry::Scope::Detail
-///
-/// # Panics
-///
-/// Panics if some query has no supporting backend.
-#[deprecated(
-    since = "0.1.0",
-    note = "use mlscore-serve's ServeEngine, which emits the same per-query spans plus \
-            queue-wait and per-device lanes"
-)]
-pub fn replay_traced(
-    policy: &dyn Policy,
-    trace: &QueryTrace,
-    backends: &[Box<dyn ScoringBackend>],
-    tracer: &Tracer,
-) -> TraceOutcome {
-    let mut total = SimDuration::ZERO;
-    let mut latencies = Vec::with_capacity(trace.len());
-    let mut picks: BTreeMap<String, usize> = BTreeMap::new();
-    let mut cursor = SimInstant::ZERO;
-    for (i, q) in trace.queries().iter().enumerate() {
-        let choice = policy
-            .choose(&q.stats, q.n_records, backends)
-            .expect("some backend must support every trace query");
-        let latency = backends[choice.index]
-            .estimate(&q.stats, q.n_records)
-            .total();
-        cursor = tracer
-            .span(format!("query {i}"), cursor)
-            .track("scheduler", choice.name.as_str())
-            .meta("policy", policy.name())
-            .meta("backend", choice.name.as_str())
-            .meta("records", q.n_records.to_string())
-            .finish_after(latency);
-        total += latency;
-        latencies.push(latency);
-        *picks.entry(choice.name).or_default() += 1;
-    }
-    TraceOutcome {
-        policy: policy.name().to_string(),
-        total,
-        latencies,
-        picks,
-    }
-}
-
 /// Replays a trace through an [`AdaptiveScheduler`], feeding each observed
 /// run back into the learner as it goes (the online setting).
 pub fn replay_adaptive(
@@ -256,10 +186,40 @@ pub fn replay_adaptive(
 }
 
 #[cfg(test)]
-#[allow(deprecated)] // the legacy replay loop stays covered until it is removed
 mod tests {
     use super::*;
-    use crate::policy::{paper_backends, HeuristicPolicy, OraclePolicy};
+    use crate::policy::{paper_backends, HeuristicPolicy, OraclePolicy, Policy};
+
+    /// Serial fixed-policy replay, local to these tests: the production
+    /// equivalent is `mlscore-serve`'s `ServeEngine` (which adds queueing
+    /// and device contention); this loop exists only to exercise
+    /// [`TraceOutcome`] and the policies over synthetic traces.
+    fn replay_policy(
+        policy: &dyn Policy,
+        trace: &QueryTrace,
+        backends: &[Box<dyn ScoringBackend>],
+    ) -> TraceOutcome {
+        let mut total = SimDuration::ZERO;
+        let mut latencies = Vec::with_capacity(trace.len());
+        let mut picks: BTreeMap<String, usize> = BTreeMap::new();
+        for q in trace.queries() {
+            let choice = policy
+                .choose(&q.stats, q.n_records, backends)
+                .expect("some backend must support every trace query");
+            let latency = backends[choice.index]
+                .estimate(&q.stats, q.n_records)
+                .total();
+            total += latency;
+            latencies.push(latency);
+            *picks.entry(choice.name).or_default() += 1;
+        }
+        TraceOutcome {
+            policy: policy.name().to_string(),
+            total,
+            latencies,
+            picks,
+        }
+    }
 
     #[test]
     fn synthetic_draws_back_the_same_trace() {
@@ -294,8 +254,8 @@ mod tests {
     fn oracle_replay_lower_bounds_other_policies() {
         let backends = paper_backends();
         let trace = QueryTrace::synthetic(60, 9);
-        let oracle = replay(&OraclePolicy, &trace, &backends);
-        let heuristic = replay(&HeuristicPolicy::default(), &trace, &backends);
+        let oracle = replay_policy(&OraclePolicy, &trace, &backends);
+        let heuristic = replay_policy(&HeuristicPolicy::default(), &trace, &backends);
         assert!(oracle.total <= heuristic.total);
         assert_eq!(oracle.latencies.len(), 60);
     }
@@ -304,7 +264,7 @@ mod tests {
     fn oracle_uses_multiple_backends_on_a_mixed_trace() {
         let backends = paper_backends();
         let trace = QueryTrace::synthetic(120, 2);
-        let outcome = replay(&OraclePolicy, &trace, &backends);
+        let outcome = replay_policy(&OraclePolicy, &trace, &backends);
         assert!(
             outcome.picks.len() >= 2,
             "a mixed trace needs a mixed placement: {:?}",
@@ -318,7 +278,7 @@ mod tests {
     fn percentiles_are_ordered() {
         let backends = paper_backends();
         let trace = QueryTrace::synthetic(80, 4);
-        let outcome = replay(&OraclePolicy, &trace, &backends);
+        let outcome = replay_policy(&OraclePolicy, &trace, &backends);
         let p50 = outcome.percentile(50.0);
         let p95 = outcome.percentile(95.0);
         let p99 = outcome.percentile(99.0);
@@ -333,7 +293,7 @@ mod tests {
         // Repeat the same short mix many times so the learner converges.
         let base = QueryTrace::synthetic(10, 7);
         let repeated = QueryTrace::new((0..12).flat_map(|_| base.queries().to_vec()).collect());
-        let oracle = replay(&OraclePolicy, &repeated, &backends);
+        let oracle = replay_policy(&OraclePolicy, &repeated, &backends);
         let mut sched = AdaptiveScheduler::new(0.4);
         // First pass pays the exploration bill (every backend gets probed,
         // including slow ones, on whatever batch arrives).
@@ -351,36 +311,13 @@ mod tests {
     fn percentile_comes_from_the_shared_histogram() {
         let backends = paper_backends();
         let trace = QueryTrace::synthetic(50, 11);
-        let outcome = replay(&OraclePolicy, &trace, &backends);
+        let outcome = replay_policy(&OraclePolicy, &trace, &backends);
         let h = outcome.latency_histogram();
         assert_eq!(h.count(), 50);
         for p in [50.0, 95.0, 99.0, 100.0] {
             assert_eq!(outcome.percentile(p), h.quantile(p / 100.0));
         }
         assert_eq!(outcome.percentile(100.0), h.max());
-    }
-
-    #[test]
-    fn traced_replay_records_one_span_per_query() {
-        let backends = paper_backends();
-        let trace = QueryTrace::synthetic(40, 3);
-        let tracer = Tracer::new();
-        let outcome = replay_traced(&OraclePolicy, &trace, &backends, &tracer);
-        assert_eq!(outcome, replay(&OraclePolicy, &trace, &backends));
-        let spans = tracer.take();
-        assert_eq!(spans.len(), 40);
-        // Back-to-back makespan timeline: each span starts where the
-        // previous one ended, and the folded duration is the total.
-        let events = spans.events();
-        let mut sum = SimDuration::ZERO;
-        for (i, ev) in events.iter().enumerate() {
-            if i > 0 {
-                assert_eq!(ev.start, events[i - 1].end());
-            }
-            sum += ev.dur;
-            assert_eq!(ev.metadata[0], ("policy".to_string(), "oracle".to_string()));
-        }
-        assert_eq!(sum, outcome.total);
     }
 
     #[test]

@@ -11,8 +11,8 @@
 
 use serde::{Deserialize, Serialize};
 
-use mlscore_backend::{BackendError, ScoringBackend, ScoringRequest};
-use mlscore_data::TabularFrame;
+use mlscore_backend::{BackendError, CompiledModel, ScoringBackend, ScoringRequest};
+use mlscore_data::{ChainScanner, TabularFrame};
 use mlscore_forest::{Predictions, RandomForest};
 use mlscore_sim::SimDuration;
 
@@ -104,6 +104,37 @@ pub fn score_merged(
     ))
 }
 
+/// Like [`score_merged`], but over the *fused* streaming path: a
+/// [`ChainScanner`] pulls cache-sized chunks straight off the request
+/// frames (never materializing the concatenated copy `score_merged`
+/// builds) and the warm `model` scores them via
+/// [`ScoringBackend::score_prepared_stream`]. Bit-exact with
+/// [`score_merged`]: chunks never span frame boundaries, so the folded
+/// predictions split back per request on the same row counts.
+///
+/// # Errors
+///
+/// Returns [`ServeError::EmptyBatch`] for zero frames; mixed feature
+/// widths among `frames` surface as [`BackendError::Unsupported`] and
+/// backend scoring errors propagate as [`ServeError::Backend`].
+pub fn score_merged_stream(
+    backend: &dyn ScoringBackend,
+    model: &CompiledModel,
+    frames: &[&TabularFrame],
+    chunk_rows: usize,
+) -> Result<Vec<Predictions>, ServeError> {
+    if frames.is_empty() {
+        return Err(ServeError::EmptyBatch);
+    }
+    let mut scanner = ChainScanner::new(frames.to_vec(), chunk_rows)
+        .map_err(|e| BackendError::unsupported(backend.name(), format!("chained frames: {e}")))?;
+    let out = backend.score_prepared_stream(model, &mut scanner)?;
+    Ok(split_predictions(
+        out.predictions,
+        frames.iter().map(|f| f.n_rows()),
+    ))
+}
+
 /// Splits one prediction vector back into per-request vectors by row
 /// count.
 fn split_predictions(merged: Predictions, counts: impl Iterator<Item = usize>) -> Vec<Predictions> {
@@ -166,6 +197,40 @@ mod tests {
         assert_eq!(split[0].len(), 6);
         assert_eq!(split[1].len(), 9);
         assert_eq!(split[0], forest.predict_batch(frames[0].as_slice()));
+    }
+
+    #[test]
+    fn fused_merge_is_bit_exact_with_staged_merge() {
+        let forest =
+            RandomForest::synthetic_full(&ForestConfig::classification(16, 4, 3).with_depth(6), 21);
+        let backend = SklearnCpu::with_threads(2);
+        let bundle = mlscore_forest::ModelBundle::serialize(&forest);
+        let model = mlscore_backend::compile(&backend, &bundle).unwrap();
+        let frames = [frame(1, 13, 4), frame(2, 1, 4), frame(3, 40, 4)];
+        let refs: Vec<&TabularFrame> = frames.iter().collect();
+        let staged = score_merged(&backend, &forest, &refs).unwrap();
+        for chunk_rows in [1, 8, 512] {
+            let fused = score_merged_stream(&backend, &model, &refs, chunk_rows).unwrap();
+            assert_eq!(fused, staged, "chunk_rows={chunk_rows}");
+        }
+    }
+
+    #[test]
+    fn fused_merge_rejects_empty_and_mixed_widths() {
+        let forest = RandomForest::synthetic_full(&ForestConfig::regression(4, 3).with_depth(4), 1);
+        let backend = SklearnCpu::with_threads(1);
+        let bundle = mlscore_forest::ModelBundle::serialize(&forest);
+        let model = mlscore_backend::compile(&backend, &bundle).unwrap();
+        assert!(matches!(
+            score_merged_stream(&backend, &model, &[], 64),
+            Err(ServeError::EmptyBatch)
+        ));
+        let a = frame(1, 4, 3);
+        let b = frame(2, 4, 5);
+        assert!(matches!(
+            score_merged_stream(&backend, &model, &[&a, &b], 64),
+            Err(ServeError::Backend(_))
+        ));
     }
 
     #[test]

@@ -771,6 +771,18 @@ impl<'a> Run<'a> {
         if let Some(kernel) = choice.kernel {
             pass_span = pass_span.meta("kernel", kernel);
         }
+        // Cache-resident models dispatch through the fused streaming path —
+        // chunks pulled straight off the coalesced request frames (see
+        // `score_merged_stream`) — while cold or uncached passes marshal a
+        // materialized batch first.
+        pass_span = pass_span.meta(
+            "path",
+            if prepare_span == Some("cache hit") {
+                "fused"
+            } else {
+                "staged"
+            },
+        );
         for r in &batch {
             pass_span = pass_span.flow_in(r.id);
         }
@@ -1304,6 +1316,50 @@ mod tests {
                 .iter()
                 .any(|e| e.name == "device pass" && e.flows_in.len() > 1),
             "2k qps on one FPGA must coalesce"
+        );
+    }
+
+    #[test]
+    fn cache_resident_passes_dispatch_fused() {
+        let engine = ServeEngine::new(
+            fpga_only(),
+            ModelCatalog::paper_mix(),
+            ServeConfig::default(),
+        );
+        let tracer = Tracer::new();
+        let report = engine
+            .run(
+                &spec(100, ArrivalProcess::OpenPoisson { rate_qps: 100.0 }),
+                &tracer,
+            )
+            .unwrap();
+        let trace = tracer.take();
+        let path_of = |e: &mlscore_telemetry::SpanEvent| {
+            e.metadata
+                .iter()
+                .find(|(k, _)| k == "path")
+                .map(|(_, v)| v.clone())
+        };
+        let passes: Vec<_> = trace
+            .events()
+            .iter()
+            .filter(|e| e.name == "device pass")
+            .collect();
+        assert_eq!(passes.len() as u64, report.batches);
+        // Every pass is tagged, and warm (cache-hit) passes go fused: the
+        // fused count matches the cache model's hit count exactly.
+        assert!(passes.iter().all(|e| path_of(e).is_some()));
+        let fused = passes
+            .iter()
+            .filter(|e| path_of(e).as_deref() == Some("fused"))
+            .count() as u64;
+        assert_eq!(fused, report.cache.hits);
+        assert!(fused > 0, "12 models over 100 queries must re-hit");
+        assert!(
+            passes
+                .iter()
+                .any(|e| path_of(e).as_deref() == Some("staged")),
+            "cold compiles stay on the staged path"
         );
     }
 

@@ -56,7 +56,7 @@ pub mod request;
 pub mod slo;
 pub mod workload;
 
-pub use coalesce::{score_merged, CoalesceConfig};
+pub use coalesce::{score_merged, score_merged_stream, CoalesceConfig};
 pub use device::{DeviceRoster, DeviceSpec};
 pub use engine::{ServeConfig, ServeEngine, ServePolicy};
 pub use error::ServeError;

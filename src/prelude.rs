@@ -5,7 +5,10 @@
 //! ```
 
 pub use mlscore_backend::{ScoringBackend, ScoringRequest};
-pub use mlscore_data::{Dataset, DatasetSpec, TabularFrame};
+pub use mlscore_data::{
+    Dataset, DatasetSpec, FrameScanner, NormParams, NormalizeStream, RecordStream, TabularFrame,
+    DEFAULT_CHUNK_ROWS,
+};
 pub use mlscore_exec::{ExecPool, RunConfig, RunReport};
 pub use mlscore_forest::{ForestConfig, ModelStats, RandomForest, Task, TrainedModel};
 pub use mlscore_serve::{

@@ -1,19 +1,42 @@
-//! Integration tests for the serving engine: equivalence with the
-//! deprecated back-to-back trace replay, byte-identical determinism of the
-//! exports, and the coalescing throughput win on the FPGA.
+//! Integration tests for the serving engine: equivalence with a serial
+//! back-to-back trace replay, byte-identical determinism of the exports,
+//! and the coalescing throughput win on the FPGA.
 
+use mlscore::backend::ScoringBackend;
 use mlscore::prelude::*;
-use mlscore::sched::{paper_backends, OraclePolicy, QueryTrace};
+use mlscore::sched::{paper_backends, OraclePolicy, Policy, QueryTrace};
 use mlscore::serve::{CoalesceConfig, QueueConfig};
+use mlscore::sim::SimDuration;
 use mlscore::telemetry::perfetto;
+use std::collections::BTreeMap;
+
+/// Reference serial replay: queries run back to back, each charged the
+/// modelled time of the backend the policy picks.
+fn serial_replay(
+    policy: &dyn Policy,
+    trace: &QueryTrace,
+    backends: &[Box<dyn ScoringBackend>],
+) -> (SimDuration, BTreeMap<String, u64>) {
+    let mut total = SimDuration::ZERO;
+    let mut picks: BTreeMap<String, u64> = BTreeMap::new();
+    for q in trace.queries() {
+        let choice = policy
+            .choose(&q.stats, q.n_records, backends)
+            .expect("every trace query has a supporting backend");
+        total += backends[choice.index]
+            .estimate(&q.stats, q.n_records)
+            .total();
+        *picks.entry(choice.name).or_default() += 1;
+    }
+    (total, picks)
+}
 
 /// The engine configured as a degenerate serial device — batch arrivals,
 /// no coalescing, no compile charging, unbounded queue — is *exactly* the
-/// legacy replay loop: same dispatch order, same backend picks, same
+/// serial replay loop: same dispatch order, same backend picks, same
 /// makespan (modulo float-addition ulps).
 #[test]
-#[allow(deprecated)] // cross-checks the legacy loop it replaces
-fn serial_batch_run_reproduces_legacy_replay() {
+fn serial_batch_run_reproduces_serial_replay() {
     let queries = 120;
     let seed = 9;
     let engine = ServeEngine::new(
@@ -36,7 +59,7 @@ fn serial_batch_run_reproduces_legacy_replay() {
             &Tracer::disabled(),
         )
         .expect("batch specs are always valid");
-    let legacy = mlscore::sched::replay(
+    let (legacy_total, legacy_pick_map) = serial_replay(
         &OraclePolicy,
         &QueryTrace::synthetic(queries, seed),
         &paper_backends(),
@@ -45,11 +68,7 @@ fn serial_batch_run_reproduces_legacy_replay() {
     assert!(report.is_conserved());
     assert_eq!(report.completed, queries as u64);
     // Same backend mix, query for query.
-    let legacy_picks: Vec<(String, u64)> = legacy
-        .picks
-        .iter()
-        .map(|(name, n)| (name.clone(), *n as u64))
-        .collect();
+    let legacy_picks: Vec<(String, u64)> = legacy_pick_map.into_iter().collect();
     let engine_picks: Vec<(String, u64)> =
         report.picks.iter().map(|(n, c)| (n.clone(), *c)).collect();
     assert_eq!(engine_picks, legacy_picks);
@@ -60,12 +79,12 @@ fn serial_batch_run_reproduces_legacy_replay() {
         assert_eq!(d.batch, i as u64);
     }
     // The serial makespan is the legacy total (same additions, same order).
-    let diff = (report.makespan.as_secs() - legacy.total.as_secs()).abs();
+    let diff = (report.makespan.as_secs() - legacy_total.as_secs()).abs();
     assert!(
-        diff <= 1e-12 * legacy.total.as_secs().max(1.0),
+        diff <= 1e-12 * legacy_total.as_secs().max(1.0),
         "engine makespan {} vs legacy total {}",
         report.makespan,
-        legacy.total
+        legacy_total
     );
 }
 
